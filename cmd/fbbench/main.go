@@ -1,0 +1,283 @@
+// Command fbbench regenerates every figure of the paper's evaluation
+// (Figures 1 and 9–16) on the synthetic IMSI-like collection and prints
+// the same series the paper plots.
+//
+// Usage:
+//
+//	fbbench -figure all -scale 1 -queries 1000 -k 50            # paper scale
+//	fbbench -figure 10 -scale 0.3 -queries 700 -k 15            # quick look
+//	fbbench -figure 15 -scale 0.3 -queries 700                  # savings
+//
+// Absolute values depend on the synthetic collection; the shapes — who
+// wins, by roughly what factor, where curves cross — are the reproduction
+// target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/persist"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16")
+		scale   = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
+		queries = flag.Int("queries", 700, "training queries to process")
+		k       = flag.Int("k", 15, "results per query (paper: 50)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		epsilon = flag.Float64("epsilon", 0.05, "Simplex Tree insert threshold ε")
+		numEval = flag.Int("eval", 80, "evaluation queries for the k-sweep figures")
+		save    = flag.String("save", "", "persist the trained Simplex Tree to this file (inspect with fbtree)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:       *seed,
+		Scale:      *scale,
+		NumQueries: *queries,
+		K:          *k,
+		Epsilon:    *epsilon,
+	}
+
+	want := func(f string) bool { return *figure == "all" || *figure == f }
+	start := time.Now()
+
+	// Figures 10, 14 and 16 share one savings-enabled session; Figure 1
+	// and 9 reuse it too.
+	var shared *experiments.Session
+	needShared := want("1") || want("9") || want("10") || want("11") || want("14") || want("16")
+	if needShared {
+		scfg := cfg
+		scfg.MeasureSavings = want("10") // only Figure 15 needs it elsewhere
+		fmt.Printf("# building collection (scale %.2f) and processing %d queries at k=%d ...\n", *scale, *queries, *k)
+		var err error
+		shared, err = experiments.NewSession(scfg)
+		if err != nil {
+			fail(err)
+		}
+		if err := shared.Run(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("# collection: %d images, tree: %d points, depth %d (%.1fs)\n\n",
+			shared.DS.Len(), shared.Bypass.Stats().Points, shared.Bypass.Stats().Depth, time.Since(start).Seconds())
+	}
+
+	if want("1") {
+		printFigure1(shared)
+	}
+	if want("9") {
+		printFigure9(shared)
+	}
+	if want("10") {
+		printFigure10(shared)
+	}
+	if want("11") {
+		printFigure11(shared, *numEval)
+	}
+	if want("12") {
+		printFigure12(cfg)
+	}
+	if want("13") {
+		printFigure13(cfg, *numEval)
+	}
+	if want("14") {
+		printFigure14(shared)
+	}
+	if want("15") {
+		printFigure15(cfg)
+	}
+	if want("16") {
+		printFigure16(shared)
+	}
+	if *save != "" {
+		if shared == nil {
+			fail(fmt.Errorf("-save requires a figure that trains the shared session"))
+		}
+		if err := persist.SaveFile(*save, shared.Bypass.Tree()); err != nil {
+			fail(err)
+		}
+		fmt.Printf("# saved trained Simplex Tree to %s\n", *save)
+	}
+	fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fbbench:", err)
+	os.Exit(1)
+}
+
+func header(title string) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+// printSeries renders several series sharing an X axis as one table.
+func printSeries(xLabel string, series ...*eval.Series) {
+	const colWidth = 28
+	fmt.Printf("%-12s", xLabel)
+	for _, s := range series {
+		label := s.Label
+		if len(label) > colWidth-2 {
+			label = label[:colWidth-2]
+		}
+		fmt.Printf("%*s", colWidth, label)
+	}
+	fmt.Println()
+	if len(series) == 0 || series[0].Len() == 0 {
+		fmt.Println("(no data)")
+		return
+	}
+	for i := range series[0].X {
+		fmt.Printf("%-12.4g", series[0].X[i])
+		for _, s := range series {
+			if i < s.Len() {
+				fmt.Printf("%*.4f", colWidth, s.Y[i])
+			} else {
+				fmt.Printf("%*s", colWidth, "-")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func printFigure1(s *experiments.Session) {
+	header("Figure 1: default vs. FeedbackBypass results for one query")
+	// Pick the first Mammal query of the stream, echoing the paper's
+	// example.
+	itemIdx := -1
+	for _, r := range s.Records {
+		if r.Category == "Mammal" {
+			itemIdx = r.ItemIndex
+			break
+		}
+	}
+	if itemIdx < 0 {
+		itemIdx = s.Records[0].ItemIndex
+	}
+	res, err := experiments.Figure1(s, itemIdx, 5)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("query: item %d, category %s\n\n", res.QueryIndex, res.QueryCategory)
+	fmt.Printf("%-28s %s\n", "Default results", "FeedbackBypass results")
+	for i := range res.DefaultTop {
+		d := res.DefaultTop[i]
+		b := res.BypassTop[i]
+		fmt.Printf("%-28s %s\n", lineOf(d), lineOf(b))
+	}
+	fmt.Printf("\nrelevant in top 5: default %d, FeedbackBypass %d\n\n", res.GoodDefault, res.GoodBypass)
+}
+
+func lineOf(l experiments.ResultLine) string {
+	mark := " "
+	if l.Good {
+		mark = "*"
+	}
+	return fmt.Sprintf("%s %-10s/%-9s d=%.3f", mark, l.Category, l.Theme, l.Distance)
+}
+
+func printFigure9(s *experiments.Session) {
+	header("Figure 9: sample images from the Fish category (theme diversity)")
+	samples, err := experiments.Figure9(s, "Fish", 4)
+	if err != nil {
+		fail(err)
+	}
+	for _, smp := range samples {
+		fmt.Printf("item %5d  theme=%-10s dominant bins=%v\n", smp.ItemIndex, smp.Theme, smp.DominantBins)
+	}
+	fmt.Println()
+}
+
+func printFigure10(s *experiments.Session) {
+	res, err := experiments.Figure10(s)
+	if err != nil {
+		fail(err)
+	}
+	header(fmt.Sprintf("Figure 10a: precision vs. no. of queries (k = %d)", res.K))
+	printSeries("queries", res.Precision.AlreadySeen, res.Precision.Bypass, res.Precision.Default)
+	header("Figure 10b: precision gain (%) over Default")
+	printSeries("queries", res.GainSeen, res.GainFB)
+}
+
+func printFigure11(s *experiments.Session, numEval int) {
+	res, err := experiments.Figure11(s, nil, numEval)
+	if err != nil {
+		fail(err)
+	}
+	header("Figure 11a: precision vs. k (trained tree)")
+	printSeries("k", res.Precision.AlreadySeen, res.Precision.Bypass, res.Precision.Default)
+	header("Figure 11b: recall vs. k")
+	printSeries("k", res.Recall.AlreadySeen, res.Recall.Bypass, res.Recall.Default)
+	header("Figure 11c: precision vs. recall (X = recall)")
+	printSeries("recall", res.PR.AlreadySeen, res.PR.Bypass, res.PR.Default)
+}
+
+func printFigure12(cfg experiments.Config) {
+	fmt.Println("# Figure 12: training one session per k ... (slow)")
+	res, err := experiments.Figure12(cfg, nil)
+	if err != nil {
+		fail(err)
+	}
+	header("Figure 12a: FeedbackBypass precision vs. no. of queries, per k")
+	printSeries("queries", res.Precision...)
+	header("Figure 12b: FeedbackBypass recall vs. no. of queries, per k")
+	printSeries("queries", res.Recall...)
+}
+
+func printFigure13(cfg experiments.Config, numEval int) {
+	fmt.Println("# Figure 13: training one session per k ... (slow)")
+	res, err := experiments.Figure13(cfg, nil, nil, numEval)
+	if err != nil {
+		fail(err)
+	}
+	header("Figure 13a: precision vs. no. of retrieved objects, per training k")
+	printSeries("retrieved", res.Precision...)
+	header("Figure 13b: recall vs. no. of retrieved objects, per training k")
+	printSeries("retrieved", res.Recall...)
+}
+
+func printFigure14(s *experiments.Session) {
+	res, err := experiments.Figure14(s)
+	if err != nil {
+		fail(err)
+	}
+	header("Figure 14: per-category precision and recall")
+	fmt.Printf("%-10s %8s %12s %12s %12s %12s %12s %12s\n",
+		"category", "queries", "prec(seen)", "prec(FB)", "prec(def)", "rec(seen)", "rec(FB)", "rec(def)")
+	for _, c := range res {
+		fmt.Printf("%-10s %8d %12.4f %12.4f %12.4f %12.4f %12.4f %12.4f\n",
+			c.Category, c.Queries, c.PrecSeen, c.PrecBypass, c.PrecDefault,
+			c.RecallSeen, c.RecallBypass, c.RecallDefault)
+	}
+	fmt.Println()
+}
+
+func printFigure15(cfg experiments.Config) {
+	fmt.Println("# Figure 15: savings sessions per k ... (slow)")
+	res, err := experiments.Figure15(cfg, nil)
+	if err != nil {
+		fail(err)
+	}
+	header("Figure 15a: average saved feedback cycles vs. no. of queries")
+	printSeries("queries", res.SavedCycles...)
+	header("Figure 15b: average saved retrieved objects vs. no. of queries")
+	printSeries("queries", res.SavedObjects...)
+}
+
+func printFigure16(s *experiments.Session) {
+	res, err := experiments.Figure16(s)
+	if err != nil {
+		fail(err)
+	}
+	header("Figure 16: simplices traversed per query and tree depth")
+	printSeries("queries", res.Traversed, res.Depth)
+}

@@ -1,0 +1,101 @@
+// Command fbdemo reproduces the paper's Figure 1 interactively: it trains
+// FeedbackBypass on a stream of queries, then shows, for a chosen query
+// image, the top results under default parameters next to the results
+// under the predicted parameters.
+//
+// Usage:
+//
+//	fbdemo -category Mammal -n 5 -queries 400 -scale 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		category = flag.String("category", "Mammal", "query category to demo")
+		n        = flag.Int("n", 5, "results to show")
+		scale    = flag.Float64("scale", 0.3, "collection scale")
+		queries  = flag.Int("queries", 400, "training queries before the demo")
+		k        = flag.Int("k", 15, "k used during training")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:       *seed,
+		Scale:      *scale,
+		NumQueries: *queries,
+		K:          *k,
+		Epsilon:    0.05,
+	}
+	fmt.Printf("training FeedbackBypass on %d queries ...\n", *queries)
+	s, err := experiments.NewSession(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := s.Run(); err != nil {
+		fail(err)
+	}
+	st := s.Bypass.Stats()
+	fmt.Printf("tree: %d stored points, depth %d, %d leaves\n\n", st.Points, st.Depth, st.Leaves)
+
+	// Demo on a fresh query of the requested category (one that was not in
+	// the training stream if possible).
+	trained := map[int]bool{}
+	for _, r := range s.Records {
+		trained[r.ItemIndex] = true
+	}
+	itemIdx := -1
+	for _, idx := range s.DS.ByCategory[*category] {
+		if !trained[idx] {
+			itemIdx = idx
+			break
+		}
+	}
+	if itemIdx < 0 {
+		if pool := s.DS.ByCategory[*category]; len(pool) > 0 {
+			itemIdx = pool[0]
+		} else {
+			fail(fmt.Errorf("category %q has no items (have: %v)", *category, s.DS.QueryCats))
+		}
+	}
+
+	res, err := experiments.Figure1(s, itemIdx, *n)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("query image: item %d, category %s (never seen: %v)\n\n", res.QueryIndex, res.QueryCategory, !trained[itemIdx])
+	fmt.Printf("%-34s | %s\n", "Default results", "FeedbackBypass results")
+	fmt.Printf("%-34s-+-%s\n", dashes(34), dashes(34))
+	for i := 0; i < len(res.DefaultTop); i++ {
+		fmt.Printf("%-34s | %s\n", line(res.DefaultTop[i]), line(res.BypassTop[i]))
+	}
+	fmt.Printf("\nrelevant (*) in top %d: default %d, FeedbackBypass %d\n", *n, res.GoodDefault, res.GoodBypass)
+}
+
+func line(l experiments.ResultLine) string {
+	mark := " "
+	if l.Good {
+		mark = "*"
+	}
+	return fmt.Sprintf("%s #%-5d %-10s %-9s d=%.3f", mark, l.ItemIndex, l.Category, l.Theme, l.Distance)
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fbdemo:", err)
+	os.Exit(1)
+}

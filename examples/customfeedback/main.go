@@ -1,0 +1,72 @@
+// Custom feedback: FeedbackBypass is orthogonal to the feedback model
+// (§6 of the paper: it works "regardless of the particular mathematical
+// model underlying the feedback loop"). This example runs the same
+// training stream under two different relevance-feedback engines — the
+// optimal MindReader rules and the older Rocchio + MARS rules — and shows
+// that the module learns useful predictions either way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/feedback"
+)
+
+func main() {
+	base := experiments.Config{
+		Seed:       3,
+		Scale:      0.12,
+		NumQueries: 200,
+		K:          12,
+		Epsilon:    0.05,
+	}
+
+	engines := []struct {
+		name string
+		opts feedback.Options
+	}{
+		{
+			name: "optimal movement + optimal 1/sigma^2 re-weighting [ISF98]",
+			opts: feedback.Options{Movement: feedback.MoveOptimal, Weighting: feedback.WeightOptimal},
+		},
+		{
+			// NormalizeQuery keeps iterated Rocchio inside the histogram
+			// domain (normalized Rocchio, [Sal88]).
+			name: "Rocchio movement + MARS 1/sigma re-weighting [Sal88, RHOM98]",
+			opts: feedback.Options{Movement: feedback.MoveRocchio, Weighting: feedback.WeightMARS, NormalizeQuery: true},
+		},
+	}
+
+	for _, e := range engines {
+		cfg := base
+		cfg.Feedback = e.opts
+		session, err := experiments.NewSession(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := session.Run(); err != nil {
+			log.Fatal(err)
+		}
+		// Average the three strategies over the second half of the stream,
+		// where the tree has learned something.
+		half := session.Records[len(session.Records)/2:]
+		var def, fb, seen float64
+		for _, r := range half {
+			def += r.PrecisionDefault()
+			fb += r.PrecisionBypass()
+			seen += r.PrecisionSeen()
+		}
+		n := float64(len(half))
+		fmt.Printf("feedback engine: %s\n", e.name)
+		fmt.Printf("  avg precision (2nd half of %d queries, k=%d):\n", cfg.NumQueries, cfg.K)
+		fmt.Printf("    default                 %.3f\n", def/n)
+		fmt.Printf("    FeedbackBypass          %.3f\n", fb/n)
+		fmt.Printf("    converged feedback loop %.3f\n", seen/n)
+		fmt.Printf("  simplex tree: %d points, depth %d\n\n",
+			session.Bypass.Stats().Points, session.Bypass.Stats().Depth)
+	}
+	fmt.Println("FeedbackBypass improves first-round precision under both engines —")
+	fmt.Println("it stores whatever parameters the loop converges to, without caring how.")
+}

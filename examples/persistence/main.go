@@ -1,0 +1,157 @@
+// Persistence: the reason FeedbackBypass exists is that feedback outcomes
+// are "forgotten across multiple query sessions" (§1 of the paper). This
+// example trains a module in one "session", saves it, loads it in a fresh
+// session, verifies the predictions survived, and keeps learning on top.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	feedbackbypass "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "fbsx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "session.fbsx")
+
+	const bins = 8
+	rng := rand.New(rand.NewSource(7))
+
+	// ---- Session 1: learn from 25 simulated feedback loops. ----
+	bypass, codec, err := feedbackbypass.NewForHistograms(bins, feedbackbypass.Config{Epsilon: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := make([][]float64, 25)
+	for i := range queries {
+		q := randomHistogram(rng, bins)
+		queries[i] = q
+		qp, err := codec.QueryPoint(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Simulated loop outcome: weight of the query's dominant bin
+		// quadrupled, query point nudged toward it.
+		dom := argMax(q)
+		qBest := append([]float64(nil), q...)
+		shift := 0.05
+		if qBest[(dom+1)%bins] < shift {
+			shift = qBest[(dom+1)%bins] / 2
+		}
+		qBest[dom] += shift
+		qBest[(dom+1)%bins] -= shift
+		wBest := ones(bins)
+		wBest[dom] = 4
+		oqp, err := codec.EncodeOQP(q, qBest, wBest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := bypass.Insert(qp, oqp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := bypass.Stats()
+	fmt.Printf("session 1: trained on %d loops, tree has %d points (depth %d)\n", len(queries), st.Points, st.Depth)
+	if err := feedbackbypass.SaveFile(path, bypass); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("session 1: saved to %s (%d bytes)\n\n", filepath.Base(path), info.Size())
+
+	// ---- Session 2: a fresh process loads the tree. ----
+	restored, err := feedbackbypass.LoadFile(path, codec.P())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 2: loaded tree with %d points\n", restored.Stats().Points)
+
+	// Predictions for the trained queries are identical — no feedback loop
+	// needed ever again for these.
+	q := queries[0]
+	qp, err := codec.QueryPoint(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := bypass.Predict(qp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := restored.Predict(qp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 2: prediction drift for a trained query: Δdelta=%.3g Δweights=%.3g\n",
+		maxDiff(before.Delta, after.Delta), maxDiff(before.Weights, after.Weights))
+
+	// And the restored module keeps learning.
+	newQ := randomHistogram(rng, bins)
+	newQP, err := codec.QueryPoint(newQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := ones(bins)
+	w[2] = 9
+	oqp, err := codec.EncodeOQP(newQ, newQ, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	changed, err := restored.Insert(newQP, oqp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 2: inserted one more loop outcome (stored=%v), tree now has %d points\n",
+		changed, restored.Stats().Points)
+}
+
+func randomHistogram(rng *rand.Rand, bins int) []float64 {
+	h := make([]float64, bins)
+	var sum float64
+	for i := range h {
+		h[i] = 0.05 + rng.ExpFloat64()
+		sum += h[i]
+	}
+	for i := range h {
+		h[i] /= sum
+	}
+	return h
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func argMax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

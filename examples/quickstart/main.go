@@ -1,0 +1,89 @@
+// Quickstart: the minimal FeedbackBypass workflow using only the public
+// API — create a module for histogram features, store the outcome of a
+// (simulated) feedback loop, and watch predictions for nearby queries
+// pick it up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	feedbackbypass "repro"
+)
+
+func main() {
+	// A toy feature space: 4-bin normalized colour histograms. The module
+	// learns in the reduced domain (3 query dimensions, 3 weight
+	// parameters — Example 1 of the paper).
+	bypass, codec, err := feedbackbypass.NewForHistograms(4, feedbackbypass.Config{Epsilon: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's query: mostly bin 0, some bin 1.
+	query := []float64{0.55, 0.25, 0.12, 0.08}
+	queryPoint, err := codec.QueryPoint(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Before any feedback, the module predicts the defaults.
+	oqp, err := bypass.Predict(queryPoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qOpt, weights, err := codec.DecodeOQP(query, oqp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("untrained prediction:")
+	fmt.Printf("  query point: %v\n", qOpt)
+	fmt.Printf("  weights:     %v\n", weights)
+
+	// Suppose a feedback loop converged: the optimal query shifts mass to
+	// bin 0, and bin 0 turns out to be four times as important.
+	qBest := []float64{0.61, 0.21, 0.11, 0.07}
+	wBest := []float64{4, 1, 1, 1}
+	learned, err := codec.EncodeOQP(query, qBest, wBest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bypass.Insert(queryPoint, learned); err != nil {
+		log.Fatal(err)
+	}
+
+	// The same query now bypasses the loop entirely ...
+	oqp, err = bypass.Predict(queryPoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qOpt, weights, err = codec.DecodeOQP(query, oqp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter learning, same query:")
+	fmt.Printf("  query point: %v\n", qOpt)
+	fmt.Printf("  weights:     %v\n", weights)
+
+	// ... and a nearby query receives an interpolated prediction between
+	// the learned optimum and the domain's default corners.
+	nearby := []float64{0.53, 0.27, 0.12, 0.08}
+	nearbyPoint, err := codec.QueryPoint(nearby)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oqp, err = bypass.Predict(nearbyPoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qOpt, weights, err = codec.DecodeOQP(nearby, oqp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnearby query:")
+	fmt.Printf("  query point: %v\n", qOpt)
+	fmt.Printf("  weights:     %v\n", weights)
+
+	st := bypass.Stats()
+	fmt.Printf("\ntree: %d stored point(s), %d leaves, depth %d\n", st.Points, st.Leaves, st.Depth)
+}

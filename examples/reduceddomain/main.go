@@ -1,0 +1,135 @@
+// Reduced domain: the paper's future-work direction (§3) — apply
+// dimensionality reduction to the query domain before learning the optimal
+// query mapping. Real query streams concentrate near low-dimensional
+// manifolds (images of similar scenes have similar histograms), so a PCA-
+// reduced Simplex Tree reaches useful training density with far fewer
+// stored points per region.
+//
+// This example compares a full-dimensional module against a reduced one on
+// the same synthetic query stream and reports how much of the learned
+// weight pattern each transfers to held-out queries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	feedbackbypass "repro"
+)
+
+const (
+	dim      = 16 // feature dimensionality
+	reducedK = 2  // intrinsic manifold dimensionality
+	train    = 240
+	holdout  = 100
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	samples, labels := clusteredQueries(rng, train+holdout)
+
+	// The stream's optimal weights depend on the cluster: cluster 0 needs
+	// dimension 0 boosted, cluster 1 needs dimension 1.
+	makeOQP := func(label int) feedbackbypass.OQP {
+		w := ones(dim)
+		if label == 0 {
+			w[0] = 6
+		} else {
+			w[1] = 6
+		}
+		return feedbackbypass.OQP{Delta: zeros(dim), Weights: w}
+	}
+
+	// Full-dimensional module over the covering simplex of [0,1]^16.
+	full, err := feedbackbypass.New(dim, dim, feedbackbypass.Config{
+		Domain: feedbackbypass.CoveringSimplex(dim),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reduced module: PCA fitted on the training queries.
+	reducer, err := feedbackbypass.FitReducer(samples[:train], reducedK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PCA reducer: %d → %d dimensions, %.1f%% variance explained\n",
+		dim, reducedK, 100*reducer.ExplainedVariance())
+	reduced, err := feedbackbypass.NewReduced(reducer, dim, dim, feedbackbypass.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < train; i++ {
+		oqp := makeOQP(labels[i])
+		if _, err := full.Insert(samples[i], oqp); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := reduced.Insert(samples[i], oqp); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Held-out queries: does the predicted weight pattern match the
+	// cluster's true pattern?
+	fullCorrect, reducedCorrect := 0, 0
+	for i := train; i < train+holdout; i++ {
+		wantDim0 := labels[i] == 0
+		if oqp, err := full.Predict(samples[i]); err == nil {
+			if (oqp.Weights[0] > oqp.Weights[1]) == wantDim0 {
+				fullCorrect++
+			}
+		}
+		oqp, err := reduced.Predict(samples[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if (oqp.Weights[0] > oqp.Weights[1]) == wantDim0 {
+			reducedCorrect++
+		}
+	}
+	fmt.Printf("\nweight-pattern transfer on %d held-out queries:\n", holdout)
+	fmt.Printf("  full %d-D domain:    %d/%d correct (tree: %d points, depth %d)\n",
+		dim, fullCorrect, holdout, full.Stats().Points, full.Stats().Depth)
+	fmt.Printf("  reduced %d-D domain: %d/%d correct (tree: %d points, depth %d)\n",
+		reducedK, reducedCorrect, holdout, reduced.Stats().Points, reduced.Stats().Depth)
+	fmt.Println("\nthe reduced tree splits each insert into", reducedK+1,
+		"children instead of", dim+1, "— far denser coverage per stored point.")
+}
+
+// clusteredQueries samples query points from two clusters on a low-
+// dimensional manifold in [0,1]^dim.
+func clusteredQueries(rng *rand.Rand, n int) (samples [][]float64, labels []int) {
+	dir := make([]float64, dim)
+	for i := range dir {
+		dir[i] = math.Sin(float64(i + 1))
+	}
+	for s := 0; s < n; s++ {
+		label := s % 2
+		c := 0.35
+		if label == 1 {
+			c = 0.65
+		}
+		v := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			v[i] = clamp01(c + 0.2*dir[i]*rng.NormFloat64()*0.3 + rng.NormFloat64()*0.01)
+		}
+		samples = append(samples, v)
+		labels = append(labels, label)
+	}
+	return samples, labels
+}
+
+func clamp01(x float64) float64 { return math.Min(math.Max(x, 0), 1) }
+
+func zeros(n int) []float64 { return make([]float64, n) }
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

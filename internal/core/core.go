@@ -1,0 +1,286 @@
+// Package core implements the FeedbackBypass module of §3 (Figures 4 and
+// 5 of the paper): the component that sits next to an interactive
+// retrieval system, learns the optimal query mapping
+//
+//	Mopt : q ↦ (Δopt, Wopt)
+//
+// from the outcomes of past feedback loops, and predicts optimal query
+// parameters (OQPs) for new queries so the feedback loop can be bypassed
+// or shortened.
+//
+// The mapping is stored in a Simplex Tree (package simplextree). This
+// package adds the OQP vocabulary — the (Δ, W) pair, its flat encoding as
+// the tree's stored vector — and the histogram codec that realizes
+// Example 1 of the paper: 32-bin normalized histograms become points of
+// the standard simplex in R^31 by dropping the redundant last bin, and one
+// weight is pinned to 1, so Mopt maps R^31 to R^62.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/simplextree"
+	"repro/internal/vec"
+)
+
+// OQP is the pair of optimal query parameters of §3: the offset Δopt from
+// the initial to the optimal query point, and the distance-function
+// parameters Wopt.
+type OQP struct {
+	Delta   []float64 // length D (query-domain dimensionality)
+	Weights []float64 // length P (independent distance parameters)
+}
+
+// Encode flattens the OQP into the N = D+P vector the Simplex Tree stores.
+func (o OQP) Encode() []float64 {
+	out := make([]float64, 0, len(o.Delta)+len(o.Weights))
+	out = append(out, o.Delta...)
+	out = append(out, o.Weights...)
+	return out
+}
+
+// DecodeOQP splits a flat N-vector back into (Δ, W).
+func DecodeOQP(v []float64, d, p int) (OQP, error) {
+	if len(v) != d+p {
+		return OQP{}, fmt.Errorf("core: OQP vector has length %d, want %d+%d", len(v), d, p)
+	}
+	return OQP{Delta: vec.Clone(v[:d]), Weights: vec.Clone(v[d : d+p])}, nil
+}
+
+// Config tunes a Bypass module.
+type Config struct {
+	// Epsilon is the Simplex Tree insert threshold ε (§4.2).
+	Epsilon float64
+	// Tol is the geometric tolerance; geom.DefaultTol when zero.
+	Tol float64
+	// Domain overrides the query domain simplex. When nil, the standard
+	// simplex of dimension D is used — correct for normalized-histogram
+	// features (§4.1). Use geom.CoveringSimplex for [0,1]^D domains.
+	Domain *geom.Simplex
+	// DefaultWeights seeds the domain corners' weight parameters; all-ones
+	// when nil. Codecs that store weights in a transformed domain (e.g.
+	// the log-ratio parameterization of HistogramCodec, whose neutral
+	// element is zero) must supply their own defaults.
+	DefaultWeights []float64
+}
+
+// Bypass is the FeedbackBypass module: a learned Mopt with Predict and
+// Insert, exactly the interface of Figure 5.
+type Bypass struct {
+	tree *simplextree.Tree
+	d, p int
+}
+
+// New creates a module for a D-dimensional query domain and P distance
+// parameters. The default OQPs — zero offset, unit weights — seed the
+// domain corners, so an untrained module predicts the default parameters
+// everywhere.
+func New(d, p int, cfg Config) (*Bypass, error) {
+	if d <= 0 || p < 0 {
+		return nil, fmt.Errorf("core: invalid dimensions D=%d, P=%d", d, p)
+	}
+	domain := cfg.Domain
+	if domain == nil {
+		domain = geom.StandardSimplex(d)
+	}
+	if domain.Dim() != d {
+		return nil, fmt.Errorf("core: domain has dimension %d, want %d", domain.Dim(), d)
+	}
+	defW := cfg.DefaultWeights
+	if defW == nil {
+		defW = vec.Ones(p)
+	}
+	if len(defW) != p {
+		return nil, fmt.Errorf("core: default weights have dimension %d, want %d", len(defW), p)
+	}
+	def := OQP{Delta: vec.Zeros(d), Weights: vec.Clone(defW)}
+	tree, err := simplextree.New(domain, def.Encode(), simplextree.Options{Epsilon: cfg.Epsilon, Tol: cfg.Tol})
+	if err != nil {
+		return nil, err
+	}
+	return &Bypass{tree: tree, d: d, p: p}, nil
+}
+
+// FromTree wraps an existing Simplex Tree (e.g. one loaded from disk) as a
+// Bypass with the given parameter split.
+func FromTree(tree *simplextree.Tree, p int) (*Bypass, error) {
+	if tree == nil {
+		return nil, errors.New("core: nil tree")
+	}
+	d := tree.Dim()
+	if tree.OQPDim() != d+p {
+		return nil, fmt.Errorf("core: tree stores %d-vectors, want D+P = %d+%d", tree.OQPDim(), d, p)
+	}
+	return &Bypass{tree: tree, d: d, p: p}, nil
+}
+
+// D returns the query-domain dimensionality.
+func (b *Bypass) D() int { return b.d }
+
+// P returns the number of distance parameters.
+func (b *Bypass) P() int { return b.p }
+
+// Tree exposes the underlying Simplex Tree (for persistence and stats).
+func (b *Bypass) Tree() *simplextree.Tree { return b.tree }
+
+// Predict returns the OQPs for query point q — the Mopt method of
+// Figure 5. Weight validity (positivity etc.) is the codec's concern at
+// decode time, since the stored parameterization is codec-defined.
+func (b *Bypass) Predict(q []float64) (OQP, error) {
+	raw, err := b.tree.Predict(q)
+	if err != nil {
+		return OQP{}, err
+	}
+	return DecodeOQP(raw, b.d, b.p)
+}
+
+// Insert stores the OQPs the feedback loop converged to for query point q
+// — the Insert method of Figure 5. It reports whether the tree changed
+// (an insert within ε of the current prediction is skipped, §4.2).
+func (b *Bypass) Insert(q []float64, oqp OQP) (bool, error) {
+	if len(oqp.Delta) != b.d {
+		return false, fmt.Errorf("core: Δ has dimension %d, want %d", len(oqp.Delta), b.d)
+	}
+	if len(oqp.Weights) != b.p {
+		return false, fmt.Errorf("core: W has dimension %d, want %d", len(oqp.Weights), b.p)
+	}
+	if !vec.IsFinite(oqp.Delta) || !vec.IsFinite(oqp.Weights) {
+		return false, errors.New("core: OQP contains non-finite values")
+	}
+	return b.tree.Insert(q, oqp.Encode())
+}
+
+// Stats reports the shape of the underlying Simplex Tree.
+func (b *Bypass) Stats() simplextree.Stats { return b.tree.Stats() }
+
+// HistogramCodec translates between the retrieval engine's world —
+// full normalized histograms of Bins dimensions with Bins distance weights
+// — and the module's reduced query domain, realizing Example 1: D = P =
+// Bins−1, the last bin is dropped (it is redundant under normalization)
+// and the last weight is pinned to 1.
+//
+// Weights are stored as log-ratios, W_i = ln(w_i / w_last). Re-weighting
+// produces weights spanning many orders of magnitude (w ∝ 1/σ² with a
+// variance floor), and the Simplex Tree interpolates stored vectors
+// linearly; in the raw parameterization a single large-ratio neighbour
+// dominates every prediction in its leaf. Interpolating log-ratios instead
+// performs the geometric mixing appropriate for multiplicative parameters
+// and keeps decoded weights positive by construction. The neutral element
+// is 0 (= unit weight), matching the module's default OQPs through
+// DefaultWeights.
+type HistogramCodec struct {
+	Bins int
+}
+
+// MaxLogWeight clamps decoded log-ratios: ratios are confined to
+// [e^-MaxLogWeight, e^+MaxLogWeight] ≈ [1e-7, 1e7].
+const MaxLogWeight = 16.0
+
+// NewHistogramCodec validates the bin count.
+func NewHistogramCodec(bins int) (HistogramCodec, error) {
+	if bins < 2 {
+		return HistogramCodec{}, fmt.Errorf("core: need at least 2 bins, got %d", bins)
+	}
+	return HistogramCodec{Bins: bins}, nil
+}
+
+// D returns the query-domain dimensionality (Bins−1).
+func (c HistogramCodec) D() int { return c.Bins - 1 }
+
+// P returns the number of independent weights (Bins−1).
+func (c HistogramCodec) P() int { return c.Bins - 1 }
+
+// DefaultWeights returns the stored-domain representation of uniform
+// weights — all zeros in the log-ratio parameterization. Pass it as
+// Config.DefaultWeights when creating the Bypass this codec feeds.
+func (c HistogramCodec) DefaultWeights() []float64 { return vec.Zeros(c.Bins - 1) }
+
+// QueryPoint maps a normalized histogram to its query-domain point by
+// dropping the last bin.
+func (c HistogramCodec) QueryPoint(feature []float64) ([]float64, error) {
+	if len(feature) != c.Bins {
+		return nil, fmt.Errorf("core: feature has %d bins, want %d", len(feature), c.Bins)
+	}
+	out := make([]float64, c.Bins-1)
+	copy(out, feature[:c.Bins-1])
+	return out, nil
+}
+
+// EncodeOQP converts the feedback loop's full-dimensional outcome — the
+// optimal query point qopt and weight vector w, both of Bins components —
+// into the reduced OQP relative to the initial query q:
+//
+//	Δ_i = qopt_i − q_i            (i < Bins−1; the last component is −ΣΔ)
+//	W_i = ln(w_i / w_{Bins−1})    (pinning the last weight to 1)
+//
+// Every weight must be positive and finite.
+func (c HistogramCodec) EncodeOQP(q, qopt, w []float64) (OQP, error) {
+	if len(q) != c.Bins || len(qopt) != c.Bins || len(w) != c.Bins {
+		return OQP{}, fmt.Errorf("core: expected %d-bin vectors, got q=%d qopt=%d w=%d", c.Bins, len(q), len(qopt), len(w))
+	}
+	last := w[c.Bins-1]
+	if last <= 0 || math.IsNaN(last) || math.IsInf(last, 0) {
+		return OQP{}, fmt.Errorf("core: pinned weight must be positive and finite, got %v", last)
+	}
+	delta := make([]float64, c.Bins-1)
+	weights := make([]float64, c.Bins-1)
+	for i := 0; i < c.Bins-1; i++ {
+		delta[i] = qopt[i] - q[i]
+		if w[i] <= 0 || math.IsNaN(w[i]) || math.IsInf(w[i], 0) {
+			return OQP{}, fmt.Errorf("core: weight %d must be positive and finite, got %v", i, w[i])
+		}
+		lr := math.Log(w[i] / last)
+		if lr > MaxLogWeight {
+			lr = MaxLogWeight
+		} else if lr < -MaxLogWeight {
+			lr = -MaxLogWeight
+		}
+		weights[i] = lr
+	}
+	return OQP{Delta: delta, Weights: weights}, nil
+}
+
+// DecodeOQP reconstructs the full-dimensional (qopt, w) from a reduced OQP
+// and the initial query q. The last Δ component is recovered from the
+// normalization constraint (offsets of normalized points sum to zero); the
+// pinned weight is 1; reconstructed query components are clamped at 0, and
+// log-ratios at ±MaxLogWeight before exponentiation.
+func (c HistogramCodec) DecodeOQP(q []float64, oqp OQP) (qopt, w []float64, err error) {
+	if len(q) != c.Bins {
+		return nil, nil, fmt.Errorf("core: query has %d bins, want %d", len(q), c.Bins)
+	}
+	if len(oqp.Delta) != c.Bins-1 || len(oqp.Weights) != c.Bins-1 {
+		return nil, nil, fmt.Errorf("core: OQP dimensions (%d, %d), want (%d, %d)", len(oqp.Delta), len(oqp.Weights), c.Bins-1, c.Bins-1)
+	}
+	qopt = make([]float64, c.Bins)
+	var deltaSum float64
+	for i := 0; i < c.Bins-1; i++ {
+		deltaSum += oqp.Delta[i]
+		qopt[i] = q[i] + oqp.Delta[i]
+		if qopt[i] < 0 {
+			qopt[i] = 0
+		}
+	}
+	qopt[c.Bins-1] = q[c.Bins-1] - deltaSum
+	if qopt[c.Bins-1] < 0 {
+		qopt[c.Bins-1] = 0
+	}
+	w = make([]float64, c.Bins)
+	for i := 0; i < c.Bins-1; i++ {
+		lr := oqp.Weights[i]
+		switch {
+		case math.IsNaN(lr):
+			lr = 0
+		case lr > MaxLogWeight:
+			lr = MaxLogWeight
+		case lr < -MaxLogWeight:
+			lr = -MaxLogWeight
+		}
+		w[i] = math.Exp(lr)
+	}
+	w[c.Bins-1] = 1
+	return qopt, w, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/distance"
+	"repro/internal/vec"
+)
+
+// QuadraticCodec maps between the quadratic (Mahalanobis-style) distance
+// class of §2 and the module's stored OQPs. The learned parameters are a
+// symmetric weight matrix W; its upper triangle is flattened into the
+// stored weight vector, giving P = Dim·(Dim+1)/2 independent parameters —
+// the 31·32/2 = 496 the paper counts for 31 query dimensions. The paper's
+// experiments stay with weighted Euclidean because feedback rarely yields
+// enough good matches to fit that many parameters (§5), but the class is
+// part of the framework and this codec makes the module serve it.
+//
+// Because the Simplex Tree interpolates stored vectors linearly, a
+// predicted matrix can be indefinite even when every stored matrix is
+// positive semidefinite; DecodeOQP therefore projects onto the PSD cone by
+// clamping eigenvalues at EigenFloor.
+type QuadraticCodec struct {
+	// Dim is the feature dimensionality; features must lie in [0,1]^Dim
+	// (use geom.CoveringSimplex(Dim) as the module's domain).
+	Dim int
+}
+
+// EigenFloor is the smallest eigenvalue a decoded quadratic weight matrix
+// can carry.
+const EigenFloor = 1e-6
+
+// NewQuadraticCodec validates the dimensionality.
+func NewQuadraticCodec(dim int) (QuadraticCodec, error) {
+	if dim < 1 {
+		return QuadraticCodec{}, fmt.Errorf("core: quadratic codec needs dim ≥ 1, got %d", dim)
+	}
+	return QuadraticCodec{Dim: dim}, nil
+}
+
+// D returns the query-domain dimensionality.
+func (c QuadraticCodec) D() int { return c.Dim }
+
+// P returns the number of stored weight parameters, Dim·(Dim+1)/2.
+func (c QuadraticCodec) P() int { return c.Dim * (c.Dim + 1) / 2 }
+
+// DefaultWeights returns the flattened identity matrix — the default
+// (Euclidean) member of the quadratic class.
+func (c QuadraticCodec) DefaultWeights() []float64 {
+	out := make([]float64, c.P())
+	idx := 0
+	for i := 0; i < c.Dim; i++ {
+		for j := i; j < c.Dim; j++ {
+			if i == j {
+				out[idx] = 1
+			}
+			idx++
+		}
+	}
+	return out
+}
+
+// EncodeOQP flattens the loop outcome (optimal point qopt, symmetric
+// weight matrix w) relative to the initial query q.
+func (c QuadraticCodec) EncodeOQP(q, qopt []float64, w *vec.Matrix) (OQP, error) {
+	if len(q) != c.Dim || len(qopt) != c.Dim {
+		return OQP{}, fmt.Errorf("core: expected %d-dimensional points, got %d and %d", c.Dim, len(q), len(qopt))
+	}
+	if w == nil || w.Rows != c.Dim || w.Cols != c.Dim {
+		return OQP{}, fmt.Errorf("core: weight matrix must be %dx%d", c.Dim, c.Dim)
+	}
+	weights := make([]float64, 0, c.P())
+	for i := 0; i < c.Dim; i++ {
+		for j := i; j < c.Dim; j++ {
+			if math.Abs(w.At(i, j)-w.At(j, i)) > 1e-9 {
+				return OQP{}, fmt.Errorf("core: weight matrix asymmetric at (%d,%d)", i, j)
+			}
+			v := w.At(i, j)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return OQP{}, fmt.Errorf("core: weight matrix has non-finite entry at (%d,%d)", i, j)
+			}
+			weights = append(weights, v)
+		}
+	}
+	return OQP{Delta: vec.Sub(qopt, q), Weights: weights}, nil
+}
+
+// DecodeOQP reconstructs the optimal query point and a valid quadratic
+// metric from a (possibly interpolated) OQP: the matrix is rebuilt from
+// the upper triangle and projected onto the PSD cone.
+func (c QuadraticCodec) DecodeOQP(q []float64, oqp OQP) (qopt []float64, m *distance.Quadratic, err error) {
+	if len(q) != c.Dim {
+		return nil, nil, fmt.Errorf("core: query has dimension %d, want %d", len(q), c.Dim)
+	}
+	if len(oqp.Delta) != c.Dim || len(oqp.Weights) != c.P() {
+		return nil, nil, fmt.Errorf("core: OQP dimensions (%d, %d), want (%d, %d)", len(oqp.Delta), len(oqp.Weights), c.Dim, c.P())
+	}
+	qopt = vec.Add(q, oqp.Delta)
+	w := vec.NewMatrix(c.Dim, c.Dim)
+	idx := 0
+	for i := 0; i < c.Dim; i++ {
+		for j := i; j < c.Dim; j++ {
+			v := oqp.Weights[idx]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			w.Set(i, j, v)
+			w.Set(j, i, v)
+			idx++
+		}
+	}
+	projected, err := projectPSD(w, EigenFloor)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err = distance.NewQuadratic(projected)
+	if err != nil {
+		return nil, nil, err
+	}
+	return qopt, m, nil
+}
+
+// projectPSD clamps the eigenvalues of the symmetric matrix w at floor.
+func projectPSD(w *vec.Matrix, floor float64) (*vec.Matrix, error) {
+	e, err := vec.SymmetricEigen(w, 1e-9)
+	if err != nil {
+		return nil, err
+	}
+	needsProjection := false
+	for _, v := range e.Values {
+		if v < floor {
+			needsProjection = true
+			break
+		}
+	}
+	if !needsProjection {
+		return w, nil
+	}
+	n := w.Rows
+	d := vec.NewMatrix(n, n)
+	for i, v := range e.Values {
+		if v < floor {
+			v = floor
+		}
+		d.Set(i, i, v)
+	}
+	out := e.Vectors.Mul(d).Mul(e.Vectors.Transpose())
+	// Symmetrize against rounding.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m := (out.At(i, j) + out.At(j, i)) / 2
+			out.Set(i, j, m)
+			out.Set(j, i, m)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/reduce"
+	"repro/internal/simplextree"
+	"repro/internal/vec"
+)
+
+// ReducedBypass is a FeedbackBypass module whose Simplex Tree lives in a
+// PCA-reduced query domain (the paper's §3 future-work direction, package
+// reduce). Queries are projected to k dimensions before lookup and
+// insertion, while the stored OQPs keep their full dimensionality — the
+// tree learns a mapping [0,1]^k → R^(D+P). Lower k means denser training
+// coverage per region (inserts split into k+1 children instead of D+1) at
+// the cost of collapsing queries that differ only along discarded
+// components.
+type ReducedBypass struct {
+	tree    *simplextree.Tree
+	reducer *reduce.Reducer
+	d, p    int
+}
+
+// NewReduced builds a module over the reducer's k-dimensional domain for
+// OQPs with a D-dimensional offset and P weight parameters.
+func NewReduced(reducer *reduce.Reducer, d, p int, cfg Config) (*ReducedBypass, error) {
+	if reducer == nil {
+		return nil, errors.New("core: nil reducer")
+	}
+	if d <= 0 || p < 0 {
+		return nil, fmt.Errorf("core: invalid dimensions D=%d, P=%d", d, p)
+	}
+	defW := cfg.DefaultWeights
+	if defW == nil {
+		defW = vec.Ones(p)
+	}
+	if len(defW) != p {
+		return nil, fmt.Errorf("core: default weights have dimension %d, want %d", len(defW), p)
+	}
+	def := OQP{Delta: vec.Zeros(d), Weights: vec.Clone(defW)}
+	tree, err := simplextree.New(geom.CoveringSimplex(reducer.K()), def.Encode(), simplextree.Options{
+		Epsilon: cfg.Epsilon,
+		Tol:     cfg.Tol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReducedBypass{tree: tree, reducer: reducer, d: d, p: p}, nil
+}
+
+// D returns the OQP offset dimensionality.
+func (b *ReducedBypass) D() int { return b.d }
+
+// P returns the number of weight parameters.
+func (b *ReducedBypass) P() int { return b.p }
+
+// K returns the reduced query-domain dimensionality.
+func (b *ReducedBypass) K() int { return b.reducer.K() }
+
+// Tree exposes the underlying Simplex Tree.
+func (b *ReducedBypass) Tree() *simplextree.Tree { return b.tree }
+
+// Predict projects the full-dimensional query point and interpolates the
+// OQPs in the reduced domain.
+func (b *ReducedBypass) Predict(q []float64) (OQP, error) {
+	rq, err := b.reducer.Project(q)
+	if err != nil {
+		return OQP{}, err
+	}
+	raw, err := b.tree.Predict(rq)
+	if err != nil {
+		return OQP{}, err
+	}
+	return DecodeOQP(raw, b.d, b.p)
+}
+
+// Insert stores the OQPs observed for the full-dimensional query point q.
+func (b *ReducedBypass) Insert(q []float64, oqp OQP) (bool, error) {
+	if len(oqp.Delta) != b.d || len(oqp.Weights) != b.p {
+		return false, fmt.Errorf("core: OQP dimensions (%d, %d), want (%d, %d)", len(oqp.Delta), len(oqp.Weights), b.d, b.p)
+	}
+	if !vec.IsFinite(oqp.Delta) || !vec.IsFinite(oqp.Weights) {
+		return false, errors.New("core: OQP contains non-finite values")
+	}
+	rq, err := b.reducer.Project(q)
+	if err != nil {
+		return false, err
+	}
+	return b.tree.Insert(rq, oqp.Encode())
+}
+
+// Stats reports the tree shape.
+func (b *ReducedBypass) Stats() simplextree.Stats { return b.tree.Stats() }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/reduce"
+	"repro/internal/vec"
+)
+
+// clusterSamples draws query points from two well-separated clusters on a
+// 2-D manifold inside a high-dimensional space.
+func clusterSamples(rng *rand.Rand, n, dim int) (samples [][]float64, labels []int) {
+	dir := make([]float64, dim)
+	for i := range dir {
+		dir[i] = math.Sin(float64(i + 1))
+	}
+	for s := 0; s < n; s++ {
+		label := s % 2
+		center := 1.0
+		if label == 1 {
+			center = -1.0
+		}
+		v := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			v[i] = center*dir[i] + rng.NormFloat64()*0.05
+		}
+		samples = append(samples, v)
+		labels = append(labels, label)
+	}
+	return samples, labels
+}
+
+func TestNewReducedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples, _ := clusterSamples(rng, 50, 8)
+	red, err := reduce.Fit(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReduced(nil, 8, 8, Config{}); err == nil {
+		t.Error("nil reducer should error")
+	}
+	if _, err := NewReduced(red, 0, 8, Config{}); err == nil {
+		t.Error("D=0 should error")
+	}
+	if _, err := NewReduced(red, 8, 8, Config{DefaultWeights: []float64{1}}); err == nil {
+		t.Error("wrong default weights should error")
+	}
+	b, err := NewReduced(red, 8, 8, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.D() != 8 || b.P() != 8 || b.K() != 2 {
+		t.Errorf("dims: D=%d P=%d K=%d", b.D(), b.P(), b.K())
+	}
+	if b.Tree().Dim() != 2 {
+		t.Errorf("tree dim = %d", b.Tree().Dim())
+	}
+}
+
+func TestReducedPredictDefaultsUntrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples, _ := clusterSamples(rng, 60, 10)
+	red, err := reduce.Fit(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewReduced(red, 10, 10, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oqp, err := b.Predict(samples[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.EqualTol(oqp.Delta, vec.Zeros(10), 1e-9) {
+		t.Errorf("default Δ = %v", oqp.Delta)
+	}
+	if !vec.EqualTol(oqp.Weights, vec.Ones(10), 1e-9) {
+		t.Errorf("default W = %v", oqp.Weights)
+	}
+}
+
+func TestReducedLearningTransfersWithinCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dim := 12
+	samples, labels := clusterSamples(rng, 300, dim)
+	red, err := reduce.Fit(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewReduced(red, dim, dim, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train: cluster 0 gets weight pattern A, cluster 1 pattern B.
+	wA, wB := vec.Ones(dim), vec.Ones(dim)
+	wA[0], wB[1] = 7, 7
+	trained := 0
+	for i := 0; i < 200; i++ {
+		w := wA
+		if labels[i] == 1 {
+			w = wB
+		}
+		changed, err := b.Insert(samples[i], OQP{Delta: vec.Zeros(dim), Weights: w})
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if changed {
+			trained++
+		}
+	}
+	if trained < 10 {
+		t.Fatalf("only %d inserts stored", trained)
+	}
+	// Evaluate on held-out samples: predictions must lean the right way.
+	correct, total := 0, 0
+	for i := 200; i < 300; i++ {
+		oqp, err := b.Predict(samples[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		predA := oqp.Weights[0] > oqp.Weights[1]
+		wantA := labels[i] == 0
+		if predA == wantA {
+			correct++
+		}
+		total++
+	}
+	if correct < total*8/10 {
+		t.Errorf("reduced-domain transfer: %d/%d correct", correct, total)
+	}
+}
+
+func TestReducedInsertValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples, _ := clusterSamples(rng, 40, 6)
+	red, _ := reduce.Fit(samples, 2)
+	b, _ := NewReduced(red, 6, 6, Config{})
+	if _, err := b.Insert(samples[0], OQP{Delta: vec.Zeros(3), Weights: vec.Ones(6)}); err == nil {
+		t.Error("wrong Δ length should error")
+	}
+	if _, err := b.Insert(samples[0], OQP{Delta: vec.Zeros(6), Weights: []float64{math.NaN(), 1, 1, 1, 1, 1}}); err == nil {
+		t.Error("NaN should error")
+	}
+	if _, err := b.Insert([]float64{1}, OQP{Delta: vec.Zeros(6), Weights: vec.Ones(6)}); err == nil {
+		t.Error("wrong query dimension should error")
+	}
+	st := b.Stats()
+	if st.Points != 0 {
+		t.Errorf("failed inserts should not store: %d", st.Points)
+	}
+}

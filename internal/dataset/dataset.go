@@ -1,0 +1,141 @@
+// Package dataset assembles the experimental collection of §5: it renders
+// the synthetic image collection, extracts 32-bin HSV histograms, records
+// category labels, and provides the ground-truth relevance oracle ("for
+// each query image, any image in the same category was considered a good
+// match... regardless of their color similarity").
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/histogram"
+	"repro/internal/imagegen"
+)
+
+// Item is one database object: a feature vector with its category label.
+type Item struct {
+	ID       int
+	Category string
+	Theme    string
+	Feature  []float64 // normalized colour histogram (sums to 1)
+}
+
+// Dataset is the in-memory collection the retrieval engine searches.
+type Dataset struct {
+	Items      []Item
+	Dim        int
+	ByCategory map[string][]int // category → item indices
+	QueryCats  []string         // categories queries are sampled from
+}
+
+// Build generates the collection from cfg and extracts features with the
+// given extractor.
+func Build(cfg imagegen.Config, ex histogram.Extractor) (*Dataset, error) {
+	imgs, err := imagegen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		Dim:        ex.Bins(),
+		ByCategory: make(map[string][]int),
+		QueryCats:  cfg.QueryCategoryNames(),
+	}
+	for _, g := range imgs {
+		feat, err := ex.Extract(g.Image)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: extracting image %d: %w", g.ID, err)
+		}
+		d.ByCategory[g.Category] = append(d.ByCategory[g.Category], len(d.Items))
+		d.Items = append(d.Items, Item{ID: g.ID, Category: g.Category, Theme: g.Theme, Feature: feat})
+	}
+	return d, nil
+}
+
+// FromItems builds a dataset directly from items, for tests and custom
+// collections. Every feature must have the same length.
+func FromItems(items []Item, queryCats []string) (*Dataset, error) {
+	if len(items) == 0 {
+		return nil, errors.New("dataset: no items")
+	}
+	dim := len(items[0].Feature)
+	d := &Dataset{Dim: dim, ByCategory: make(map[string][]int), QueryCats: queryCats}
+	for i, it := range items {
+		if len(it.Feature) != dim {
+			return nil, fmt.Errorf("dataset: item %d has dimension %d, want %d", i, len(it.Feature), dim)
+		}
+		d.ByCategory[it.Category] = append(d.ByCategory[it.Category], i)
+		d.Items = append(d.Items, it)
+	}
+	return d, nil
+}
+
+// Len returns the collection size.
+func (d *Dataset) Len() int { return len(d.Items) }
+
+// Relevant returns the number of items in the given category — the
+// denominator of the recall metric.
+func (d *Dataset) Relevant(category string) int { return len(d.ByCategory[category]) }
+
+// IsGood implements the paper's relevance oracle: item i is a good match
+// for a query from queryCategory iff it belongs to the same category.
+func (d *Dataset) IsGood(i int, queryCategory string) bool {
+	return d.Items[i].Category == queryCategory
+}
+
+// Features returns the feature matrix as a slice of rows (aliasing the
+// item storage; callers must not mutate).
+func (d *Dataset) Features() [][]float64 {
+	out := make([][]float64, len(d.Items))
+	for i := range d.Items {
+		out[i] = d.Items[i].Feature
+	}
+	return out
+}
+
+// SampleQueries draws n item indices uniformly at random from the query
+// categories, without replacement when possible (with replacement once the
+// pool is exhausted). The paper samples queries randomly from the 2,491
+// images of the 7 selected categories.
+func (d *Dataset) SampleQueries(rng *rand.Rand, n int) ([]int, error) {
+	if len(d.QueryCats) == 0 {
+		return nil, errors.New("dataset: no query categories configured")
+	}
+	var pool []int
+	for _, c := range d.QueryCats {
+		pool = append(pool, d.ByCategory[c]...)
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("dataset: query categories contain no items")
+	}
+	out := make([]int, 0, n)
+	perm := rng.Perm(len(pool))
+	for len(out) < n {
+		for _, p := range perm {
+			if len(out) == n {
+				break
+			}
+			out = append(out, pool[p])
+		}
+	}
+	return out, nil
+}
+
+// SampleQueriesFromCategory draws n item indices from one category.
+func (d *Dataset) SampleQueriesFromCategory(rng *rand.Rand, category string, n int) ([]int, error) {
+	pool := d.ByCategory[category]
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("dataset: category %q has no items", category)
+	}
+	out := make([]int, 0, n)
+	for len(out) < n {
+		for _, p := range rng.Perm(len(pool)) {
+			if len(out) == n {
+				break
+			}
+			out = append(out, pool[p])
+		}
+	}
+	return out, nil
+}

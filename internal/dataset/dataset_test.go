@@ -1,0 +1,201 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/imagegen"
+)
+
+func testItems() []Item {
+	return []Item{
+		{ID: 0, Category: "A", Feature: []float64{1, 0}},
+		{ID: 1, Category: "A", Feature: []float64{0.9, 0.1}},
+		{ID: 2, Category: "B", Feature: []float64{0, 1}},
+		{ID: 3, Category: "B", Feature: []float64{0.1, 0.9}},
+		{ID: 4, Category: "C", Feature: []float64{0.5, 0.5}},
+	}
+}
+
+func TestFromItems(t *testing.T) {
+	d, err := FromItems(testItems(), []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 || d.Dim != 2 {
+		t.Errorf("Len=%d Dim=%d", d.Len(), d.Dim)
+	}
+	if d.Relevant("A") != 2 || d.Relevant("C") != 1 || d.Relevant("Z") != 0 {
+		t.Error("Relevant counts wrong")
+	}
+	if !d.IsGood(0, "A") || d.IsGood(2, "A") {
+		t.Error("IsGood oracle wrong")
+	}
+	feats := d.Features()
+	if len(feats) != 5 || feats[4][0] != 0.5 {
+		t.Error("Features view wrong")
+	}
+}
+
+func TestFromItemsValidation(t *testing.T) {
+	if _, err := FromItems(nil, nil); err == nil {
+		t.Error("empty items should error")
+	}
+	bad := testItems()
+	bad[1].Feature = []float64{1}
+	if _, err := FromItems(bad, nil); err == nil {
+		t.Error("ragged features should error")
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	d, _ := FromItems(testItems(), []string{"A", "B"})
+	rng := rand.New(rand.NewSource(1))
+	qs, err := d.SampleQueries(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		cat := d.Items[q].Category
+		if cat != "A" && cat != "B" {
+			t.Fatalf("query %d from non-query category %s", q, cat)
+		}
+	}
+	// Small n samples without replacement: 4 distinct pool items.
+	qs4, _ := d.SampleQueries(rng, 4)
+	seen := map[int]bool{}
+	for _, q := range qs4 {
+		if seen[q] {
+			t.Error("duplicate query before pool exhaustion")
+		}
+		seen[q] = true
+	}
+}
+
+func TestSampleQueriesErrors(t *testing.T) {
+	d, _ := FromItems(testItems(), nil)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := d.SampleQueries(rng, 3); err == nil {
+		t.Error("no query categories should error")
+	}
+	d2, _ := FromItems(testItems(), []string{"Missing"})
+	if _, err := d2.SampleQueries(rng, 3); err == nil {
+		t.Error("empty query pool should error")
+	}
+}
+
+func TestSampleQueriesFromCategory(t *testing.T) {
+	d, _ := FromItems(testItems(), []string{"A"})
+	rng := rand.New(rand.NewSource(2))
+	qs, err := d.SampleQueriesFromCategory(rng, "B", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if d.Items[q].Category != "B" {
+			t.Fatalf("query %d not from B", q)
+		}
+	}
+	if _, err := d.SampleQueriesFromCategory(rng, "Nope", 1); err == nil {
+		t.Error("missing category should error")
+	}
+}
+
+func TestBuildFromGenerator(t *testing.T) {
+	cfg := imagegen.IMSILike(11, 0.02)
+	d, err := Build(cfg, histogram.DefaultExtractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != cfg.TotalCount() {
+		t.Errorf("Len = %d, want %d", d.Len(), cfg.TotalCount())
+	}
+	if d.Dim != 32 {
+		t.Errorf("Dim = %d", d.Dim)
+	}
+	if len(d.QueryCats) != 7 {
+		t.Errorf("QueryCats = %v", d.QueryCats)
+	}
+	for _, it := range d.Items[:5] {
+		var sum float64
+		for _, v := range it.Feature {
+			if v < 0 {
+				t.Fatal("negative bin")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("item %d histogram sum %v", it.ID, sum)
+		}
+	}
+	// ByCategory index is consistent.
+	total := 0
+	for cat, idxs := range d.ByCategory {
+		total += len(idxs)
+		for _, i := range idxs {
+			if d.Items[i].Category != cat {
+				t.Fatalf("index inconsistency for %s", cat)
+			}
+		}
+	}
+	if total != d.Len() {
+		t.Errorf("category index covers %d of %d", total, d.Len())
+	}
+}
+
+func TestBuildInvalidConfig(t *testing.T) {
+	cfg := imagegen.IMSILike(1, 0.02)
+	cfg.ImageW = 0
+	if _, err := Build(cfg, histogram.DefaultExtractor); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestSameCategoryCloserOnAverage(t *testing.T) {
+	// Sanity check of the generator + extractor pipeline: average same-
+	// category distance must be smaller than cross-category distance, but
+	// with enough overlap that retrieval is non-trivial.
+	cfg := imagegen.IMSILike(5, 0.05)
+	d, err := Build(cfg, histogram.DefaultExtractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var same, cross float64
+	var nSame, nCross int
+	for trial := 0; trial < 3000; trial++ {
+		i := rng.Intn(d.Len())
+		j := rng.Intn(d.Len())
+		if i == j {
+			continue
+		}
+		var dist float64
+		for b := range d.Items[i].Feature {
+			diff := d.Items[i].Feature[b] - d.Items[j].Feature[b]
+			dist += diff * diff
+		}
+		dist = math.Sqrt(dist)
+		if d.Items[i].Category == d.Items[j].Category {
+			same += dist
+			nSame++
+		} else {
+			cross += dist
+			nCross++
+		}
+	}
+	if nSame < 20 || nCross < 20 {
+		t.Skip("too few pairs sampled")
+	}
+	avgSame, avgCross := same/float64(nSame), cross/float64(nCross)
+	if avgSame >= avgCross {
+		t.Errorf("same-category avg distance %v not below cross-category %v", avgSame, avgCross)
+	}
+	if avgSame < 0.2*avgCross {
+		t.Errorf("categories too separable (%v vs %v): retrieval would be trivial", avgSame, avgCross)
+	}
+}

@@ -1,0 +1,342 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// metricAxioms exercises symmetry, identity, non-negativity, and the
+// triangle inequality on random vectors.
+func metricAxioms(t *testing.T, m Metric, dim int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	randVec := func() []float64 {
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 5
+		}
+		return v
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randVec(), randVec(), randVec()
+		dab, dba := m.Distance(a, b), m.Distance(b, a)
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Fatalf("%s: asymmetric: %v vs %v", m.Name(), dab, dba)
+		}
+		if dab < 0 {
+			t.Fatalf("%s: negative distance %v", m.Name(), dab)
+		}
+		if daa := m.Distance(a, a); daa > 1e-9 {
+			t.Fatalf("%s: d(a,a) = %v", m.Name(), daa)
+		}
+		dac, dbc := m.Distance(a, c), m.Distance(b, c)
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("%s: triangle violated: d(a,c)=%v > %v + %v", m.Name(), dac, dab, dbc)
+		}
+	}
+}
+
+func TestEuclideanAxiomsAndValue(t *testing.T) {
+	metricAxioms(t, Euclidean{}, 8, 1)
+	if got := (Euclidean{}).Distance([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Errorf("Euclidean = %v", got)
+	}
+	if (Euclidean{}).Name() != "euclidean" {
+		t.Error("name")
+	}
+}
+
+func TestManhattanAxiomsAndValue(t *testing.T) {
+	metricAxioms(t, Manhattan{}, 8, 2)
+	if got := (Manhattan{}).Distance([]float64{0, 0}, []float64{3, 4}); got != 7 {
+		t.Errorf("Manhattan = %v", got)
+	}
+}
+
+func TestChebyshevAxiomsAndValue(t *testing.T) {
+	metricAxioms(t, Chebyshev{}, 8, 3)
+	if got := (Chebyshev{}).Distance([]float64{0, 0}, []float64{3, -4}); got != 4 {
+		t.Errorf("Chebyshev = %v", got)
+	}
+}
+
+func TestLpFamily(t *testing.T) {
+	l2, err := NewLp(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricAxioms(t, l2, 6, 4)
+	a, b := []float64{0, 0}, []float64{3, 4}
+	if got := l2.Distance(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 = %v", got)
+	}
+	l1, _ := NewLp(1)
+	if got := l1.Distance(a, b); math.Abs(got-7) > 1e-12 {
+		t.Errorf("L1 = %v", got)
+	}
+	l3, _ := NewLp(3)
+	metricAxioms(t, l3, 6, 5)
+	want := math.Pow(27+64, 1.0/3.0)
+	if got := l3.Distance(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("L3 = %v, want %v", got, want)
+	}
+	for _, p := range []float64{0.5, 0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewLp(p); err == nil {
+			t.Errorf("NewLp(%v) should fail", p)
+		}
+	}
+}
+
+func TestWeightedEuclideanValidation(t *testing.T) {
+	if _, err := NewWeightedEuclidean(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewWeightedEuclidean([]float64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewWeightedEuclidean([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+	if _, err := NewWeightedEuclidean([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight should fail")
+	}
+	if _, err := NewWeightedEuclidean([]float64{1, 0}); err != nil {
+		t.Error("one zero weight among positive ones is legal (dimension ignored)")
+	}
+}
+
+func TestWeightedEuclideanMatchesFormula(t *testing.T) {
+	m, err := NewWeightedEuclidean([]float64{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d = sqrt(4·(1-0)² + 1·(2-0)²) = sqrt(8)
+	got := m.Distance([]float64{0, 0}, []float64{1, 2})
+	if math.Abs(got-math.Sqrt(8)) > 1e-12 {
+		t.Errorf("weighted = %v", got)
+	}
+	metricAxioms(t, m, 2, 6)
+}
+
+func TestWeightedEuclideanCopiesWeights(t *testing.T) {
+	w := []float64{1, 2}
+	m, _ := NewWeightedEuclidean(w)
+	w[0] = 99
+	if m.Params()[0] != 1 {
+		t.Error("weights should be copied at construction")
+	}
+}
+
+func TestUniformWeightedEqualsEuclidean(t *testing.T) {
+	m := UniformWeighted(4)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		b := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if math.Abs(m.Distance(a, b)-vec.Dist(a, b)) > 1e-12 {
+			t.Fatal("uniform weighted should equal Euclidean")
+		}
+	}
+	if m.Dim() != 4 {
+		t.Errorf("Dim = %d", m.Dim())
+	}
+}
+
+func TestWeightedEuclideanBounds(t *testing.T) {
+	m, _ := NewWeightedEuclidean([]float64{0.25, 4})
+	if m.MinWeight() != 0.25 || m.MaxWeight() != 4 {
+		t.Errorf("bounds = %v, %v", m.MinWeight(), m.MaxWeight())
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		a := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		b := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		l2 := vec.Dist(a, b)
+		d := m.Distance(a, b)
+		lo := math.Sqrt(m.MinWeight()) * l2
+		hi := math.Sqrt(m.MaxWeight()) * l2
+		if d < lo-1e-9 || d > hi+1e-9 {
+			t.Fatalf("weighted distance %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestQuadraticValidation(t *testing.T) {
+	if _, err := NewQuadratic(vec.NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should fail")
+	}
+	asym := vec.MatrixFromRows([][]float64{{1, 2}, {0, 1}})
+	if _, err := NewQuadratic(asym); err == nil {
+		t.Error("asymmetric should fail")
+	}
+}
+
+func TestQuadraticIdentityEqualsEuclidean(t *testing.T) {
+	m, err := NewQuadratic(vec.Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		a := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		b := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if math.Abs(m.Distance(a, b)-vec.Dist(a, b)) > 1e-12 {
+			t.Fatal("identity quadratic should equal Euclidean")
+		}
+	}
+	metricAxioms(t, m, 3, 10)
+}
+
+func TestQuadraticDiagonalEqualsWeighted(t *testing.T) {
+	w := []float64{2, 0.5, 3}
+	diag := vec.NewMatrix(3, 3)
+	for i, x := range w {
+		diag.Set(i, i, x)
+	}
+	q, err := NewQuadratic(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, _ := NewWeightedEuclidean(w)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		a := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		b := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if math.Abs(q.Distance(a, b)-we.Distance(a, b)) > 1e-12 {
+			t.Fatal("diagonal quadratic should equal weighted Euclidean")
+		}
+	}
+}
+
+func TestQuadraticRotatedEllipsoid(t *testing.T) {
+	// W = RᵀΛR for a 45° rotation: correlated quadratic distance (the
+	// "rotated weighted Euclidean" the paper mentions for Mahalanobis).
+	c, s := math.Cos(math.Pi/4), math.Sin(math.Pi/4)
+	r := vec.MatrixFromRows([][]float64{{c, -s}, {s, c}})
+	lambda := vec.MatrixFromRows([][]float64{{4, 0}, {0, 1}})
+	w := r.Transpose().Mul(lambda).Mul(r)
+	m, err := NewQuadratic(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	metricAxioms(t, m, 2, 12)
+	// R maps (c, -s) to e1, the axis with eigenvalue 4, so along that
+	// direction the unit step has distance 2; the orthogonal (c, s)
+	// direction maps to e2 with eigenvalue 1.
+	major := m.Distance([]float64{0, 0}, []float64{c, -s})
+	if math.Abs(major-2) > 1e-9 {
+		t.Errorf("major-axis distance = %v, want 2", major)
+	}
+	minor := m.Distance([]float64{0, 0}, []float64{c, s})
+	if math.Abs(minor-1) > 1e-9 {
+		t.Errorf("minor-axis distance = %v, want 1", minor)
+	}
+}
+
+func TestQuadraticValidateRejectsIndefinite(t *testing.T) {
+	w := vec.MatrixFromRows([][]float64{{1, 0}, {0, -1}})
+	m, err := NewQuadratic(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(1e-12); err == nil {
+		t.Error("indefinite matrix should fail validation")
+	}
+}
+
+func TestQuadraticParamsFlattening(t *testing.T) {
+	w := vec.MatrixFromRows([][]float64{{1, 2}, {2, 3}})
+	m, err := NewQuadratic(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(m.Params(), []float64{1, 2, 2, 3}) {
+		t.Errorf("Params = %v", m.Params())
+	}
+	if m.Matrix().At(1, 0) != 2 {
+		t.Error("Matrix accessor")
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	we := UniformWeighted(2)
+	if _, err := NewHierarchical(nil, nil, nil); err == nil {
+		t.Error("no features should fail")
+	}
+	if _, err := NewHierarchical([]int{2}, []Parameterized{we, we}, []float64{1}); err == nil {
+		t.Error("mismatched metric count should fail")
+	}
+	if _, err := NewHierarchical([]int{0}, []Parameterized{we}, []float64{1}); err == nil {
+		t.Error("zero-length feature should fail")
+	}
+	if _, err := NewHierarchical([]int{2}, []Parameterized{we}, []float64{-1}); err == nil {
+		t.Error("negative feature weight should fail")
+	}
+}
+
+func TestHierarchicalTwoFeatures(t *testing.T) {
+	f1 := UniformWeighted(2)
+	f2, _ := NewWeightedEuclidean([]float64{4})
+	m, err := NewHierarchical([]int{2, 1}, []Parameterized{f1, f2}, []float64{1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 3 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+	a := []float64{0, 0, 0}
+	b := []float64{3, 4, 2}
+	// feature 1: L2 = 5, weight 1; feature 2: sqrt(4·4) = 4, weight 0.5.
+	want := 5.0 + 0.5*4.0
+	if got := m.Distance(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("hierarchical = %v, want %v", got, want)
+	}
+	metricAxioms(t, m, 3, 13)
+	params := m.Params()
+	// 2 feature weights + 2 + 1 per-feature weights.
+	if len(params) != 5 {
+		t.Errorf("Params len = %d", len(params))
+	}
+	if !vec.Equal(m.FeatureWeights(), []float64{1, 0.5}) {
+		t.Errorf("FeatureWeights = %v", m.FeatureWeights())
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"euclidean-via-vec", func() { Euclidean{}.Distance([]float64{1}, []float64{1, 2}) }},
+		{"manhattan", func() { Manhattan{}.Distance([]float64{1}, []float64{1, 2}) }},
+		{"chebyshev", func() { Chebyshev{}.Distance([]float64{1}, []float64{1, 2}) }},
+		{"weighted", func() { UniformWeighted(2).Distance([]float64{1}, []float64{1, 2}) }},
+		{"quadratic", func() {
+			m, _ := NewQuadratic(vec.Identity(2))
+			m.Distance([]float64{1}, []float64{1, 2})
+		}},
+		{"hierarchical", func() {
+			m, _ := NewHierarchical([]int{2}, []Parameterized{UniformWeighted(2)}, []float64{1})
+			m.Distance([]float64{1}, []float64{1, 2})
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}

@@ -1,0 +1,223 @@
+// Package engine implements the interactive retrieval system of §2 and §5:
+// query processing over the image collection, the automatic category-
+// driven relevance oracle, and the feedback loop that iterates until the
+// result list stabilizes ("no changes are observed anymore in the result
+// list"). The engine is the substrate FeedbackBypass plugs into, following
+// the architecture of Figure 4.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/feedback"
+	"repro/internal/knn"
+	"repro/internal/vec"
+	"repro/internal/vptree"
+)
+
+// DefaultMaxIterations bounds the feedback loop. Most queries stabilize in
+// a handful of iterations, but convergence can be slow when precision
+// creeps up one result at a time (§1: "numerous iterations might occur");
+// the bound guards genuinely non-converging trajectories.
+const DefaultMaxIterations = 30
+
+// Engine is an interactive similarity retrieval system over a dataset.
+type Engine struct {
+	ds       *dataset.Dataset
+	scan     *knn.Scan
+	index    *vptree.Tree // optional: Euclidean VP-tree for weighted lower-bound search
+	fb       *feedback.Engine
+	maxIters int
+}
+
+// Options configures an engine.
+type Options struct {
+	// Feedback selects the relevance-feedback strategy; the paper's
+	// default (optimal movement + optimal re-weighting) when zero.
+	Feedback feedback.Options
+	// MaxIterations bounds the feedback loop; DefaultMaxIterations when 0.
+	MaxIterations int
+	// UseIndex answers retrievals through a VP-tree built on the Euclidean
+	// metric, serving the per-query weighted distances exactly via the
+	// √(min wᵢ)·L2 lower bound. At the paper's dimensionality (D = 32)
+	// metric pruning rarely beats a scan — see BenchmarkKNN* — but the
+	// option exercises the index path the paper's query-processing step
+	// describes.
+	UseIndex bool
+	// IndexSeed seeds vantage-point selection when UseIndex is set.
+	IndexSeed int64
+}
+
+// New builds an engine over the dataset. Sequential scan is the default
+// query-processing strategy because the feedback loop changes the metric
+// at every iteration; Options.UseIndex switches to an exact VP-tree path.
+func New(ds *dataset.Dataset, opts Options) (*Engine, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("engine: empty dataset")
+	}
+	if opts.Feedback == (feedback.Options{}) {
+		opts.Feedback = feedback.DefaultOptions()
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = DefaultMaxIterations
+	}
+	if opts.MaxIterations < 1 {
+		return nil, fmt.Errorf("engine: max iterations must be positive, got %d", opts.MaxIterations)
+	}
+	fb, err := feedback.New(opts.Feedback)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := knn.NewScan(ds.Features())
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{ds: ds, scan: scan, fb: fb, maxIters: opts.MaxIterations}
+	if opts.UseIndex {
+		idx, err := vptree.Build(ds.Features(), distance.Euclidean{}, opts.IndexSeed)
+		if err != nil {
+			return nil, err
+		}
+		e.index = idx
+	}
+	return e, nil
+}
+
+// Dataset returns the underlying collection.
+func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
+
+// Retrieve runs the query-processing step: the k nearest items to q under
+// the weighted Euclidean distance with the given weights (uniform weights
+// = the default Euclidean distance of §5).
+func (e *Engine) Retrieve(q, w []float64, k int) ([]knn.Result, error) {
+	m, err := distance.NewWeightedEuclidean(w)
+	if err != nil {
+		return nil, err
+	}
+	if e.index != nil {
+		return e.index.SearchWeighted(q, k, m)
+	}
+	return e.scan.Search(q, k, m)
+}
+
+// Score applies the automatic relevance oracle of §5: an item scores
+// ScoreGood iff it belongs to the query's category.
+func (e *Engine) Score(queryCategory string, results []knn.Result) []float64 {
+	scores := make([]float64, len(results))
+	for i, r := range results {
+		if e.ds.IsGood(r.Index, queryCategory) {
+			scores[i] = feedback.ScoreGood
+		} else {
+			scores[i] = feedback.ScoreBad
+		}
+	}
+	return scores
+}
+
+// GoodCount returns how many results are relevant to the query category.
+func (e *Engine) GoodCount(queryCategory string, results []knn.Result) int {
+	n := 0
+	for _, r := range results {
+		if e.ds.IsGood(r.Index, queryCategory) {
+			n++
+		}
+	}
+	return n
+}
+
+// LoopOutcome summarizes one run of the feedback loop.
+type LoopOutcome struct {
+	// QOpt and WOpt are the converged optimal query parameters.
+	QOpt, WOpt []float64
+	// Iterations counts the feedback cycles performed: each cycle is one
+	// round of user scores, parameter refinement, and re-retrieval. Zero
+	// means the very first refinement left the result list unchanged or no
+	// feedback was available.
+	Iterations int
+	// Retrievals counts database searches, Iterations+1.
+	Retrievals int
+	// FirstResults is the result list of the initial retrieval (what the
+	// user sees before any feedback).
+	FirstResults []knn.Result
+	// FinalResults is the stable result list of Result(Qopt, dopt).
+	FinalResults []knn.Result
+	// Converged is false when the iteration bound stopped the loop.
+	Converged bool
+}
+
+// RunLoop executes the interactive feedback loop of Figure 5 starting from
+// the given query point and weights, using the category oracle in place of
+// the user. It iterates until the result list no longer changes, no good
+// matches are found, or the iteration bound is reached.
+func (e *Engine) RunLoop(queryCategory string, q0, w0 []float64, k int) (LoopOutcome, error) {
+	if k <= 0 {
+		return LoopOutcome{}, fmt.Errorf("engine: k must be positive, got %d", k)
+	}
+	q, w := vec.Clone(q0), vec.Clone(w0)
+	results, err := e.Retrieve(q, w, k)
+	if err != nil {
+		return LoopOutcome{}, err
+	}
+	out := LoopOutcome{FirstResults: results}
+	// The refinement is a deterministic function of the result list, so a
+	// repeated list means the loop has entered a limit cycle and no further
+	// improvement is possible ("stable situation", §5). Track every list
+	// seen to terminate both on fixed points and on longer cycles.
+	seen := map[string]bool{signature(results): true}
+	for iter := 0; iter < e.maxIters; iter++ {
+		scores := e.Score(queryCategory, results)
+		vectors := make([][]float64, len(results))
+		for i, r := range results {
+			vectors[i] = e.ds.Items[r.Index].Feature
+		}
+		newQ, newW, err := e.fb.Refine(q, vectors, scores)
+		if errors.Is(err, feedback.ErrNoGoodMatches) {
+			// Nothing to learn from: the loop terminates with the current
+			// parameters (§5: improvement requires good matches).
+			out.Converged = true
+			break
+		}
+		if err != nil {
+			return LoopOutcome{}, err
+		}
+		newResults, err := e.Retrieve(newQ, newW, k)
+		if err != nil {
+			return LoopOutcome{}, err
+		}
+		q, w = newQ, newW
+		if knn.SameIndexSet(newResults, results) {
+			results = newResults
+			out.Converged = true
+			break
+		}
+		results = newResults
+		out.Iterations++
+		sig := signature(results)
+		if seen[sig] {
+			out.Converged = true
+			break
+		}
+		seen[sig] = true
+	}
+	out.QOpt, out.WOpt = q, w
+	out.FinalResults = results
+	out.Retrievals = out.Iterations + 1
+	return out, nil
+}
+
+// signature encodes a result list's index sequence for cycle detection.
+func signature(results []knn.Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%d,", r.Index)
+	}
+	return b.String()
+}
+
+// UniformWeights returns the all-ones weight vector of the collection's
+// dimensionality — the default distance function.
+func (e *Engine) UniformWeights() []float64 { return vec.Ones(e.ds.Dim) }

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/feedback"
+	"repro/internal/vec"
+)
+
+// clusteredDataset builds a small synthetic collection with two categories
+// separable only on dimension 0, whose gap (0.45 vs 0.55) is small against
+// the uniform noise on dimension 1 — so the default Euclidean ranking mixes
+// the categories and re-weighting genuinely helps.
+func clusteredDataset(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var items []dataset.Item
+	for i := 0; i < n; i++ {
+		cat := "A"
+		base := 0.45
+		if i%2 == 1 {
+			cat = "B"
+			base = 0.55
+		}
+		items = append(items, dataset.Item{
+			ID:       i,
+			Category: cat,
+			Feature:  []float64{base + rng.NormFloat64()*0.02, rng.Float64()},
+		})
+	}
+	ds, err := dataset.FromItems(items, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("nil dataset should error")
+	}
+	ds := clusteredDataset(t, 10, 1)
+	if _, err := New(ds, Options{MaxIterations: -1}); err == nil {
+		t.Error("negative max iterations should error")
+	}
+	e, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dataset() != ds {
+		t.Error("Dataset accessor")
+	}
+	if !vec.Equal(e.UniformWeights(), []float64{1, 1}) {
+		t.Error("UniformWeights")
+	}
+}
+
+func TestRetrieveAndScore(t *testing.T) {
+	ds := clusteredDataset(t, 40, 2)
+	e, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Items[0].Feature // category A
+	rs, err := e.Retrieve(q, e.UniformWeights(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if rs[0].Index != 0 || rs[0].Distance != 0 {
+		t.Errorf("self should be first: %+v", rs[0])
+	}
+	scores := e.Score("A", rs)
+	if scores[0] != feedback.ScoreGood {
+		t.Error("self should be good")
+	}
+	good := e.GoodCount("A", rs)
+	count := 0
+	for _, s := range scores {
+		if s > 0 {
+			count++
+		}
+	}
+	if good != count {
+		t.Errorf("GoodCount %d vs scores %d", good, count)
+	}
+	if _, err := e.Retrieve(q, []float64{-1, 1}, 5); err == nil {
+		t.Error("invalid weights should error")
+	}
+}
+
+func TestRunLoopImprovesPrecision(t *testing.T) {
+	ds := clusteredDataset(t, 200, 3)
+	e, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 20
+	improvedSome := false
+	for qi := 0; qi < 10; qi++ {
+		item := ds.Items[qi]
+		out, err := e.RunLoop(item.Category, item.Feature, e.UniformWeights(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Converged {
+			t.Errorf("query %d did not converge", qi)
+		}
+		if out.Retrievals != out.Iterations+1 {
+			t.Errorf("retrievals %d vs iterations %d", out.Retrievals, out.Iterations)
+		}
+		first := e.GoodCount(item.Category, out.FirstResults)
+		final := e.GoodCount(item.Category, out.FinalResults)
+		if final < first {
+			t.Errorf("query %d: feedback degraded precision %d -> %d", qi, first, final)
+		}
+		if final > first {
+			improvedSome = true
+		}
+		if len(out.QOpt) != 2 || len(out.WOpt) != 2 {
+			t.Errorf("query %d: OQP dims", qi)
+		}
+	}
+	if !improvedSome {
+		t.Error("feedback never improved any query on a noisy dataset")
+	}
+}
+
+func TestRunLoopOptimalWeightsFavorSignalDimension(t *testing.T) {
+	ds := clusteredDataset(t, 300, 4)
+	e, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := ds.Items[0]
+	out, err := e.RunLoop(item.Category, item.Feature, e.UniformWeights(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dimension 0 separates the categories (low variance among good
+	// matches); dimension 1 is noise. The learned weights must reflect it.
+	if out.WOpt[0] <= out.WOpt[1] {
+		t.Errorf("weights = %v: signal dimension not favored", out.WOpt)
+	}
+}
+
+func TestRunLoopStartingFromOptimalConvergesImmediately(t *testing.T) {
+	ds := clusteredDataset(t, 200, 5)
+	e, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := ds.Items[2]
+	k := 15
+	out1, err := e.RunLoop(item.Category, item.Feature, e.UniformWeights(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restart from the converged parameters: no further iterations needed.
+	out2, err := e.RunLoop(item.Category, out1.QOpt, out1.WOpt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Iterations != 0 {
+		t.Errorf("restart took %d iterations, want 0", out2.Iterations)
+	}
+	if out2.Iterations > out1.Iterations {
+		t.Error("restart should not need more cycles than the original loop")
+	}
+}
+
+func TestRunLoopNoGoodMatches(t *testing.T) {
+	ds := clusteredDataset(t, 50, 6)
+	e, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query for a category that exists nowhere near: oracle never fires.
+	out, err := e.RunLoop("Nonexistent", ds.Items[0].Feature, e.UniformWeights(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Iterations != 0 || !out.Converged {
+		t.Errorf("loop without good matches: %+v", out)
+	}
+	if !vec.Equal(out.QOpt, ds.Items[0].Feature) {
+		t.Error("parameters should be unchanged")
+	}
+}
+
+func TestRunLoopKValidation(t *testing.T) {
+	ds := clusteredDataset(t, 20, 7)
+	e, _ := New(ds, Options{})
+	if _, err := e.RunLoop("A", ds.Items[0].Feature, e.UniformWeights(), 0); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestRunLoopIterationBound(t *testing.T) {
+	ds := clusteredDataset(t, 100, 8)
+	e, err := New(ds, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := ds.Items[0]
+	out, err := e.RunLoop(item.Category, item.Feature, e.UniformWeights(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Iterations > 1 {
+		t.Errorf("iterations %d exceeded bound", out.Iterations)
+	}
+}
+
+func TestRunLoopWithRocchioAndMARS(t *testing.T) {
+	ds := clusteredDataset(t, 150, 9)
+	e, err := New(ds, Options{Feedback: feedback.Options{
+		Movement:  feedback.MoveRocchio,
+		Weighting: feedback.WeightMARS,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := ds.Items[1]
+	out, err := e.RunLoop(item.Category, item.Feature, e.UniformWeights(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := e.GoodCount(item.Category, out.FirstResults)
+	final := e.GoodCount(item.Category, out.FinalResults)
+	if final < first {
+		t.Errorf("Rocchio+MARS degraded precision %d -> %d", first, final)
+	}
+}

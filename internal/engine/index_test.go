@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/knn"
+)
+
+// TestIndexedRetrieveMatchesScan verifies that the VP-tree retrieval path
+// returns exactly the scan path's results for arbitrary weighted queries.
+func TestIndexedRetrieveMatchesScan(t *testing.T) {
+	ds := clusteredDataset(t, 300, 21)
+	scanEng, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxEng, err := New(ds, Options{UseIndex: true, IndexSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 25; trial++ {
+		q := ds.Items[rng.Intn(ds.Len())].Feature
+		w := []float64{0.25 + rng.Float64()*4, 0.25 + rng.Float64()*4}
+		k := 1 + rng.Intn(20)
+		a, err := scanEng.Retrieve(q, w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := idxEng.Retrieve(q, w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !knn.SameIndexSet(a, b) {
+			t.Fatalf("trial %d: scan %v vs index %v", trial, knn.Indices(a), knn.Indices(b))
+		}
+	}
+}
+
+// TestIndexedLoopMatchesScanLoop runs full feedback loops through both
+// retrieval paths; identical retrieval results must give identical loops.
+func TestIndexedLoopMatchesScanLoop(t *testing.T) {
+	ds := clusteredDataset(t, 200, 23)
+	scanEng, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxEng, err := New(ds, Options{UseIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 5; qi++ {
+		item := ds.Items[qi]
+		a, err := scanEng.RunLoop(item.Category, item.Feature, scanEng.UniformWeights(), 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := idxEng.RunLoop(item.Category, item.Feature, idxEng.UniformWeights(), 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Iterations != b.Iterations {
+			t.Errorf("query %d: iterations %d vs %d", qi, a.Iterations, b.Iterations)
+		}
+		if !knn.SameIndexSet(a.FinalResults, b.FinalResults) {
+			t.Errorf("query %d: final results differ", qi)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package eval implements the retrieval-effectiveness and efficiency
+// metrics of §5: precision, recall, precision gain, precision-recall
+// curves, and the Saved-Cycles / Saved-Objects measures, together with the
+// running-average series the paper's figures plot.
+package eval
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Precision is the number of retrieved relevant objects over the number of
+// retrieved objects k ([Sal88], §5).
+func Precision(relevantRetrieved, k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("eval: k must be positive, got %d", k)
+	}
+	if relevantRetrieved < 0 || relevantRetrieved > k {
+		return 0, fmt.Errorf("eval: relevant retrieved %d outside [0,%d]", relevantRetrieved, k)
+	}
+	return float64(relevantRetrieved) / float64(k), nil
+}
+
+// Recall is the number of retrieved relevant objects over the total number
+// of relevant objects in the collection (the size of the query's category,
+// §5).
+func Recall(relevantRetrieved, totalRelevant int) (float64, error) {
+	if totalRelevant <= 0 {
+		return 0, fmt.Errorf("eval: total relevant must be positive, got %d", totalRelevant)
+	}
+	if relevantRetrieved < 0 || relevantRetrieved > totalRelevant {
+		return 0, fmt.Errorf("eval: relevant retrieved %d outside [0,%d]", relevantRetrieved, totalRelevant)
+	}
+	return float64(relevantRetrieved) / float64(totalRelevant), nil
+}
+
+// PrecisionGain is the percentage improvement over the Default strategy
+// (Figure 10b):
+//
+//	PrGain = (Pr(method) / Pr(Default) − 1) × 100.
+func PrecisionGain(method, deflt float64) (float64, error) {
+	if deflt <= 0 {
+		return 0, errors.New("eval: default precision must be positive")
+	}
+	return (method/deflt - 1) * 100, nil
+}
+
+// SavedCycles is the average number of feedback iterations saved by
+// starting from predicted instead of default parameters (Figure 15a).
+func SavedCycles(itersFromDefault, itersFromPredicted int) int {
+	return itersFromDefault - itersFromPredicted
+}
+
+// SavedObjects converts saved cycles into the number of objects that did
+// not have to be retrieved: Saved-Objects = Saved-Cycles × k (Figure 15b).
+func SavedObjects(savedCycles, k int) int { return savedCycles * k }
+
+// Running accumulates a running (cumulative) average, the smoothing the
+// paper's learning-curve figures use.
+type Running struct {
+	n   int
+	sum float64
+}
+
+// Add incorporates an observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	r.sum += x
+}
+
+// Mean returns the current average (0 when empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Series is one plotted curve: parallel X and Y slices.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// CumulativeSeries converts per-query observations into the running-average
+// curve sampled every `every` queries (and at the final query).
+func CumulativeSeries(label string, obs []float64, every int) (*Series, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("eval: sampling interval must be positive, got %d", every)
+	}
+	s := &Series{Label: label}
+	var r Running
+	for i, x := range obs {
+		r.Add(x)
+		if (i+1)%every == 0 || i == len(obs)-1 {
+			s.Append(float64(i+1), r.Mean())
+		}
+	}
+	return s, nil
+}
+
+// WindowSeries converts per-query observations into a trailing-window
+// average curve: each sample averages the last `window` observations. The
+// savings figures use this to show improvement over time.
+func WindowSeries(label string, obs []float64, window, every int) (*Series, error) {
+	if window <= 0 || every <= 0 {
+		return nil, fmt.Errorf("eval: window %d and interval %d must be positive", window, every)
+	}
+	s := &Series{Label: label}
+	for i := range obs {
+		if (i+1)%every != 0 && i != len(obs)-1 {
+			continue
+		}
+		lo := i + 1 - window
+		if lo < 0 {
+			lo = 0
+		}
+		var sum float64
+		for j := lo; j <= i; j++ {
+			sum += obs[j]
+		}
+		s.Append(float64(i+1), sum/float64(i-lo+1))
+	}
+	return s, nil
+}
+
+// MeanOf averages a slice (0 for empty input).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,420 @@
+// Package feedback implements the relevance-feedback strategies of §2 of
+// the paper — the machinery FeedbackBypass complements rather than
+// replaces:
+//
+//   - query-point movement: Rocchio's formula [Sal88] and the optimal
+//     score-weighted centroid of Ishikawa et al. [ISF98] (Eq. 2);
+//   - re-weighting for weighted Euclidean distances: the early MARS rule
+//     w_i = 1/σ_i [RHOM98] and the optimal rule w_i ∝ 1/σ_i² [ISF98];
+//   - the optimal quadratic (MindReader) weight matrix W ∝ C⁻¹ for the
+//     generalized ellipsoid distance [ISF98];
+//
+// plus an Engine that composes a movement rule and a weighting rule into
+// the "compute new OQPs given the scores" step of the interactive loop
+// (Figure 5 of the paper).
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/distance"
+	"repro/internal/vec"
+)
+
+// Binary relevance scores (§2: "the user can mark a result object either
+// as good or bad"). Graded or continuous scores are equally valid: any
+// non-negative score works, with 0 meaning irrelevant.
+const (
+	ScoreBad  = 0.0
+	ScoreGood = 1.0
+)
+
+// ErrNoGoodMatches is returned when no result carries a positive score;
+// callers should keep the current query parameters (the paper's engine
+// simply has nothing to learn from such an iteration).
+var ErrNoGoodMatches = errors.New("feedback: no positively scored results")
+
+// MovementRule selects the query-point movement strategy.
+type MovementRule int
+
+const (
+	// MoveNone leaves the query point unchanged.
+	MoveNone MovementRule = iota
+	// MoveOptimal uses the score-weighted centroid of the good matches
+	// (Eq. 2 of the paper, proved optimal in [ISF98]).
+	MoveOptimal
+	// MoveRocchio uses Rocchio's formula with the engine's α, β, γ.
+	MoveRocchio
+)
+
+// String implements fmt.Stringer.
+func (m MovementRule) String() string {
+	switch m {
+	case MoveNone:
+		return "none"
+	case MoveOptimal:
+		return "optimal"
+	case MoveRocchio:
+		return "rocchio"
+	default:
+		return fmt.Sprintf("movement(%d)", int(m))
+	}
+}
+
+// WeightingRule selects the re-weighting strategy.
+type WeightingRule int
+
+const (
+	// WeightNone keeps uniform weights.
+	WeightNone WeightingRule = iota
+	// WeightMARS uses w_i = 1/σ_i (early MARS, [RHOM98]).
+	WeightMARS
+	// WeightOptimal uses w_i ∝ 1/σ_i² (optimal for weighted Euclidean,
+	// [ISF98]).
+	WeightOptimal
+)
+
+// String implements fmt.Stringer.
+func (w WeightingRule) String() string {
+	switch w {
+	case WeightNone:
+		return "none"
+	case WeightMARS:
+		return "mars-1/sigma"
+	case WeightOptimal:
+		return "optimal-1/sigma2"
+	default:
+		return fmt.Sprintf("weighting(%d)", int(w))
+	}
+}
+
+// GoodSubset returns the result vectors with positive scores and their
+// scores.
+func GoodSubset(results [][]float64, scores []float64) (good [][]float64, goodScores []float64, err error) {
+	if len(results) != len(scores) {
+		return nil, nil, fmt.Errorf("feedback: %d results but %d scores", len(results), len(scores))
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return nil, nil, fmt.Errorf("feedback: invalid score %v at %d", s, i)
+		}
+		if s > 0 {
+			good = append(good, results[i])
+			goodScores = append(goodScores, s)
+		}
+	}
+	return good, goodScores, nil
+}
+
+// OptimalQueryPoint computes Eq. 2 of the paper: the score-weighted
+// average of the positively scored results,
+//
+//	q' = Σ_j Score(p_j)·p_j / Σ_j Score(p_j).
+//
+// It returns ErrNoGoodMatches when every score is zero.
+func OptimalQueryPoint(results [][]float64, scores []float64) ([]float64, error) {
+	good, goodScores, err := GoodSubset(results, scores)
+	if err != nil {
+		return nil, err
+	}
+	if len(good) == 0 {
+		return nil, ErrNoGoodMatches
+	}
+	dim := len(good[0])
+	out := make([]float64, dim)
+	var total float64
+	for j, p := range good {
+		if len(p) != dim {
+			return nil, fmt.Errorf("feedback: result %d has dimension %d, want %d", j, len(p), dim)
+		}
+		vec.Axpy(out, goodScores[j], p)
+		total += goodScores[j]
+	}
+	vec.ScaleInPlace(out, 1/total)
+	return out, nil
+}
+
+// Rocchio computes the classic Rocchio update
+//
+//	q' = α·q + β·centroid(good) − γ·centroid(bad)
+//
+// where good results are those with positive scores and bad results those
+// with zero scores. When there are no bad results the γ term vanishes; when
+// there are no good results it returns ErrNoGoodMatches.
+func Rocchio(q []float64, results [][]float64, scores []float64, alpha, beta, gamma float64) ([]float64, error) {
+	if len(results) != len(scores) {
+		return nil, fmt.Errorf("feedback: %d results but %d scores", len(results), len(scores))
+	}
+	good := make([]float64, len(q))
+	bad := make([]float64, len(q))
+	var nGood, nBad int
+	for i, p := range results {
+		if len(p) != len(q) {
+			return nil, fmt.Errorf("feedback: result %d has dimension %d, want %d", i, len(p), len(q))
+		}
+		if scores[i] > 0 {
+			vec.AddInPlace(good, p)
+			nGood++
+		} else {
+			vec.AddInPlace(bad, p)
+			nBad++
+		}
+	}
+	if nGood == 0 {
+		return nil, ErrNoGoodMatches
+	}
+	out := vec.Scale(q, alpha)
+	vec.Axpy(out, beta/float64(nGood), good)
+	if nBad > 0 {
+		vec.Axpy(out, -gamma/float64(nBad), bad)
+	}
+	return out, nil
+}
+
+// WeightedDimensionVariance computes the score-weighted per-dimension
+// variance of the good matches around their score-weighted mean — the σ_i²
+// of the re-weighting formulas.
+func WeightedDimensionVariance(good [][]float64, scores []float64) ([]float64, error) {
+	if len(good) == 0 {
+		return nil, ErrNoGoodMatches
+	}
+	if len(good) != len(scores) {
+		return nil, fmt.Errorf("feedback: %d vectors but %d scores", len(good), len(scores))
+	}
+	dim := len(good[0])
+	mean := make([]float64, dim)
+	var total float64
+	for j, p := range good {
+		if len(p) != dim {
+			return nil, fmt.Errorf("feedback: vector %d has dimension %d, want %d", j, len(p), dim)
+		}
+		vec.Axpy(mean, scores[j], p)
+		total += scores[j]
+	}
+	if total <= 0 {
+		return nil, ErrNoGoodMatches
+	}
+	vec.ScaleInPlace(mean, 1/total)
+	variance := make([]float64, dim)
+	for j, p := range good {
+		for i := range p {
+			d := p[i] - mean[i]
+			variance[i] += scores[j] * d * d
+		}
+	}
+	vec.ScaleInPlace(variance, 1/total)
+	return variance, nil
+}
+
+// Reweight derives weighted-Euclidean weights from the positively scored
+// results according to the rule, flooring each variance at varFloor to
+// keep weights finite on dimensions where the good matches agree exactly.
+// The weights are normalized to geometric mean 1 (the det-1 normalization
+// of MindReader), fixing the one redundant degree of freedom the paper
+// notes in Example 1.
+func Reweight(results [][]float64, scores []float64, rule WeightingRule, varFloor float64) ([]float64, error) {
+	good, goodScores, err := GoodSubset(results, scores)
+	if err != nil {
+		return nil, err
+	}
+	if len(good) == 0 {
+		return nil, ErrNoGoodMatches
+	}
+	if varFloor <= 0 {
+		return nil, fmt.Errorf("feedback: variance floor must be positive, got %v", varFloor)
+	}
+	dim := len(good[0])
+	if rule == WeightNone {
+		return vec.Ones(dim), nil
+	}
+	variance, err := WeightedDimensionVariance(good, goodScores)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]float64, dim)
+	for i, v := range variance {
+		if v < varFloor {
+			v = varFloor
+		}
+		switch rule {
+		case WeightMARS:
+			w[i] = 1 / math.Sqrt(v)
+		case WeightOptimal:
+			w[i] = 1 / v
+		default:
+			return nil, fmt.Errorf("feedback: unknown weighting rule %v", rule)
+		}
+	}
+	return NormalizeGeometricMean(w), nil
+}
+
+// NormalizeGeometricMean rescales positive weights so their geometric mean
+// is 1, leaving the induced distance ordering unchanged.
+func NormalizeGeometricMean(w []float64) []float64 {
+	var logSum float64
+	for _, x := range w {
+		logSum += math.Log(x)
+	}
+	scale := math.Exp(-logSum / float64(len(w)))
+	return vec.Scale(w, scale)
+}
+
+// OptimalQuadraticWeights computes the MindReader weight matrix
+// W ∝ C⁻¹ where C is the score-weighted covariance of the good matches,
+// ridge-regularized (C + ridge·I) so the inverse exists when the number of
+// good matches is below the dimensionality (the situation [RH00] analyzes).
+// The result is scaled to det(W)^(1/D) = 1.
+func OptimalQuadraticWeights(results [][]float64, scores []float64, ridge float64) (*distance.Quadratic, error) {
+	good, goodScores, err := GoodSubset(results, scores)
+	if err != nil {
+		return nil, err
+	}
+	if len(good) == 0 {
+		return nil, ErrNoGoodMatches
+	}
+	if ridge <= 0 {
+		return nil, fmt.Errorf("feedback: ridge must be positive, got %v", ridge)
+	}
+	dim := len(good[0])
+	mean := make([]float64, dim)
+	var total float64
+	for j, p := range good {
+		if len(p) != dim {
+			return nil, fmt.Errorf("feedback: vector %d has dimension %d, want %d", j, len(p), dim)
+		}
+		vec.Axpy(mean, goodScores[j], p)
+		total += goodScores[j]
+	}
+	vec.ScaleInPlace(mean, 1/total)
+	cov := vec.NewMatrix(dim, dim)
+	for j, p := range good {
+		for a := 0; a < dim; a++ {
+			da := goodScores[j] * (p[a] - mean[a])
+			if da == 0 {
+				continue
+			}
+			row := cov.Row(a)
+			for b := 0; b < dim; b++ {
+				row[b] += da * (p[b] - mean[b])
+			}
+		}
+	}
+	for i := range cov.Data {
+		cov.Data[i] /= total
+	}
+	for i := 0; i < dim; i++ {
+		cov.Set(i, i, cov.At(i, i)+ridge)
+	}
+	w, err := vec.Inverse(cov)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: covariance inversion failed: %w", err)
+	}
+	// Symmetrize against rounding, then normalize det to 1.
+	for i := 0; i < dim; i++ {
+		for j := i + 1; j < dim; j++ {
+			m := (w.At(i, j) + w.At(j, i)) / 2
+			w.Set(i, j, m)
+			w.Set(j, i, m)
+		}
+	}
+	det := vec.Det(w)
+	if det > 0 {
+		scale := math.Pow(det, -1/float64(dim))
+		for i := range w.Data {
+			w.Data[i] *= scale
+		}
+	}
+	return distance.NewQuadratic(w)
+}
+
+// Options configures an Engine.
+type Options struct {
+	Movement  MovementRule
+	Weighting WeightingRule
+	// Rocchio coefficients (used only with MoveRocchio). The common
+	// defaults α=1, β=0.75, γ=0.25 are applied when all three are zero.
+	Alpha, Beta, Gamma float64
+	// VarianceFloor bounds 1/σ² weights; defaults to 1e-6 when zero.
+	VarianceFloor float64
+	// NormalizeQuery clamps the moved query point at zero and rescales it
+	// to unit component sum after each movement step. Rocchio's update is
+	// not a convex combination, so iterating it grows the query's mass
+	// without bound on histogram features; normalized Rocchio is the
+	// standard remedy [Sal88]. The optimal movement rule (Eq. 2) is a
+	// convex combination of normalized vectors and never needs this.
+	NormalizeQuery bool
+}
+
+// Engine composes a movement rule and a weighting rule into the feedback
+// step of the interactive loop.
+type Engine struct {
+	opts Options
+}
+
+// DefaultOptions is the configuration the paper's experiments use: optimal
+// query-point movement plus optimal 1/σ² re-weighting.
+func DefaultOptions() Options {
+	return Options{Movement: MoveOptimal, Weighting: WeightOptimal}
+}
+
+// New validates the options and returns an engine.
+func New(opts Options) (*Engine, error) {
+	if opts.Movement < MoveNone || opts.Movement > MoveRocchio {
+		return nil, fmt.Errorf("feedback: unknown movement rule %d", opts.Movement)
+	}
+	if opts.Weighting < WeightNone || opts.Weighting > WeightOptimal {
+		return nil, fmt.Errorf("feedback: unknown weighting rule %d", opts.Weighting)
+	}
+	if opts.Alpha == 0 && opts.Beta == 0 && opts.Gamma == 0 {
+		opts.Alpha, opts.Beta, opts.Gamma = 1, 0.75, 0.25
+	}
+	if opts.VarianceFloor == 0 {
+		opts.VarianceFloor = 1e-6
+	}
+	if opts.VarianceFloor < 0 {
+		return nil, fmt.Errorf("feedback: negative variance floor %v", opts.VarianceFloor)
+	}
+	return &Engine{opts: opts}, nil
+}
+
+// Name describes the engine configuration.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("move=%s,weight=%s", e.opts.Movement, e.opts.Weighting)
+}
+
+// Refine computes the next query point and weight vector from the scored
+// results of the current iteration. It returns ErrNoGoodMatches — with the
+// inputs echoed back unchanged — when no result was marked relevant.
+func (e *Engine) Refine(q []float64, results [][]float64, scores []float64) (newQ []float64, weights []float64, err error) {
+	good, _, err := GoodSubset(results, scores)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(good) == 0 {
+		return vec.Clone(q), vec.Ones(len(q)), ErrNoGoodMatches
+	}
+	switch e.opts.Movement {
+	case MoveNone:
+		newQ = vec.Clone(q)
+	case MoveOptimal:
+		newQ, err = OptimalQueryPoint(results, scores)
+	case MoveRocchio:
+		newQ, err = Rocchio(q, results, scores, e.opts.Alpha, e.opts.Beta, e.opts.Gamma)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.opts.NormalizeQuery {
+		clamped := vec.Clamp(newQ, 0, math.Inf(1))
+		if normalized, nerr := vec.Normalize(clamped); nerr == nil {
+			newQ = normalized
+		}
+	}
+	weights, err = Reweight(results, scores, e.opts.Weighting, e.opts.VarianceFloor)
+	if err != nil {
+		return nil, nil, err
+	}
+	return newQ, weights, nil
+}

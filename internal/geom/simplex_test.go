@@ -1,0 +1,430 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestNewSimplexValidation(t *testing.T) {
+	if _, err := NewSimplex(nil); err == nil {
+		t.Error("empty vertex list should error")
+	}
+	if _, err := NewSimplex([][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Error("2 vertices of dim 2 should error (want dim 1)")
+	}
+	s, err := NewSimplex([][]float64{{0, 0}, {1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 {
+		t.Errorf("Dim = %d", s.Dim())
+	}
+}
+
+func TestStandardSimplex(t *testing.T) {
+	s := StandardSimplex(3)
+	if s.Dim() != 3 || len(s.Vertices()) != 4 {
+		t.Fatalf("unexpected shape: dim=%d verts=%d", s.Dim(), len(s.Vertices()))
+	}
+	if !vec.Equal(s.Vertex(0), []float64{0, 0, 0}) {
+		t.Errorf("v0 = %v", s.Vertex(0))
+	}
+	if !vec.Equal(s.Vertex(2), []float64{0, 1, 0}) {
+		t.Errorf("v2 = %v", s.Vertex(2))
+	}
+	// Normalized-histogram prefix vectors are inside.
+	if !s.Contains([]float64{0.2, 0.3, 0.1}, DefaultTol) {
+		t.Error("histogram point should be inside standard simplex")
+	}
+	if s.Contains([]float64{0.5, 0.6, 0.2}, DefaultTol) {
+		t.Error("point with sum > 1 should be outside")
+	}
+}
+
+func TestCoveringSimplexCoversUnitCube(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		s := CoveringSimplex(d)
+		rng := rand.New(rand.NewSource(int64(d)))
+		for trial := 0; trial < 50; trial++ {
+			q := make([]float64, d)
+			for i := range q {
+				q[i] = rng.Float64()
+			}
+			if !s.Contains(q, DefaultTol) {
+				t.Fatalf("d=%d: cube point %v outside covering simplex", d, q)
+			}
+		}
+		// The all-ones corner is the extreme case.
+		ones := vec.Ones(d)
+		if !s.Contains(ones, DefaultTol) {
+			t.Fatalf("d=%d: corner of cube outside covering simplex", d)
+		}
+	}
+}
+
+func TestBarycentricKnown2D(t *testing.T) {
+	s := StandardSimplex(2) // vertices (0,0), (1,0), (0,1)
+	lam, err := s.Barycentric([]float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.25, 0.5}
+	if !vec.EqualTol(lam, want, 1e-12) {
+		t.Errorf("λ = %v, want %v", lam, want)
+	}
+}
+
+func TestBarycentricDimensionMismatch(t *testing.T) {
+	s := StandardSimplex(2)
+	if _, err := s.Barycentric([]float64{1}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestBarycentricDegenerateSimplex(t *testing.T) {
+	// Three collinear points: no unique barycentric coordinates.
+	s, err := NewSimplex([][]float64{{0, 0}, {1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Barycentric([]float64{0.5, 0.5}); err == nil {
+		t.Error("expected degenerate error for collinear vertices")
+	}
+	if s.Contains([]float64{0.5, 0.5}, DefaultTol) {
+		t.Error("degenerate simplex should contain nothing")
+	}
+}
+
+// Property: coordinates sum to 1 and reconstruct the point.
+func TestBarycentricRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{1, 2, 3, 5, 8, 15, 31} {
+		s := StandardSimplex(d)
+		for trial := 0; trial < 10; trial++ {
+			q := make([]float64, d)
+			for i := range q {
+				q[i] = rng.Float64() * 2 / float64(d) // mixture of in/out points
+			}
+			lam, err := s.Barycentric(q)
+			if err != nil {
+				t.Fatalf("d=%d: %v", d, err)
+			}
+			if math.Abs(vec.Sum(lam)-1) > 1e-9 {
+				t.Fatalf("d=%d: Σλ = %v", d, vec.Sum(lam))
+			}
+			back, err := s.FromBarycentric(lam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !vec.EqualTol(back, q, 1e-9) {
+				t.Fatalf("d=%d: round trip %v -> %v", d, q, back)
+			}
+		}
+	}
+}
+
+func TestBarycentricAtVertices(t *testing.T) {
+	s := StandardSimplex(4)
+	for i, v := range s.Vertices() {
+		lam, err := s.Barycentric(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, l := range lam {
+			want := 0.0
+			if j == i {
+				want = 1.0
+			}
+			if math.Abs(l-want) > 1e-10 {
+				t.Fatalf("vertex %d: λ[%d] = %v, want %v", i, j, l, want)
+			}
+		}
+	}
+}
+
+func TestFromBarycentricLengthCheck(t *testing.T) {
+	s := StandardSimplex(2)
+	if _, err := s.FromBarycentric([]float64{1}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	// Standard simplex in R^d has volume 1/d!.
+	for d := 1; d <= 6; d++ {
+		s := StandardSimplex(d)
+		fact := 1.0
+		for k := 2; k <= d; k++ {
+			fact *= float64(k)
+		}
+		if got := s.Volume(); math.Abs(got-1/fact) > 1e-12 {
+			t.Errorf("d=%d: Volume = %v, want %v", d, got, 1/fact)
+		}
+	}
+	// Degenerate simplex has zero volume.
+	s, _ := NewSimplex([][]float64{{0, 0}, {1, 1}, {2, 2}})
+	if got := s.Volume(); got != 0 {
+		t.Errorf("degenerate Volume = %v", got)
+	}
+}
+
+func TestSplitPartitionsVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []int{2, 3, 4, 6} {
+		s := StandardSimplex(d)
+		w := make([]float64, d+1)
+		for i := range w {
+			w[i] = 0.1 + rng.Float64()
+		}
+		p, err := s.RandomInteriorPoint(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children, replaced, mu, err := s.Split(p, DefaultTol)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if len(children) != d+1 {
+			t.Fatalf("d=%d: interior split should give %d children, got %d", d, d+1, len(children))
+		}
+		if len(replaced) != len(children) {
+			t.Fatalf("replaced list mismatch")
+		}
+		var total float64
+		for _, c := range children {
+			total += c.Volume()
+		}
+		if math.Abs(total-s.Volume()) > 1e-9 {
+			t.Errorf("d=%d: child volumes sum %v, parent %v", d, total, s.Volume())
+		}
+		if math.Abs(vec.Sum(mu)-1) > 1e-9 {
+			t.Errorf("d=%d: Σμ = %v", d, vec.Sum(mu))
+		}
+	}
+}
+
+func TestSplitChildVolumeProportionalToMu(t *testing.T) {
+	s := StandardSimplex(3)
+	p := []float64{0.2, 0.3, 0.1} // interior, μ = (0.4, 0.2, 0.3, 0.1)
+	children, replaced, mu, err := s.Split(p, DefaultTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentVol := s.Volume()
+	for i, c := range children {
+		want := mu[replaced[i]] * parentVol
+		if math.Abs(c.Volume()-want) > 1e-12 {
+			t.Errorf("child %d: volume %v, want μ_h·V = %v", i, c.Volume(), want)
+		}
+	}
+}
+
+func TestSplitRejectsExteriorAndVertexPoints(t *testing.T) {
+	s := StandardSimplex(2)
+	if _, _, _, err := s.Split([]float64{0.9, 0.9}, DefaultTol); err == nil {
+		t.Error("exterior point should not split")
+	}
+	if _, _, _, err := s.Split([]float64{0, 0}, DefaultTol); err == nil {
+		t.Error("vertex point should not split")
+	}
+	if _, _, _, err := s.Split([]float64{1, 0}, DefaultTol); err == nil {
+		t.Error("vertex point should not split")
+	}
+}
+
+func TestSplitFacetPointSkipsDegenerateChild(t *testing.T) {
+	s := StandardSimplex(2)
+	// Point on the edge between v1=(1,0) and v2=(0,1): μ0 = 0.
+	p := []float64{0.5, 0.5}
+	children, replaced, _, err := s.Split(p, DefaultTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) != 2 {
+		t.Fatalf("facet split should give 2 children, got %d", len(children))
+	}
+	for _, h := range replaced {
+		if h == 0 {
+			t.Error("child replacing v0 should have been skipped (degenerate)")
+		}
+	}
+	var total float64
+	for _, c := range children {
+		total += c.Volume()
+	}
+	if math.Abs(total-s.Volume()) > 1e-12 {
+		t.Errorf("facet split children volumes %v != parent %v", total, s.Volume())
+	}
+}
+
+func TestChildBarycentricMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, d := range []int{2, 3, 5, 10} {
+		s := StandardSimplex(d)
+		w := make([]float64, d+1)
+		for i := range w {
+			w[i] = 0.2 + rng.Float64()
+		}
+		p, err := s.RandomInteriorPoint(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children, replaced, mu, err := s.Split(p, DefaultTol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := make([]float64, d)
+			for i := range q {
+				q[i] = rng.Float64() / float64(d)
+			}
+			lam, err := s.Barycentric(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci, c := range children {
+				h := replaced[ci]
+				nu, ok := ChildBarycentric(lam, mu, h, DefaultTol)
+				if !ok {
+					t.Fatalf("d=%d: ChildBarycentric rejected non-degenerate child", d)
+				}
+				direct, err := c.Barycentric(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !vec.EqualTol(nu, direct, 1e-8) {
+					t.Fatalf("d=%d child %d: incremental %v vs direct %v", d, h, nu, direct)
+				}
+			}
+		}
+	}
+}
+
+func TestChildBarycentricExactlyOneContainingChild(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := 4
+	s := StandardSimplex(d)
+	p, err := s.RandomInteriorPoint(vec.Ones(d + 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, replaced, mu, err := s.Split(p, DefaultTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		// Random interior point of the parent.
+		w := make([]float64, d+1)
+		for i := range w {
+			w[i] = 0.05 + rng.Float64()
+		}
+		q, err := s.RandomInteriorPoint(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam, err := s.Barycentric(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		containing := 0
+		for _, h := range replaced {
+			nu, ok := ChildBarycentric(lam, mu, h, DefaultTol)
+			if ok && AllNonNegative(nu, DefaultTol) {
+				containing++
+			}
+		}
+		if containing < 1 {
+			t.Fatalf("trial %d: no child contains interior point %v", trial, q)
+		}
+		// Points on internal boundaries may be claimed by several children;
+		// random interior points should almost always be claimed by one.
+		if containing > 2 {
+			t.Fatalf("trial %d: %d children claim point %v", trial, containing, q)
+		}
+	}
+}
+
+func TestChildBarycentricDegenerateAndBadInput(t *testing.T) {
+	lam := []float64{0.3, 0.3, 0.4}
+	mu := []float64{0, 0.5, 0.5}
+	if _, ok := ChildBarycentric(lam, mu, 0, DefaultTol); ok {
+		t.Error("degenerate child should be rejected")
+	}
+	if _, ok := ChildBarycentric(lam, mu, 5, DefaultTol); ok {
+		t.Error("out-of-range h should be rejected")
+	}
+	if _, ok := ChildBarycentric([]float64{1}, mu, 1, DefaultTol); ok {
+		t.Error("length mismatch should be rejected")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	s := StandardSimplex(2)
+	c := s.Centroid()
+	want := []float64{1.0 / 3.0, 1.0 / 3.0}
+	if !vec.EqualTol(c, want, 1e-12) {
+		t.Errorf("Centroid = %v, want %v", c, want)
+	}
+	if !s.Contains(c, DefaultTol) {
+		t.Error("centroid must be inside")
+	}
+}
+
+func TestRandomInteriorPointValidation(t *testing.T) {
+	s := StandardSimplex(2)
+	if _, err := s.RandomInteriorPoint([]float64{1, 1}); err == nil {
+		t.Error("wrong weight count should error")
+	}
+	if _, err := s.RandomInteriorPoint([]float64{1, -1, 1}); err == nil {
+		t.Error("non-positive weight should error")
+	}
+	p, err := s.RandomInteriorPoint([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(p, DefaultTol) {
+		t.Error("interior point must be contained")
+	}
+}
+
+func TestContainsBoundary(t *testing.T) {
+	s := StandardSimplex(2)
+	// Vertices and edge midpoints are boundary points: contained.
+	for _, q := range [][]float64{{0, 0}, {1, 0}, {0, 1}, {0.5, 0}, {0, 0.5}, {0.5, 0.5}} {
+		if !s.Contains(q, DefaultTol) {
+			t.Errorf("boundary point %v should be contained", q)
+		}
+	}
+	for _, q := range [][]float64{{-0.01, 0}, {1.01, 0}, {0.6, 0.6}} {
+		if s.Contains(q, DefaultTol) {
+			t.Errorf("exterior point %v should not be contained", q)
+		}
+	}
+}
+
+func TestHighDimensionalBarycentric31(t *testing.T) {
+	// D = 31 is the paper's operating point; ensure the solve is stable.
+	d := 31
+	s := StandardSimplex(d)
+	q := make([]float64, d)
+	for i := range q {
+		q[i] = 1 / float64(d+5)
+	}
+	lam, err := s.Barycentric(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllNonNegative(lam, DefaultTol) {
+		t.Error("interior histogram point must have non-negative coordinates")
+	}
+	back, err := s.FromBarycentric(lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.EqualTol(back, q, 1e-9) {
+		t.Error("31-dimensional round trip failed")
+	}
+}

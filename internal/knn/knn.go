@@ -1,0 +1,165 @@
+// Package knn implements the "query processing" step of §2: given a query
+// point and a distance function, return the k closest database objects.
+// It provides a Searcher interface with a sequential-scan implementation;
+// packages vptree and mtree provide index-accelerated implementations for
+// fixed metrics (the paper cites X-trees and M-trees for this role).
+package knn
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/distance"
+)
+
+// Result is one retrieved object.
+type Result struct {
+	Index    int     // position in the collection
+	Distance float64 // distance to the query
+}
+
+// Searcher answers k-nearest-neighbour queries over a fixed collection.
+type Searcher interface {
+	// Search returns the k items closest to q under m, ordered by
+	// ascending distance (ties broken by ascending index, making results
+	// deterministic). Fewer than k results are returned only when the
+	// collection is smaller than k.
+	Search(q []float64, k int, m distance.Metric) ([]Result, error)
+	// Len returns the collection size.
+	Len() int
+}
+
+// Scan is the exact sequential-scan searcher: it supports *any* metric,
+// including the per-query re-weighted distances of the feedback loop,
+// which fixed-metric indexes cannot serve directly.
+type Scan struct {
+	data [][]float64
+}
+
+// NewScan builds a scan searcher over the given vectors (aliased, not
+// copied).
+func NewScan(data [][]float64) (*Scan, error) {
+	if len(data) == 0 {
+		return nil, errors.New("knn: empty collection")
+	}
+	dim := len(data[0])
+	for i, v := range data {
+		if len(v) != dim {
+			return nil, fmt.Errorf("knn: vector %d has dimension %d, want %d", i, len(v), dim)
+		}
+	}
+	return &Scan{data: data}, nil
+}
+
+// Len implements Searcher.
+func (s *Scan) Len() int { return len(s.data) }
+
+// Search implements Searcher.
+func (s *Scan) Search(q []float64, k int, m distance.Metric) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: k must be positive, got %d", k)
+	}
+	if len(q) != len(s.data[0]) {
+		return nil, fmt.Errorf("knn: query has dimension %d, want %d", len(q), len(s.data[0]))
+	}
+	h := NewTopK(k)
+	for i, v := range s.data {
+		h.Offer(i, m.Distance(q, v))
+	}
+	return h.Results(), nil
+}
+
+// TopK maintains the k smallest (distance, index) pairs seen so far using
+// a bounded max-heap. It is shared by all Searcher implementations.
+type TopK struct {
+	k int
+	h resultMaxHeap
+}
+
+// NewTopK returns an accumulator for the k nearest results.
+func NewTopK(k int) *TopK {
+	return &TopK{k: k, h: make(resultMaxHeap, 0, k+1)}
+}
+
+// Offer considers a candidate.
+func (t *TopK) Offer(index int, dist float64) {
+	if len(t.h) < t.k {
+		heap.Push(&t.h, Result{Index: index, Distance: dist})
+		return
+	}
+	if worse(Result{Index: index, Distance: dist}, t.h[0]) {
+		return
+	}
+	t.h[0] = Result{Index: index, Distance: dist}
+	heap.Fix(&t.h, 0)
+}
+
+// Bound returns the current k-th smallest distance, or +Inf semantics via
+// ok=false when fewer than k candidates have been offered. Index pruning
+// in tree searchers uses this radius.
+func (t *TopK) Bound() (float64, bool) {
+	if len(t.h) < t.k {
+		return 0, false
+	}
+	return t.h[0].Distance, true
+}
+
+// Results returns the accumulated results sorted by ascending distance,
+// ties broken by ascending index.
+func (t *TopK) Results() []Result {
+	out := make([]Result, len(t.h))
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	return out
+}
+
+// worse reports whether a is strictly worse (farther, then higher index)
+// than b.
+func worse(a, b Result) bool {
+	if a.Distance != b.Distance {
+		return a.Distance > b.Distance
+	}
+	return a.Index > b.Index
+}
+
+// resultMaxHeap is a max-heap on (distance, index) so the root is the
+// current worst retained result.
+type resultMaxHeap []Result
+
+func (h resultMaxHeap) Len() int            { return len(h) }
+func (h resultMaxHeap) Less(i, j int) bool  { return worse(h[i], h[j]) }
+func (h resultMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultMaxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Indices extracts the index sequence of a result list.
+func Indices(rs []Result) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.Index
+	}
+	return out
+}
+
+// SameIndexSet reports whether two result lists contain exactly the same
+// indices in the same order — the feedback loop's convergence test ("no
+// changes are observed anymore in the result list", §5).
+func SameIndexSet(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index {
+			return false
+		}
+	}
+	return true
+}

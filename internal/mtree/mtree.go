@@ -1,0 +1,469 @@
+// Package mtree implements an M-tree [CPZ97], the dynamic metric access
+// method the paper cites for the query-processing step of §2. Objects are
+// inserted one at a time; internal nodes hold routing entries (a pivot
+// object, a covering radius, and the distance to the parent pivot) that
+// support triangle-inequality pruning during k-NN search.
+//
+// The implementation follows the original design choices:
+//
+//   - insertion descends into the subtree whose pivot is closest (picking
+//     the smallest radius enlargement on ties outside all radii);
+//   - overflowing nodes split with mM_RAD promotion (choose the pair of
+//     pivots minimizing the larger covering radius) over a bounded
+//     candidate sample, and generalized-hyperplane partition;
+//   - k-NN search uses a priority queue on lower-bound distances with the
+//     d(parent, q) shortcut test that skips distance computations.
+package mtree
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/distance"
+	"repro/internal/knn"
+)
+
+// Tree is a dynamic M-tree over vectors with a fixed metric.
+type Tree struct {
+	metric   distance.Metric
+	capacity int
+	dim      int
+	root     *node
+	size     int
+	objects  [][]float64 // objects by insertion index
+
+	lastDistCalls int
+}
+
+// entry is a routing (internal) or object (leaf) entry.
+type entry struct {
+	obj     int     // index into Tree.objects
+	dParent float64 // distance to the parent routing pivot
+	radius  float64 // covering radius (routing entries only)
+	child   *node   // subtree (routing entries only)
+}
+
+type node struct {
+	leaf    bool
+	entries []*entry
+	parent  *node
+	// parentEntry is the routing entry in parent that points to this node.
+	parentEntry *entry
+}
+
+// DefaultCapacity is the default maximum number of entries per node.
+const DefaultCapacity = 16
+
+// New creates an empty M-tree for vectors of the given dimensionality.
+// capacity ≤ 1 selects DefaultCapacity.
+func New(dim int, m distance.Metric, capacity int) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("mtree: invalid dimension %d", dim)
+	}
+	if capacity <= 1 {
+		capacity = DefaultCapacity
+	}
+	return &Tree{
+		metric:   m,
+		capacity: capacity,
+		dim:      dim,
+		root:     &node{leaf: true},
+	}, nil
+}
+
+// BuildFrom creates a tree and inserts every vector, returning the tree.
+func BuildFrom(data [][]float64, m distance.Metric, capacity int) (*Tree, error) {
+	if len(data) == 0 {
+		return nil, errors.New("mtree: empty collection")
+	}
+	t, err := New(len(data[0]), m, capacity)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range data {
+		if err := t.Insert(v); err != nil {
+			return nil, fmt.Errorf("mtree: inserting vector %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of stored objects.
+func (t *Tree) Len() int { return t.size }
+
+// Metric returns the tree's metric.
+func (t *Tree) Metric() distance.Metric { return t.metric }
+
+// LastDistanceCalls reports metric evaluations in the last Search.
+func (t *Tree) LastDistanceCalls() int { return t.lastDistCalls }
+
+// Insert adds a vector to the tree. The vector is aliased, not copied.
+func (t *Tree) Insert(v []float64) error {
+	if len(v) != t.dim {
+		return fmt.Errorf("mtree: vector has dimension %d, want %d", len(v), t.dim)
+	}
+	idx := len(t.objects)
+	t.objects = append(t.objects, v)
+	t.size++
+
+	n := t.chooseLeaf(t.root, v)
+	e := &entry{obj: idx}
+	if n.parentEntry != nil {
+		e.dParent = t.metric.Distance(v, t.objects[n.parentEntry.obj])
+	}
+	n.entries = append(n.entries, e)
+	t.ensureCovers(n, e)
+	if len(n.entries) > t.capacity {
+		t.split(n)
+	}
+	return nil
+}
+
+// chooseLeaf descends to the leaf whose pivots are closest to v.
+func (t *Tree) chooseLeaf(n *node, v []float64) *node {
+	for !n.leaf {
+		var best *entry
+		bestKey := math.Inf(1)
+		bestEnl := math.Inf(1)
+		for _, e := range n.entries {
+			d := t.metric.Distance(v, t.objects[e.obj])
+			if d <= e.radius {
+				// Inside a covering ball: prefer the closest such pivot
+				// (bestEnl is +Inf until a ball has matched).
+				if bestEnl > 0 || d < bestKey {
+					best, bestKey, bestEnl = e, d, 0
+				}
+			} else if bestEnl > 0 {
+				// Outside every ball so far: prefer the smallest
+				// enlargement d − radius.
+				if enl := d - e.radius; enl < bestEnl {
+					best, bestKey, bestEnl = e, d, enl
+				}
+			}
+		}
+		n = best.child
+	}
+	return n
+}
+
+// ensureCovers maintains the nested-ball invariant upward from entry ce
+// housed in node cur: every routing ball must contain the ball of each of
+// its child entries (d(child pivot, pivot) + child radius ≤ radius). The
+// walk stops as soon as an ancestor already covers the grown ball, since
+// coverage above it is then unchanged. The invariant is slightly
+// conservative compared to the minimal M-tree radii but keeps pruning
+// admissible and is cheap to maintain and to validate.
+func (t *Tree) ensureCovers(cur *node, ce *entry) {
+	for cur.parentEntry != nil {
+		pe := cur.parentEntry
+		need := t.metric.Distance(t.objects[ce.obj], t.objects[pe.obj]) + ce.radius
+		if need <= pe.radius {
+			return
+		}
+		pe.radius = need
+		cur, ce = cur.parent, pe
+	}
+}
+
+// split handles node overflow: promote two pivots, partition the entries,
+// and push a new routing entry into the parent (splitting it recursively
+// when it overflows too).
+func (t *Tree) split(n *node) {
+	entries := n.entries
+	p1, p2 := t.promote(entries)
+
+	n1 := &node{leaf: n.leaf}
+	n2 := &node{leaf: n.leaf}
+	r1, r2 := t.partition(entries, p1, p2, n1, n2)
+
+	e1 := &entry{obj: p1, radius: r1, child: n1}
+	e2 := &entry{obj: p2, radius: r2, child: n2}
+	n1.parentEntry = e1
+	n2.parentEntry = e2
+
+	if n.parent == nil {
+		// Root split: the tree grows one level.
+		root := &node{leaf: false, entries: []*entry{e1, e2}}
+		n1.parent = root
+		n2.parent = root
+		t.root = root
+		return
+	}
+
+	parent := n.parent
+	n1.parent = parent
+	n2.parent = parent
+	// Replace n's routing entry with e1 and append e2.
+	for i, e := range parent.entries {
+		if e == n.parentEntry {
+			parent.entries[i] = e1
+			break
+		}
+	}
+	parent.entries = append(parent.entries, e2)
+	// Recompute parent distances for the two new routing entries.
+	if parent.parentEntry != nil {
+		pp := t.objects[parent.parentEntry.obj]
+		e1.dParent = t.metric.Distance(t.objects[e1.obj], pp)
+		e2.dParent = t.metric.Distance(t.objects[e2.obj], pp)
+	}
+	// Growing radii up the path keeps ancestors covering both pivots'
+	// balls.
+	t.ensureCovers(parent, e1)
+	t.ensureCovers(parent, e2)
+	if len(parent.entries) > t.capacity {
+		t.split(parent)
+	}
+}
+
+// promote selects two pivot objects with the mM_RAD heuristic over a
+// bounded candidate sample: the pair minimizing the larger of the two
+// covering radii after a hyperplane partition.
+func (t *Tree) promote(entries []*entry) (int, int) {
+	// Bounded sampling keeps promotion O(c²·n) with a small constant.
+	const maxCandidates = 8
+	step := 1
+	if len(entries) > maxCandidates {
+		step = len(entries) / maxCandidates
+	}
+	var cands []int
+	for i := 0; i < len(entries); i += step {
+		cands = append(cands, entries[i].obj)
+	}
+	if len(cands) < 2 {
+		return entries[0].obj, entries[len(entries)-1].obj
+	}
+	bestA, bestB := cands[0], cands[1]
+	best := math.Inf(1)
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			a, b := cands[i], cands[j]
+			var ra, rb float64
+			for _, e := range entries {
+				da := t.metric.Distance(t.objects[e.obj], t.objects[a])
+				db := t.metric.Distance(t.objects[e.obj], t.objects[b])
+				if da <= db {
+					if da+e.radius > ra {
+						ra = da + e.radius
+					}
+				} else {
+					if db+e.radius > rb {
+						rb = db + e.radius
+					}
+				}
+			}
+			if m := math.Max(ra, rb); m < best {
+				best, bestA, bestB = m, a, b
+			}
+		}
+	}
+	return bestA, bestB
+}
+
+// partition assigns each entry to the closer pivot (generalized
+// hyperplane) and returns the covering radii.
+func (t *Tree) partition(entries []*entry, p1, p2 int, n1, n2 *node) (r1, r2 float64) {
+	v1, v2 := t.objects[p1], t.objects[p2]
+	for _, e := range entries {
+		d1 := t.metric.Distance(t.objects[e.obj], v1)
+		d2 := t.metric.Distance(t.objects[e.obj], v2)
+		if d1 <= d2 {
+			e.dParent = d1
+			n1.entries = append(n1.entries, e)
+			if !e.leafEntry() {
+				e.child.parent = n1
+			}
+			if d1+e.radius > r1 {
+				r1 = d1 + e.radius
+			}
+		} else {
+			e.dParent = d2
+			n2.entries = append(n2.entries, e)
+			if !e.leafEntry() {
+				e.child.parent = n2
+			}
+			if d2+e.radius > r2 {
+				r2 = d2 + e.radius
+			}
+		}
+	}
+	return r1, r2
+}
+
+func (e *entry) leafEntry() bool { return e.child == nil }
+
+// pqItem orders subtrees by their optimistic lower-bound distance.
+type pqItem struct {
+	n     *node
+	dq    float64 // distance from query to the node's routing pivot
+	lower float64 // max(dq − radius, 0)
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].lower < p[j].lower }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// Search returns the k nearest neighbours of q under the tree's metric.
+func (t *Tree) Search(q []float64, k int) ([]knn.Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mtree: k must be positive, got %d", k)
+	}
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("mtree: query has dimension %d, want %d", len(q), t.dim)
+	}
+	if t.size == 0 {
+		return nil, errors.New("mtree: empty tree")
+	}
+	t.lastDistCalls = 0
+	top := knn.NewTopK(k)
+	var queue pq
+	heap.Push(&queue, pqItem{n: t.root, dq: 0, lower: 0})
+	for queue.Len() > 0 {
+		item := heap.Pop(&queue).(pqItem)
+		if tau, ok := top.Bound(); ok && item.lower > tau {
+			continue // everything in this subtree is too far
+		}
+		n := item.n
+		for _, e := range n.entries {
+			// The dParent shortcut of [CPZ97]: if |d(q, parent) − d(e,
+			// parent)| already exceeds the pruning radius plus the entry's
+			// covering radius, skip the distance computation entirely.
+			if tau, ok := top.Bound(); ok && n.parentEntry != nil {
+				if math.Abs(item.dq-e.dParent) > tau+e.radius {
+					continue
+				}
+			}
+			t.lastDistCalls++
+			d := t.metric.Distance(q, t.objects[e.obj])
+			if e.leafEntry() {
+				top.Offer(e.obj, d)
+				continue
+			}
+			lower := d - e.radius
+			if lower < 0 {
+				lower = 0
+			}
+			if tau, ok := top.Bound(); ok && lower > tau {
+				continue
+			}
+			heap.Push(&queue, pqItem{n: e.child, dq: d, lower: lower})
+		}
+	}
+	return top.Results(), nil
+}
+
+// RangeSearch returns every object within radius r of q, in ascending
+// distance order.
+func (t *Tree) RangeSearch(q []float64, r float64) ([]knn.Result, error) {
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("mtree: query has dimension %d, want %d", len(q), t.dim)
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("mtree: negative radius %v", r)
+	}
+	t.lastDistCalls = 0
+	var out []knn.Result
+	t.rangeSearch(t.root, q, r, math.NaN(), &out)
+	// Order by distance then index for determinism.
+	top := knn.NewTopK(len(out) + 1)
+	for _, res := range out {
+		top.Offer(res.Index, res.Distance)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return top.Results(), nil
+}
+
+func (t *Tree) rangeSearch(n *node, q []float64, r, dqParent float64, out *[]knn.Result) {
+	for _, e := range n.entries {
+		if !math.IsNaN(dqParent) {
+			if math.Abs(dqParent-e.dParent) > r+e.radius {
+				continue
+			}
+		}
+		t.lastDistCalls++
+		d := t.metric.Distance(q, t.objects[e.obj])
+		if e.leafEntry() {
+			if d <= r {
+				*out = append(*out, knn.Result{Index: e.obj, Distance: d})
+			}
+			continue
+		}
+		if d-e.radius <= r {
+			t.rangeSearch(e.child, q, r, d, out)
+		}
+	}
+}
+
+// Depth returns the height of the tree (1 for a single leaf root).
+func (t *Tree) Depth() int {
+	d := 0
+	for n := t.root; ; {
+		d++
+		if n.leaf {
+			return d
+		}
+		n = n.entries[0].child
+	}
+}
+
+// Validate checks the M-tree invariants: every object in a subtree lies
+// within the covering radius of the subtree's routing pivot, and dParent
+// fields match the metric. It is used by tests and returns the first
+// violation found.
+func (t *Tree) Validate() error {
+	return t.validate(t.root, -1)
+}
+
+func (t *Tree) validate(n *node, pivot int) error {
+	for _, e := range n.entries {
+		if pivot >= 0 {
+			d := t.metric.Distance(t.objects[e.obj], t.objects[pivot])
+			if math.Abs(d-e.dParent) > 1e-9 {
+				return fmt.Errorf("mtree: stale dParent for object %d: stored %v, actual %v", e.obj, e.dParent, d)
+			}
+		}
+		if e.leafEntry() {
+			continue
+		}
+		if err := t.checkCovered(e.child, e.obj, e.radius); err != nil {
+			return err
+		}
+		if err := t.validate(e.child, e.obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) checkCovered(n *node, pivot int, radius float64) error {
+	for _, e := range n.entries {
+		d := t.metric.Distance(t.objects[e.obj], t.objects[pivot])
+		if e.leafEntry() {
+			if d > radius+1e-9 {
+				return fmt.Errorf("mtree: object %d at distance %v outside covering radius %v of pivot %d", e.obj, d, radius, pivot)
+			}
+			continue
+		}
+		if d+e.radius > radius+1e-9 {
+			return fmt.Errorf("mtree: subtree ball of %d (d %v + r %v) outside covering radius %v of pivot %d", e.obj, d, e.radius, radius, pivot)
+		}
+		if err := t.checkCovered(e.child, pivot, radius); err != nil {
+			return err
+		}
+	}
+	return nil
+}

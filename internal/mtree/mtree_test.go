@@ -1,0 +1,290 @@
+package mtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/knn"
+)
+
+func randomData(rng *rand.Rand, n, dim int) [][]float64 {
+	data := make([][]float64, n)
+	for i := range data {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, distance.Euclidean{}, 4); err == nil {
+		t.Error("zero dimension should error")
+	}
+	tr, err := New(3, distance.Euclidean{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.capacity != DefaultCapacity {
+		t.Errorf("capacity = %d", tr.capacity)
+	}
+}
+
+func TestBuildFromValidation(t *testing.T) {
+	if _, err := BuildFrom(nil, distance.Euclidean{}, 4); err == nil {
+		t.Error("empty collection should error")
+	}
+	if _, err := BuildFrom([][]float64{{1, 2}, {3}}, distance.Euclidean{}, 4); err == nil {
+		t.Error("ragged collection should error")
+	}
+}
+
+func TestInsertDimensionMismatch(t *testing.T) {
+	tr, _ := New(2, distance.Euclidean{}, 4)
+	if err := tr.Insert([]float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestInvariantsAfterInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, _ := New(4, distance.Euclidean{}, 4) // small capacity: force many splits
+	for i := 0; i < 300; i++ {
+		v := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if err := tr.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 300 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("300 inserts at capacity 4 should split: depth = %d", tr.Depth())
+	}
+}
+
+func TestSearchMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randomData(rng, 500, 6)
+	tr, err := BuildFrom(data, distance.Euclidean{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := knn.NewScan(data)
+	for trial := 0; trial < 30; trial++ {
+		q := make([]float64, 6)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(25)
+		got, err := tr.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := scan.Search(q, k, distance.Euclidean{})
+		if !knn.SameIndexSet(got, want) {
+			t.Fatalf("trial %d (k=%d): mtree %v vs scan %v", trial, k, knn.Indices(got), knn.Indices(want))
+		}
+	}
+}
+
+func TestSearchMatchesScanManhattan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randomData(rng, 300, 4)
+	m := distance.Manhattan{}
+	tr, err := BuildFrom(data, m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := knn.NewScan(data)
+	for trial := 0; trial < 15; trial++ {
+		q := make([]float64, 4)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		got, _ := tr.Search(q, 12)
+		want, _ := scan.Search(q, 12, m)
+		if !knn.SameIndexSet(got, want) {
+			t.Fatalf("trial %d: mtree %v vs scan %v", trial, knn.Indices(got), knn.Indices(want))
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	tr, _ := New(2, distance.Euclidean{}, 4)
+	if _, err := tr.Search([]float64{0, 0}, 1); err == nil {
+		t.Error("empty tree should error")
+	}
+	tr.Insert([]float64{0, 0})
+	if _, err := tr.Search([]float64{0, 0}, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := tr.Search([]float64{0}, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randomData(rng, 3000, 3)
+	tr, err := BuildFrom(data, distance.Euclidean{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Search([]float64{0, 0, 0}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if calls := tr.LastDistanceCalls(); calls >= len(data) {
+		t.Errorf("no pruning: %d distance calls for %d items", calls, len(data))
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randomData(rng, 400, 3)
+	tr, err := BuildFrom(data, distance.Euclidean{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.Euclidean{}
+	for trial := 0; trial < 10; trial++ {
+		q := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		r := 0.5 + rng.Float64()
+		got, err := tr.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int]bool{}
+		for i, v := range data {
+			if m.Distance(q, v) <= r {
+				want[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		prev := -1.0
+		for _, res := range got {
+			if !want[res.Index] {
+				t.Fatalf("trial %d: unexpected result %d", trial, res.Index)
+			}
+			if res.Distance < prev {
+				t.Fatalf("trial %d: results not sorted", trial)
+			}
+			prev = res.Distance
+		}
+	}
+}
+
+func TestRangeSearchErrors(t *testing.T) {
+	tr, _ := New(2, distance.Euclidean{}, 4)
+	tr.Insert([]float64{0, 0})
+	if _, err := tr.RangeSearch([]float64{0}, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, err := tr.RangeSearch([]float64{0, 0}, -1); err == nil {
+		t.Error("negative radius should error")
+	}
+	rs, err := tr.RangeSearch([]float64{100, 100}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("expected no results, got %d", len(rs))
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr, _ := New(2, distance.Euclidean{}, 4)
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert([]float64{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tr.Search([]float64{1, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for _, r := range rs {
+		if r.Distance != 0 {
+			t.Errorf("distance = %v", r.Distance)
+		}
+	}
+}
+
+func TestHistogramLikeData(t *testing.T) {
+	// Normalized-histogram vectors (the paper's data shape): verify
+	// exactness and invariants at D = 32.
+	rng := rand.New(rand.NewSource(6))
+	n, dim := 400, 32
+	data := make([][]float64, n)
+	for i := range data {
+		v := make([]float64, dim)
+		var sum float64
+		for j := range v {
+			v[j] = rng.ExpFloat64()
+			sum += v[j]
+		}
+		for j := range v {
+			v[j] /= sum
+		}
+		data[i] = v
+	}
+	tr, err := BuildFrom(data, distance.Euclidean{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := knn.NewScan(data)
+	for trial := 0; trial < 10; trial++ {
+		q := data[rng.Intn(n)]
+		got, _ := tr.Search(q, 20)
+		want, _ := scan.Search(q, 20, distance.Euclidean{})
+		if !knn.SameIndexSet(got, want) {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+		if got[0].Distance != 0 {
+			t.Errorf("self-query distance = %v", got[0].Distance)
+		}
+	}
+}
+
+func TestDepthGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, _ := New(3, distance.Euclidean{}, 8)
+	for i := 0; i < 1000; i++ {
+		tr.Insert([]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+	}
+	d := tr.Depth()
+	// capacity 8, 1000 objects: expect depth around log_4..8(1000) ≈ 3-6,
+	// allow generous slack but reject linear behaviour.
+	if d < 2 || d > 12 {
+		t.Errorf("depth = %d", d)
+	}
+	if math.IsNaN(float64(d)) {
+		t.Error("unreachable")
+	}
+}

@@ -1,0 +1,126 @@
+// Package reduce implements the dimensionality-reduction hook the paper
+// leaves as future work (§3: "statistical techniques for dimensionality
+// reduction could be applied to lower the dimensionality of both the input
+// and the output space"). A Reducer fits PCA on a sample of query points
+// and affinely maps the leading components into [0,1]^k, so the reduced
+// query domain is covered by geom.CoveringSimplex(k) and a Simplex Tree
+// over k dimensions can learn the optimal query mapping with far fewer
+// stored points per region.
+package reduce
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// Reducer projects query points into a k-dimensional unit cube.
+type Reducer struct {
+	eig   *vec.Eigen
+	means []float64
+	k     int
+	lo    []float64 // per-component minimum over the fitted sample
+	hi    []float64
+}
+
+// margin widens the fitted component ranges so unseen queries slightly
+// outside the sample still land inside [0,1].
+const margin = 0.25
+
+// Fit computes the PCA basis from sample query points and records the
+// component ranges. k must not exceed the feature dimensionality and at
+// least two samples are required.
+func Fit(samples [][]float64, k int) (*Reducer, error) {
+	if len(samples) < 2 {
+		return nil, errors.New("reduce: need at least 2 samples")
+	}
+	dim := len(samples[0])
+	if k < 1 || k > dim {
+		return nil, fmt.Errorf("reduce: k=%d outside [1,%d]", k, dim)
+	}
+	x := vec.NewMatrix(len(samples), dim)
+	for i, s := range samples {
+		if len(s) != dim {
+			return nil, fmt.Errorf("reduce: sample %d has dimension %d, want %d", i, len(s), dim)
+		}
+		copy(x.Row(i), s)
+	}
+	eig, means, err := vec.PCA(x)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reducer{eig: eig, means: means, k: k}
+	r.lo = vec.Constant(k, 0)
+	r.hi = vec.Constant(k, 0)
+	for i := range r.lo {
+		r.lo[i] = 1e300
+		r.hi[i] = -1e300
+	}
+	for _, s := range samples {
+		p := eig.Project(s, means, k)
+		for j, v := range p {
+			if v < r.lo[j] {
+				r.lo[j] = v
+			}
+			if v > r.hi[j] {
+				r.hi[j] = v
+			}
+		}
+	}
+	for j := range r.lo {
+		span := r.hi[j] - r.lo[j]
+		if span <= 0 {
+			span = 1 // constant component: any position maps to 0.5
+		}
+		r.lo[j] -= margin * span
+		r.hi[j] += margin * span
+	}
+	return r, nil
+}
+
+// K returns the reduced dimensionality.
+func (r *Reducer) K() int { return r.k }
+
+// InputDim returns the original feature dimensionality.
+func (r *Reducer) InputDim() int { return len(r.means) }
+
+// ExplainedVariance returns the fraction of total sample variance captured
+// by the k leading components.
+func (r *Reducer) ExplainedVariance() float64 {
+	var total, kept float64
+	for i, v := range r.eig.Values {
+		if v < 0 {
+			v = 0
+		}
+		total += v
+		if i < r.k {
+			kept += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return kept / total
+}
+
+// Project maps a query point into [0,1]^k (clamped at the boundaries for
+// points outside the widened fitted ranges).
+func (r *Reducer) Project(v []float64) ([]float64, error) {
+	if len(v) != len(r.means) {
+		return nil, fmt.Errorf("reduce: point has dimension %d, want %d", len(v), len(r.means))
+	}
+	p := r.eig.Project(v, r.means, r.k)
+	out := make([]float64, r.k)
+	for j, x := range p {
+		u := (x - r.lo[j]) / (r.hi[j] - r.lo[j])
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		out[j] = u
+	}
+	return out, nil
+}

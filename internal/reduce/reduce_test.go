@@ -1,0 +1,162 @@
+package reduce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// manifoldSamples generates points on a 2-dimensional affine manifold
+// embedded in dim dimensions, plus tiny orthogonal noise.
+func manifoldSamples(rng *rand.Rand, n, dim int) [][]float64 {
+	basis1 := make([]float64, dim)
+	basis2 := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		basis1[i] = math.Sin(float64(i))
+		basis2[i] = math.Cos(float64(2 * i))
+	}
+	out := make([][]float64, n)
+	for s := range out {
+		a, b := rng.NormFloat64()*3, rng.NormFloat64()
+		v := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			v[i] = a*basis1[i] + b*basis2[i] + rng.NormFloat64()*0.01
+		}
+		out[s] = v
+	}
+	return out
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, 1); err == nil {
+		t.Error("no samples should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, 1); err == nil {
+		t.Error("single sample should error")
+	}
+	samples := [][]float64{{1, 2}, {3, 4}}
+	if _, err := Fit(samples, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Fit(samples, 3); err == nil {
+		t.Error("k > dim should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, 1); err == nil {
+		t.Error("ragged samples should error")
+	}
+}
+
+func TestProjectInUnitCube(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := manifoldSamples(rng, 200, 10)
+	r, err := Fit(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != 2 || r.InputDim() != 10 {
+		t.Errorf("K=%d InputDim=%d", r.K(), r.InputDim())
+	}
+	for _, s := range samples {
+		p, err := r.Project(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, x := range p {
+			if x < 0 || x > 1 {
+				t.Fatalf("component %d = %v outside [0,1]", j, x)
+			}
+		}
+		// Fitted samples should sit inside the margin, away from the
+		// clamped boundary.
+		for _, x := range p {
+			if x == 0 || x == 1 {
+				t.Fatalf("fitted sample clamped to boundary: %v", p)
+			}
+		}
+	}
+	// A far-out point clamps instead of escaping.
+	far := make([]float64, 10)
+	for i := range far {
+		far[i] = 1e6
+	}
+	p, err := r.Project(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range p {
+		if x < 0 || x > 1 {
+			t.Fatalf("far point escaped the cube: %v", p)
+		}
+	}
+	if _, err := r.Project([]float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestExplainedVarianceHighOnManifold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := manifoldSamples(rng, 300, 12)
+	r2, err := Fit(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := r2.ExplainedVariance(); ev < 0.99 {
+		t.Errorf("2 components should capture a 2-D manifold: %v", ev)
+	}
+	r1, err := Fit(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExplainedVariance() >= r2.ExplainedVariance() {
+		t.Error("explained variance must grow with k")
+	}
+}
+
+func TestProjectPreservesNeighborhoods(t *testing.T) {
+	// Nearby points in the original space stay nearby after reduction —
+	// the property the reduced Simplex Tree relies on.
+	rng := rand.New(rand.NewSource(3))
+	samples := manifoldSamples(rng, 200, 10)
+	r, err := Fit(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := samples[0]
+	near := make([]float64, len(base))
+	copy(near, base)
+	near[0] += 1e-4
+	p1, err := r.Project(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Project(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d float64
+	for j := range p1 {
+		d += (p1[j] - p2[j]) * (p1[j] - p2[j])
+	}
+	if math.Sqrt(d) > 1e-3 {
+		t.Errorf("tiny perturbation moved projection by %v", math.Sqrt(d))
+	}
+}
+
+func TestConstantComponent(t *testing.T) {
+	// Samples identical along every direction but one: the degenerate
+	// component ranges must not divide by zero.
+	samples := [][]float64{{0, 5}, {1, 5}, {2, 5}, {3, 5}}
+	r, err := Fit(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Project([]float64{1.5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range p {
+		if math.IsNaN(x) || x < 0 || x > 1 {
+			t.Fatalf("degenerate projection = %v", p)
+		}
+	}
+}

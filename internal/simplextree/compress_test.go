@@ -1,0 +1,130 @@
+package simplextree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestCompressValuesValidation(t *testing.T) {
+	tr := newTestTree(t, 2, []float64{1, 2}, 0)
+	if _, err := tr.CompressValues(-1); err == nil {
+		t.Error("negative eps should error")
+	}
+	dropped, err := tr.CompressValues(0)
+	if err != nil || dropped != 0 {
+		t.Errorf("eps=0 should be a no-op: %d, %v", dropped, err)
+	}
+}
+
+func TestCompressValuesBoundsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := 5
+	n := 62 // the paper's OQP length
+	tr := newTestTree(t, d, vec.Zeros(n), 0)
+	type stored struct{ q, v []float64 }
+	var pts []stored
+	for i := 0; i < 25; i++ {
+		q := randomInterior(rng, d)
+		v := make([]float64, n)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		changed, err := tr.Insert(q, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			pts = append(pts, stored{q, v})
+		}
+	}
+	eps := 0.05
+	dropped, err := tr.CompressValues(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Error("no coefficients dropped at eps=0.05 on N(0,1) values")
+	}
+	// Per-vertex reconstruction error is bounded by eps·√(padded length).
+	bound := eps * math.Sqrt(64)
+	for i, p := range pts {
+		got, err := tr.Predict(p.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for j := range got {
+			d := got[j] - p.v[j]
+			e += d * d
+		}
+		if math.Sqrt(e) > bound {
+			t.Fatalf("point %d: L2 error %v exceeds bound %v", i, math.Sqrt(e), bound)
+		}
+	}
+}
+
+func TestCompressValuesMonotoneInEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	build := func() *Tree {
+		tr := newTestTree(t, 3, vec.Zeros(16), 0)
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 20; i++ {
+			v := make([]float64, 16)
+			for j := range v {
+				v[j] = r.NormFloat64()
+			}
+			if _, err := tr.Insert(randomInterior(r, 3), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+	_ = rng
+	prev := -1
+	for _, eps := range []float64{0.01, 0.1, 1, 10} {
+		tr := build()
+		dropped, err := tr.CompressValues(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dropped < prev {
+			t.Errorf("eps=%v dropped %d < previous %d", eps, dropped, prev)
+		}
+		prev = dropped
+	}
+}
+
+func TestCompressValuesPreservesTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := newTestTree(t, 2, vec.Zeros(4), 0)
+	for i := 0; i < 15; i++ {
+		v := make([]float64, 4)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		if _, err := tr.Insert(randomInterior(rng, 2), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tr.Stats()
+	if _, err := tr.CompressValues(0.5); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.Stats()
+	if before.Points != after.Points || before.Leaves != after.Leaves || before.Depth != after.Depth {
+		t.Errorf("compression changed the tree shape: %+v -> %+v", before, after)
+	}
+	// Predictions still work everywhere.
+	for trial := 0; trial < 20; trial++ {
+		got, err := tr.Predict(randomInterior(rng, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vec.IsFinite(got) {
+			t.Fatal("non-finite prediction after compression")
+		}
+	}
+}

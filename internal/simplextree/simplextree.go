@@ -1,0 +1,467 @@
+// Package simplextree implements the Simplex Tree of §4 — the wavelet-
+// based data structure at the core of FeedbackBypass. It organizes the
+// query domain Q ⊆ R^D as an incremental triangulation: every node is a
+// simplex of D+1 vertices; inserting a query point splits its enclosing
+// leaf into up to D+1 children around the point; every stored vertex
+// carries its N-dimensional vector of optimal query parameters (OQPs).
+//
+// Prediction evaluates the unbalanced Haar wavelet the triangulation
+// defines: a linear interpolation of the vertex OQPs of the enclosing
+// simplex at the query's barycentric coordinates, which is algebraically
+// the determinant equation of §4.2 (tests verify the equivalence).
+// Insertion is ε-thresholded: a point whose actual OQPs are already
+// predicted within ε is not stored, so resource usage tracks the intrinsic
+// complexity of the optimal query mapping, not the number of queries.
+//
+// Lookups descend with an O(D)-per-child incremental barycentric update
+// (geom.ChildBarycentric) instead of a fresh O(D³) solve per node; see
+// DESIGN.md ("Incremental barycentric descent").
+package simplextree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/vec"
+)
+
+// ErrOutOfDomain is returned for query points outside the root simplex.
+var ErrOutOfDomain = errors.New("simplextree: query point outside the root simplex")
+
+// Vertex is a stored query point with its OQP vector. Vertices are shared
+// by every simplex they delimit, so updating a vertex's value is visible
+// tree-wide.
+type Vertex struct {
+	Point []float64
+	Value []float64
+}
+
+type node struct {
+	verts    []*Vertex // D+1 vertices spanning this simplex
+	split    *Vertex   // the point this node was split at (inner nodes)
+	mu       []float64 // barycentric coordinates of split.Point w.r.t. verts
+	children []*node   // one per non-degenerate child
+	replaced []int     // children[i] replaces vertex replaced[i] with split
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// Tree is a Simplex Tree mapping points of a D-dimensional query domain to
+// N-dimensional OQP vectors. It is safe for concurrent use.
+type Tree struct {
+	mu sync.RWMutex
+
+	dim     int     // D
+	oqpDim  int     // N
+	epsilon float64 // insert threshold ε of §4.2
+	tol     float64 // geometric tolerance
+
+	root      *node
+	numPoints int // stored (split or updated) query points
+	numLeaves int
+
+	lastTraversed int // simplices visited by the most recent operation
+}
+
+// Options configures a Tree.
+type Options struct {
+	// Epsilon is the insert threshold ε: a new point is stored only when
+	// max_i |m_i(q) − v̂_i| > ε. Zero stores every point with a prediction
+	// mismatch; larger values trade accuracy for storage (§4.2).
+	Epsilon float64
+	// Tol is the geometric tolerance for containment and degeneracy
+	// decisions; geom.DefaultTol when zero.
+	Tol float64
+}
+
+// New builds a Simplex Tree over the given root domain simplex. Every
+// corner of the domain is seeded with defaultOQP, so an empty tree
+// predicts exactly the default parameters everywhere (the paper's limit
+// case in which nothing is ever stored).
+func New(domain *geom.Simplex, defaultOQP []float64, opts Options) (*Tree, error) {
+	if domain == nil {
+		return nil, errors.New("simplextree: nil domain")
+	}
+	if len(defaultOQP) == 0 {
+		return nil, errors.New("simplextree: empty default OQP vector")
+	}
+	if opts.Epsilon < 0 {
+		return nil, fmt.Errorf("simplextree: negative epsilon %v", opts.Epsilon)
+	}
+	if opts.Tol == 0 {
+		opts.Tol = geom.DefaultTol
+	}
+	if opts.Tol < 0 {
+		return nil, fmt.Errorf("simplextree: negative tolerance %v", opts.Tol)
+	}
+	// Degeneracy check: the barycentric system must be solvable. (A volume
+	// threshold would wrongly reject high-dimensional domains, whose volume
+	// 1/D! underflows any fixed tolerance.)
+	if _, err := domain.Barycentric(domain.Centroid()); err != nil {
+		return nil, fmt.Errorf("simplextree: domain is degenerate: %w", err)
+	}
+	d := domain.Dim()
+	verts := make([]*Vertex, d+1)
+	for i := range verts {
+		verts[i] = &Vertex{
+			Point: vec.Clone(domain.Vertex(i)),
+			Value: vec.Clone(defaultOQP),
+		}
+	}
+	return &Tree{
+		dim:       d,
+		oqpDim:    len(defaultOQP),
+		epsilon:   opts.Epsilon,
+		tol:       opts.Tol,
+		root:      &node{verts: verts},
+		numLeaves: 1,
+	}, nil
+}
+
+// Dim returns the query-domain dimensionality D.
+func (t *Tree) Dim() int { return t.dim }
+
+// OQPDim returns the stored vector dimensionality N.
+func (t *Tree) OQPDim() int { return t.oqpDim }
+
+// Epsilon returns the insert threshold.
+func (t *Tree) Epsilon() float64 { return t.epsilon }
+
+// NumPoints returns the number of query points stored (inserted splits
+// plus vertex-value updates of re-seen points).
+func (t *Tree) NumPoints() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.numPoints
+}
+
+// NumLeaves returns the number of leaf simplices.
+func (t *Tree) NumLeaves() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.numLeaves
+}
+
+// LastTraversed reports the number of simplices visited by the most recent
+// Predict/Insert — the "no. of simplices traversed" series of Figure 16.
+func (t *Tree) LastTraversed() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lastTraversed
+}
+
+// Depth returns the maximum node depth (1 = root only) — the "Depth of
+// Simplex Tree" series of Figure 16.
+func (t *Tree) Depth() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return maxDepth(t.root)
+}
+
+func maxDepth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	best := 0
+	for _, c := range n.children {
+		if d := maxDepth(c); d > best {
+			best = d
+		}
+	}
+	return 1 + best
+}
+
+// lookup descends to the leaf containing q, maintaining barycentric
+// coordinates incrementally. It returns the leaf, the coordinates of q
+// with respect to it, and the number of simplices traversed.
+func (t *Tree) lookup(q []float64) (*node, []float64, int, error) {
+	if len(q) != t.dim {
+		return nil, nil, 0, fmt.Errorf("simplextree: query has dimension %d, want %d", len(q), t.dim)
+	}
+	rootSimplex, err := t.simplexOf(t.root)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	lam, err := rootSimplex.Barycentric(q)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if !geom.AllNonNegative(lam, t.tol) {
+		return nil, nil, 0, ErrOutOfDomain
+	}
+	n := t.root
+	traversed := 1
+	for !n.leaf() {
+		next, nextLam := t.descendOnce(n, lam)
+		if next == nil {
+			// Numerically ambiguous boundary point: no child accepted it.
+			// Resolve by a fresh solve against each child (robust path).
+			next, nextLam = t.descendSolve(n, q)
+			if next == nil {
+				return nil, nil, traversed, fmt.Errorf("simplextree: no child contains point %v (numerical boundary)", q)
+			}
+		}
+		n, lam = next, nextLam
+		traversed++
+	}
+	return n, lam, traversed, nil
+}
+
+// descendOnce picks the child containing the point with coordinates lam
+// using the O(D)-per-child incremental update. Among children accepting
+// the point (boundary points may be accepted by several), the one whose
+// minimum coordinate is largest is chosen, which is stable under rounding.
+func (t *Tree) descendOnce(n *node, lam []float64) (*node, []float64) {
+	var best *node
+	var bestLam []float64
+	bestMin := math.Inf(-1)
+	for i, c := range n.children {
+		nu, ok := geom.ChildBarycentric(lam, n.mu, n.replaced[i], t.tol)
+		if !ok {
+			continue
+		}
+		min := math.Inf(1)
+		for _, x := range nu {
+			if x < min {
+				min = x
+			}
+		}
+		if min >= -t.tol && min > bestMin {
+			best, bestLam, bestMin = c, nu, min
+		}
+	}
+	return best, bestLam
+}
+
+// descendSolve is the slow fallback: solve the barycentric system directly
+// for each child.
+func (t *Tree) descendSolve(n *node, q []float64) (*node, []float64) {
+	var best *node
+	var bestLam []float64
+	bestMin := math.Inf(-1)
+	for _, c := range n.children {
+		s, err := t.simplexOf(c)
+		if err != nil {
+			continue
+		}
+		nu, err := s.Barycentric(q)
+		if err != nil {
+			continue
+		}
+		min := math.Inf(1)
+		for _, x := range nu {
+			if x < min {
+				min = x
+			}
+		}
+		if min >= -10*t.tol && min > bestMin {
+			best, bestLam, bestMin = c, nu, min
+		}
+	}
+	return best, bestLam
+}
+
+func (t *Tree) simplexOf(n *node) (*geom.Simplex, error) {
+	pts := make([][]float64, len(n.verts))
+	for i, v := range n.verts {
+		pts[i] = v.Point
+	}
+	return geom.NewSimplex(pts)
+}
+
+// interpolate evaluates the piecewise-linear wavelet at barycentric
+// coordinates lam over the leaf's vertices: v̂ = Σ_j λ_j · Value(s_j).
+func interpolate(n *node, lam []float64, oqpDim int) []float64 {
+	out := make([]float64, oqpDim)
+	for j, v := range n.verts {
+		vec.Axpy(out, lam[j], v.Value)
+	}
+	return out
+}
+
+// Predict returns the interpolated OQP vector for q — the Mopt method of
+// Figure 5. An empty tree returns the default OQPs everywhere inside the
+// domain.
+func (t *Tree) Predict(q []float64) ([]float64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf, lam, traversed, err := t.lookup(q)
+	t.lastTraversed = traversed
+	if err != nil {
+		return nil, err
+	}
+	return interpolate(leaf, lam, t.oqpDim), nil
+}
+
+// Insert stores the OQP vector observed for q — the Insert method of
+// Figure 5. Following §4.2, the point is stored only when the prediction
+// error max_i |value_i − v̂_i| exceeds ε; the return value reports whether
+// the tree changed. A q coinciding with an already-stored vertex updates
+// that vertex's value in place (the mapping changed for a re-seen query).
+func (t *Tree) Insert(q, value []float64) (bool, error) {
+	if len(value) != t.oqpDim {
+		return false, fmt.Errorf("simplextree: OQP vector has dimension %d, want %d", len(value), t.oqpDim)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf, lam, traversed, err := t.lookup(q)
+	t.lastTraversed = traversed
+	if err != nil {
+		return false, err
+	}
+	pred := interpolate(leaf, lam, t.oqpDim)
+	if maxAbsDiff(pred, value) <= t.epsilon {
+		return false, nil
+	}
+	// A point (numerically) equal to a vertex cannot split the simplex;
+	// update the vertex value instead.
+	for j, l := range lam {
+		if l >= 1-t.tol {
+			leaf.verts[j].Value = vec.Clone(value)
+			t.numPoints++
+			return true, nil
+		}
+	}
+	newVert := &Vertex{Point: vec.Clone(q), Value: vec.Clone(value)}
+	var children []*node
+	var replaced []int
+	for h, l := range lam {
+		if l <= t.tol {
+			continue // degenerate child: q lies on the facet opposite vertex h
+		}
+		childVerts := make([]*Vertex, len(leaf.verts))
+		copy(childVerts, leaf.verts)
+		childVerts[h] = newVert
+		children = append(children, &node{verts: childVerts})
+		replaced = append(replaced, h)
+	}
+	if len(children) < 2 {
+		// q is effectively a vertex (all mass on one coordinate); the
+		// loop above should have caught it, but guard against tolerance
+		// corner cases.
+		return false, fmt.Errorf("simplextree: split of %v produced %d children", q, len(children))
+	}
+	leaf.split = newVert
+	leaf.mu = lam
+	leaf.children = children
+	leaf.replaced = replaced
+	t.numPoints++
+	t.numLeaves += len(children) - 1
+	return true, nil
+}
+
+// Walk visits every stored vertex exactly once (root corners included),
+// in an unspecified order. It is the traversal used by persistence and by
+// statistics.
+func (t *Tree) Walk(fn func(v *Vertex)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[*Vertex]bool)
+	var rec func(n *node)
+	rec = func(n *node) {
+		for _, v := range n.verts {
+			if !seen[v] {
+				seen[v] = true
+				fn(v)
+			}
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
+// Stats summarizes the tree shape.
+type Stats struct {
+	Dim, OQPDim      int
+	Points           int // stored query points
+	Leaves           int
+	Depth            int
+	Nodes            int
+	AvgLeafDepth     float64
+	DistinctVertices int
+}
+
+// Stats computes shape statistics in one traversal.
+func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{Dim: t.dim, OQPDim: t.oqpDim, Points: t.numPoints, Leaves: t.numLeaves}
+	var sumLeafDepth, leaves int
+	seen := make(map[*Vertex]bool)
+	var rec func(n *node, depth int)
+	rec = func(n *node, depth int) {
+		s.Nodes++
+		if depth > s.Depth {
+			s.Depth = depth
+		}
+		for _, v := range n.verts {
+			if !seen[v] {
+				seen[v] = true
+			}
+		}
+		if n.leaf() {
+			leaves++
+			sumLeafDepth += depth
+			return
+		}
+		for _, c := range n.children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.root, 1)
+	if leaves > 0 {
+		s.AvgLeafDepth = float64(sumLeafDepth) / float64(leaves)
+	}
+	s.DistinctVertices = len(seen)
+	return s
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PredictNaive is the reference implementation of Predict that re-solves
+// the full (D+1)×(D+1) barycentric system at every node instead of using
+// the incremental O(D) update. It exists for the ablation benchmark and
+// for cross-checking the fast path in tests.
+func (t *Tree) PredictNaive(q []float64) ([]float64, error) {
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("simplextree: query has dimension %d, want %d", len(q), t.dim)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	s, err := t.simplexOf(n)
+	if err != nil {
+		return nil, err
+	}
+	lam, err := s.Barycentric(q)
+	if err != nil {
+		return nil, err
+	}
+	if !geom.AllNonNegative(lam, t.tol) {
+		return nil, ErrOutOfDomain
+	}
+	traversed := 1
+	for !n.leaf() {
+		next, nextLam := t.descendSolve(n, q)
+		if next == nil {
+			return nil, fmt.Errorf("simplextree: no child contains point %v", q)
+		}
+		n, lam = next, nextLam
+		traversed++
+	}
+	t.lastTraversed = traversed
+	return interpolate(n, lam, t.oqpDim), nil
+}

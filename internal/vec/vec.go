@@ -1,0 +1,300 @@
+// Package vec provides the dense vector and matrix algebra used throughout
+// the FeedbackBypass reproduction: element-wise vector operations, Gaussian
+// elimination with partial pivoting, LU decomposition, determinants, matrix
+// inversion and a Jacobi eigensolver for symmetric matrices.
+//
+// Everything operates on float64 slices so callers can share storage with
+// feature vectors, barycentric coordinates and optimal-query-parameter
+// (OQP) vectors without conversion.
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when two operands have incompatible
+// lengths or shapes.
+var ErrDimensionMismatch = errors.New("vec: dimension mismatch")
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("vec: singular matrix")
+
+// Clone returns a fresh copy of v.
+func Clone(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zeros returns a zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Ones returns a vector of length n with every component set to 1.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Constant returns a vector of length n with every component set to c.
+func Constant(n int, c float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// Add returns a + b.
+func Add(a, b []float64) []float64 {
+	mustSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b []float64) []float64 {
+	mustSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Scale returns s * v.
+func Scale(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// AddInPlace sets dst = dst + v and returns dst.
+func AddInPlace(dst, v []float64) []float64 {
+	mustSameLen(dst, v)
+	for i := range dst {
+		dst[i] += v[i]
+	}
+	return dst
+}
+
+// SubInPlace sets dst = dst - v and returns dst.
+func SubInPlace(dst, v []float64) []float64 {
+	mustSameLen(dst, v)
+	for i := range dst {
+		dst[i] -= v[i]
+	}
+	return dst
+}
+
+// ScaleInPlace sets dst = s * dst and returns dst.
+func ScaleInPlace(dst []float64, s float64) []float64 {
+	for i := range dst {
+		dst[i] *= s
+	}
+	return dst
+}
+
+// Axpy sets dst = dst + s*v and returns dst ("a x plus y").
+func Axpy(dst []float64, s float64, v []float64) []float64 {
+	mustSameLen(dst, v)
+	for i := range dst {
+		dst[i] += s * v[i]
+	}
+	return dst
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	mustSameLen(a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the maximum absolute component of v.
+func NormInf(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Sum returns the sum of the components of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	mustSameLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether a and b have the same length and identical
+// components.
+func Equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualTol reports whether a and b have the same length and agree
+// component-wise within absolute tolerance tol.
+func EqualTol(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether every component of v is finite (no NaN or Inf).
+func IsFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize returns v scaled so its components sum to 1. It returns an
+// error when the component sum is zero or not finite, since such a vector
+// cannot represent a normalized histogram.
+func Normalize(v []float64) ([]float64, error) {
+	s := Sum(v)
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("vec: cannot normalize vector with component sum %v", s)
+	}
+	return Scale(v, 1/s), nil
+}
+
+// Lerp returns the linear interpolation (1-t)*a + t*b.
+func Lerp(a, b []float64, t float64) []float64 {
+	mustSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = (1-t)*a[i] + t*b[i]
+	}
+	return out
+}
+
+// Min returns the component-wise minimum of a and b.
+func Min(a, b []float64) []float64 {
+	mustSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = math.Min(a[i], b[i])
+	}
+	return out
+}
+
+// Max returns the component-wise maximum of a and b.
+func Max(a, b []float64) []float64 {
+	mustSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = math.Max(a[i], b[i])
+	}
+	return out
+}
+
+// Clamp returns v with every component clamped into [lo, hi].
+func Clamp(v []float64, lo, hi float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = math.Min(math.Max(x, lo), hi)
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest component of v, or -1 when v is
+// empty. Ties resolve to the smallest index.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the smallest component of v, or -1 when v is
+// empty. Ties resolve to the smallest index.
+func ArgMin(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func mustSameLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch: %d vs %d", len(a), len(b)))
+	}
+}

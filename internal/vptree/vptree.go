@@ -1,0 +1,302 @@
+// Package vptree implements a vantage-point tree: an exact metric index
+// for k-nearest-neighbour search under a fixed metric. It serves the
+// "query processing" step of §2 for the default distance function; for
+// re-weighted queries it offers an exact lower-bound search that prunes
+// with the underlying metric (DESIGN.md, system 10).
+package vptree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/knn"
+)
+
+// Tree is a vantage-point tree over a fixed collection and metric.
+type Tree struct {
+	data   [][]float64
+	metric distance.Metric
+	root   *node
+	// stats
+	lastDistCalls int
+}
+
+type node struct {
+	vp      int     // vantage point index
+	radius  float64 // median distance from vp to the items in inside
+	inside  *node
+	outside *node
+	bucket  []int // leaf: remaining item indices (including vp when leaf)
+	leaf    bool
+}
+
+const leafSize = 16
+
+// Build constructs the tree. The data slice is aliased; the metric must be
+// the one later searches use directly.
+func Build(data [][]float64, m distance.Metric, seed int64) (*Tree, error) {
+	if len(data) == 0 {
+		return nil, errors.New("vptree: empty collection")
+	}
+	dim := len(data[0])
+	for i, v := range data {
+		if len(v) != dim {
+			return nil, fmt.Errorf("vptree: vector %d has dimension %d, want %d", i, len(v), dim)
+		}
+	}
+	t := &Tree{data: data, metric: m}
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.root = t.build(idx, rng)
+	return t, nil
+}
+
+func (t *Tree) build(idx []int, rng *rand.Rand) *node {
+	if len(idx) == 0 {
+		return nil
+	}
+	if len(idx) <= leafSize {
+		return &node{leaf: true, bucket: idx, vp: -1}
+	}
+	// Choose a random vantage point and partition the rest by the median
+	// distance to it.
+	pos := rng.Intn(len(idx))
+	idx[0], idx[pos] = idx[pos], idx[0]
+	vp := idx[0]
+	rest := idx[1:]
+	type di struct {
+		i int
+		d float64
+	}
+	ds := make([]di, len(rest))
+	for j, i := range rest {
+		ds[j] = di{i, t.metric.Distance(t.data[vp], t.data[i])}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	mid := len(ds) / 2
+	radius := ds[mid].d
+	insideIdx := make([]int, 0, mid+1)
+	outsideIdx := make([]int, 0, len(ds)-mid)
+	for _, e := range ds {
+		if e.d < radius || (e.d == radius && len(insideIdx) <= mid) {
+			insideIdx = append(insideIdx, e.i)
+		} else {
+			outsideIdx = append(outsideIdx, e.i)
+		}
+	}
+	// Degenerate split (all equal distances): fall back to a leaf.
+	if len(insideIdx) == 0 || len(outsideIdx) == 0 {
+		return &node{leaf: true, bucket: idx, vp: -1}
+	}
+	return &node{
+		vp:      vp,
+		radius:  radius,
+		inside:  t.build(insideIdx, rng),
+		outside: t.build(outsideIdx, rng),
+	}
+}
+
+// Len returns the collection size.
+func (t *Tree) Len() int { return len(t.data) }
+
+// Metric returns the metric the tree was built with.
+func (t *Tree) Metric() distance.Metric { return t.metric }
+
+// LastDistanceCalls reports the number of metric evaluations performed by
+// the most recent search — the cost measure index benchmarks use.
+func (t *Tree) LastDistanceCalls() int { return t.lastDistCalls }
+
+// Search returns the k nearest neighbours of q under the tree's metric.
+func (t *Tree) Search(q []float64, k int) ([]knn.Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("vptree: k must be positive, got %d", k)
+	}
+	if len(q) != len(t.data[0]) {
+		return nil, fmt.Errorf("vptree: query has dimension %d, want %d", len(q), len(t.data[0]))
+	}
+	t.lastDistCalls = 0
+	top := knn.NewTopK(k)
+	t.search(t.root, q, top)
+	return top.Results(), nil
+}
+
+// SearchWeighted answers an exact k-NN query under the weighted Euclidean
+// metric w using a tree built on the plain Euclidean metric: since
+// √(min w_i)·L2(a,b) ≤ d_w(a,b), triangle-inequality pruning in L2 space
+// with the scaled radius is admissible. The tree must have been built with
+// distance.Euclidean or an all-ones weighted metric.
+func (t *Tree) SearchWeighted(q []float64, k int, w *distance.WeightedEuclidean) ([]knn.Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("vptree: k must be positive, got %d", k)
+	}
+	if len(q) != len(t.data[0]) {
+		return nil, fmt.Errorf("vptree: query has dimension %d, want %d", len(q), len(t.data[0]))
+	}
+	switch m := t.metric.(type) {
+	case distance.Euclidean:
+	case *distance.WeightedEuclidean:
+		if m.MinWeight() != 1 || m.MaxWeight() != 1 {
+			return nil, errors.New("vptree: weighted search requires a tree built on the Euclidean metric")
+		}
+	default:
+		return nil, errors.New("vptree: weighted search requires a tree built on the Euclidean metric")
+	}
+	minW := w.MinWeight()
+	if minW <= 0 {
+		// Zero weights give a zero lower bound: pruning impossible, but a
+		// full traversal is still exact.
+		minW = 0
+	}
+	t.lastDistCalls = 0
+	top := knn.NewTopK(k)
+	t.searchWeighted(t.root, q, top, w, math.Sqrt(minW))
+	return top.Results(), nil
+}
+
+// search descends the tree under the tree's own metric, accumulating
+// results in top and pruning subtrees with the triangle inequality.
+func (t *Tree) search(n *node, q []float64, top *knn.TopK) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, i := range n.bucket {
+			t.lastDistCalls++
+			top.Offer(i, t.metric.Distance(q, t.data[i]))
+		}
+		return
+	}
+	t.lastDistCalls++
+	dvp := t.metric.Distance(q, t.data[n.vp])
+	top.Offer(n.vp, dvp)
+	first, second := n.inside, n.outside
+	if dvp >= n.radius {
+		first, second = n.outside, n.inside
+	}
+	t.search(first, q, top)
+	if tau, ok := top.Bound(); ok {
+		// The other side can only contain an improvement when the ball of
+		// radius tau around q crosses the splitting shell.
+		if dvp >= n.radius {
+			if dvp-n.radius > tau {
+				return
+			}
+		} else {
+			if n.radius-dvp > tau {
+				return
+			}
+		}
+	}
+	t.search(second, q, top)
+}
+
+// searchWeighted mirrors search but evaluates candidates with the weighted
+// metric while pruning with tree-metric (Euclidean) geometry: the shell
+// test compares L2 distances against tau_w / √(min w), the largest L2
+// radius that could still contain a weighted improvement.
+func (t *Tree) searchWeighted(n *node, q []float64, top *knn.TopK, w *distance.WeightedEuclidean, sqrtMinW float64) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, i := range n.bucket {
+			t.lastDistCalls++
+			top.Offer(i, w.Distance(q, t.data[i]))
+		}
+		return
+	}
+	t.lastDistCalls += 2
+	dTree := t.metric.Distance(q, t.data[n.vp])
+	top.Offer(n.vp, w.Distance(q, t.data[n.vp]))
+	first, second := n.inside, n.outside
+	if dTree >= n.radius {
+		first, second = n.outside, n.inside
+	}
+	t.searchWeighted(first, q, top, w, sqrtMinW)
+	if tau, ok := top.Bound(); ok && sqrtMinW > 0 {
+		l2tau := tau / sqrtMinW
+		if dTree >= n.radius {
+			if dTree-n.radius > l2tau {
+				return
+			}
+		} else {
+			if n.radius-dTree > l2tau {
+				return
+			}
+		}
+	}
+	t.searchWeighted(second, q, top, w, sqrtMinW)
+}
+
+// RangeSearch returns every item within radius r of q under the tree's
+// metric, ordered by ascending distance (ties by index).
+func (t *Tree) RangeSearch(q []float64, r float64) ([]knn.Result, error) {
+	if len(q) != len(t.data[0]) {
+		return nil, fmt.Errorf("vptree: query has dimension %d, want %d", len(q), len(t.data[0]))
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("vptree: negative radius %v", r)
+	}
+	t.lastDistCalls = 0
+	var out []knn.Result
+	t.rangeSearch(t.root, q, r, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, nil
+}
+
+func (t *Tree) rangeSearch(n *node, q []float64, r float64, out *[]knn.Result) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, i := range n.bucket {
+			t.lastDistCalls++
+			if d := t.metric.Distance(q, t.data[i]); d <= r {
+				*out = append(*out, knn.Result{Index: i, Distance: d})
+			}
+		}
+		return
+	}
+	t.lastDistCalls++
+	dvp := t.metric.Distance(q, t.data[n.vp])
+	if dvp <= r {
+		*out = append(*out, knn.Result{Index: n.vp, Distance: dvp})
+	}
+	// The inside ball can contain matches when the query ball reaches
+	// inside the shell; symmetrically for the outside.
+	if dvp-r < n.radius {
+		t.rangeSearch(n.inside, q, r, out)
+	}
+	if dvp+r >= n.radius {
+		t.rangeSearch(n.outside, q, r, out)
+	}
+}
+
+// Depth returns the maximum depth of the tree (1 for a single leaf).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	din, dout := depth(n.inside), depth(n.outside)
+	if dout > din {
+		din = dout
+	}
+	return 1 + din
+}

@@ -1,0 +1,294 @@
+package vptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/knn"
+)
+
+func randomData(rng *rand.Rand, n, dim int) [][]float64 {
+	data := make([][]float64, n)
+	for i := range data {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, distance.Euclidean{}, 1); err == nil {
+		t.Error("empty collection should error")
+	}
+	if _, err := Build([][]float64{{1, 2}, {3}}, distance.Euclidean{}, 1); err == nil {
+		t.Error("ragged collection should error")
+	}
+}
+
+func TestSearchMatchesScanEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randomData(rng, 500, 8)
+	tree, err := Build(data, distance.Euclidean{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := knn.NewScan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := make([]float64, 8)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(30)
+		got, err := tree.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scan.Search(q, k, distance.Euclidean{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !knn.SameIndexSet(got, want) {
+			t.Fatalf("trial %d (k=%d): tree %v vs scan %v", trial, k, knn.Indices(got), knn.Indices(want))
+		}
+	}
+}
+
+func TestSearchMatchesScanManhattan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randomData(rng, 300, 4)
+	m := distance.Manhattan{}
+	tree, err := Build(data, m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := knn.NewScan(data)
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float64, 4)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		got, _ := tree.Search(q, 10)
+		want, _ := scan.Search(q, 10, m)
+		if !knn.SameIndexSet(got, want) {
+			t.Fatalf("trial %d: tree %v vs scan %v", trial, knn.Indices(got), knn.Indices(want))
+		}
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randomData(rng, 2000, 3) // low dimension: pruning should bite
+	tree, err := Build(data, distance.Euclidean{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0, 0, 0}
+	if _, err := tree.Search(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if calls := tree.LastDistanceCalls(); calls >= len(data) {
+		t.Errorf("no pruning: %d distance calls for %d items", calls, len(data))
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	tree, _ := Build([][]float64{{0, 0}}, distance.Euclidean{}, 1)
+	if _, err := tree.Search([]float64{0, 0}, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := tree.Search([]float64{0}, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestSearchKLargerThanCollection(t *testing.T) {
+	data := [][]float64{{0}, {1}, {2}}
+	tree, _ := Build(data, distance.Euclidean{}, 1)
+	rs, err := tree.Search([]float64{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Errorf("got %d results", len(rs))
+	}
+}
+
+func TestDuplicatePointsLeafFallback(t *testing.T) {
+	// All identical points defeat the median split; builder must fall back
+	// to a leaf, and search must still work.
+	data := make([][]float64, 100)
+	for i := range data {
+		data[i] = []float64{1, 1}
+	}
+	tree, err := Build(data, distance.Euclidean{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tree.Search([]float64{1, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.Distance != 0 || r.Index != i {
+			t.Errorf("result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestSearchWeightedMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randomData(rng, 400, 6)
+	tree, err := Build(data, distance.Euclidean{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, _ := knn.NewScan(data)
+	for trial := 0; trial < 20; trial++ {
+		w := make([]float64, 6)
+		for j := range w {
+			w[j] = 0.2 + rng.Float64()*3
+		}
+		wm, err := distance.NewWeightedEuclidean(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float64, 6)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		got, err := tree.SearchWeighted(q, 10, wm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := scan.Search(q, 10, wm)
+		if !knn.SameIndexSet(got, want) {
+			t.Fatalf("trial %d: weighted tree %v vs scan %v", trial, knn.Indices(got), knn.Indices(want))
+		}
+	}
+}
+
+func TestSearchWeightedZeroWeightStillExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := randomData(rng, 200, 3)
+	tree, _ := Build(data, distance.Euclidean{}, 13)
+	scan, _ := knn.NewScan(data)
+	wm, err := distance.NewWeightedEuclidean([]float64{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, -0.5, 0.2}
+	got, err := tree.SearchWeighted(q, 8, wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := scan.Search(q, 8, wm)
+	if !knn.SameIndexSet(got, want) {
+		t.Fatalf("zero-weight search: tree %v vs scan %v", knn.Indices(got), knn.Indices(want))
+	}
+}
+
+func TestSearchWeightedRequiresEuclideanTree(t *testing.T) {
+	data := [][]float64{{0, 0}, {1, 1}}
+	tree, _ := Build(data, distance.Manhattan{}, 1)
+	wm, _ := distance.NewWeightedEuclidean([]float64{1, 1})
+	if _, err := tree.SearchWeighted([]float64{0, 0}, 1, wm); err == nil {
+		t.Error("non-Euclidean tree should reject weighted search")
+	}
+	uniform := distance.UniformWeighted(2)
+	tree2, _ := Build(data, uniform, 1)
+	if _, err := tree2.SearchWeighted([]float64{0, 0}, 1, wm); err != nil {
+		t.Errorf("all-ones weighted tree should allow weighted search: %v", err)
+	}
+}
+
+func TestSearchWeightedErrors(t *testing.T) {
+	tree, _ := Build([][]float64{{0, 0}}, distance.Euclidean{}, 1)
+	wm, _ := distance.NewWeightedEuclidean([]float64{1, 1})
+	if _, err := tree.SearchWeighted([]float64{0, 0}, 0, wm); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := tree.SearchWeighted([]float64{0}, 1, wm); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestDepthAndLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := randomData(rng, 1000, 4)
+	tree, _ := Build(data, distance.Euclidean{}, 15)
+	if tree.Len() != 1000 {
+		t.Errorf("Len = %d", tree.Len())
+	}
+	d := tree.Depth()
+	// 1000 items with leaf size 16: depth should be moderate (≈ log2(63)).
+	if d < 3 || d > 20 {
+		t.Errorf("unexpected depth %d", d)
+	}
+	if tree.Metric().Name() != "euclidean" {
+		t.Errorf("Metric = %s", tree.Metric().Name())
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := randomData(rng, 400, 3)
+	tree, err := Build(data, distance.Euclidean{}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.Euclidean{}
+	for trial := 0; trial < 15; trial++ {
+		q := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		r := 0.4 + rng.Float64()
+		got, err := tree.RangeSearch(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int]bool{}
+		for i, v := range data {
+			if m.Distance(q, v) <= r {
+				want[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		prev := -1.0
+		for _, res := range got {
+			if !want[res.Index] {
+				t.Fatalf("trial %d: unexpected result %d", trial, res.Index)
+			}
+			if res.Distance < prev {
+				t.Fatalf("trial %d: results not sorted", trial)
+			}
+			prev = res.Distance
+		}
+	}
+}
+
+func TestRangeSearchErrors(t *testing.T) {
+	tree, _ := Build([][]float64{{0, 0}}, distance.Euclidean{}, 1)
+	if _, err := tree.RangeSearch([]float64{0}, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, err := tree.RangeSearch([]float64{0, 0}, -1); err == nil {
+		t.Error("negative radius should error")
+	}
+	rs, err := tree.RangeSearch([]float64{100, 100}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("expected no results, got %d", len(rs))
+	}
+}
