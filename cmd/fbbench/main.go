@@ -14,27 +14,34 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/dataset"
+	"repro/internal/distance"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/histogram"
+	"repro/internal/imagegen"
+	"repro/internal/knn"
 	"repro/internal/persist"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16")
-		scale   = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
-		queries = flag.Int("queries", 700, "training queries to process")
-		k       = flag.Int("k", 15, "results per query (paper: 50)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		epsilon = flag.Float64("epsilon", 0.05, "Simplex Tree insert threshold ε")
-		numEval = flag.Int("eval", 80, "evaluation queries for the k-sweep figures")
-		save    = flag.String("save", "", "persist the trained Simplex Tree to this file (inspect with fbtree)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, or knn (retrieval-core micro-benchmark)")
+		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
+		queries  = flag.Int("queries", 700, "training queries to process")
+		k        = flag.Int("k", 15, "results per query (paper: 50)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		epsilon  = flag.Float64("epsilon", 0.05, "Simplex Tree insert threshold ε")
+		numEval  = flag.Int("eval", 80, "evaluation queries for the k-sweep figures")
+		save     = flag.String("save", "", "persist the trained Simplex Tree to this file (inspect with fbtree)")
+		jsonPath = flag.String("json", "", "additionally write every printed series as machine-readable JSON to this file")
 	)
 	flag.Parse()
 
@@ -46,8 +53,25 @@ func main() {
 		Epsilon:    *epsilon,
 	}
 
+	if *jsonPath != "" {
+		report = &jsonReport{
+			Meta: reportMeta{
+				Scale: *scale, Queries: *queries, K: *k, Seed: *seed,
+				Epsilon: *epsilon, Figure: *figure, Timestamp: time.Now().UTC().Format(time.RFC3339),
+			},
+			Series: map[string][]jsonSeries{},
+			KNN:    map[string]knnBenchResult{},
+		}
+	}
 	want := func(f string) bool { return *figure == "all" || *figure == f }
 	start := time.Now()
+
+	if *figure == "knn" {
+		runKNNBench(*scale, *k, *numEval, *seed)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
 
 	// Figures 10, 14 and 16 share one savings-enabled session; Figure 1
 	// and 9 reuse it too.
@@ -70,30 +94,39 @@ func main() {
 	}
 
 	if want("1") {
+		section = "figure1"
 		printFigure1(shared)
 	}
 	if want("9") {
+		section = "figure9"
 		printFigure9(shared)
 	}
 	if want("10") {
+		section = "figure10"
 		printFigure10(shared)
 	}
 	if want("11") {
+		section = "figure11"
 		printFigure11(shared, *numEval)
 	}
 	if want("12") {
+		section = "figure12"
 		printFigure12(cfg)
 	}
 	if want("13") {
+		section = "figure13"
 		printFigure13(cfg, *numEval)
 	}
 	if want("14") {
+		section = "figure14"
 		printFigure14(shared)
 	}
 	if want("15") {
+		section = "figure15"
 		printFigure15(cfg)
 	}
 	if want("16") {
+		section = "figure16"
 		printFigure16(shared)
 	}
 	if *save != "" {
@@ -105,7 +138,134 @@ func main() {
 		}
 		fmt.Printf("# saved trained Simplex Tree to %s\n", *save)
 	}
+	writeReport(*jsonPath)
 	fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+}
+
+// jsonReport accumulates everything printed for the -json flag.
+type jsonReport struct {
+	Meta   reportMeta                `json:"meta"`
+	Series map[string][]jsonSeries   `json:"series,omitempty"`
+	KNN    map[string]knnBenchResult `json:"knn,omitempty"`
+}
+
+type reportMeta struct {
+	Scale     float64 `json:"scale"`
+	Queries   int     `json:"queries"`
+	K         int     `json:"k"`
+	Seed      int64   `json:"seed"`
+	Epsilon   float64 `json:"epsilon"`
+	Figure    string  `json:"figure"`
+	Timestamp string  `json:"timestamp"`
+}
+
+type jsonSeries struct {
+	Label  string    `json:"label"`
+	XLabel string    `json:"x_label"`
+	X      []float64 `json:"x"`
+	Y      []float64 `json:"y"`
+}
+
+type knnBenchResult struct {
+	Collection int     `json:"collection"`
+	Dim        int     `json:"dim"`
+	K          int     `json:"k"`
+	Queries    int     `json:"queries"`
+	NsPerQuery float64 `json:"ns_per_query"`
+	QPS        float64 `json:"qps"`
+}
+
+// report is nil unless -json was given; section names the figure being
+// printed so recorded series land under it.
+var (
+	report  *jsonReport
+	section string
+)
+
+func record(xLabel string, series ...*eval.Series) {
+	if report == nil {
+		return
+	}
+	for _, s := range series {
+		report.Series[section] = append(report.Series[section], jsonSeries{
+			Label: s.Label, XLabel: xLabel, X: s.X, Y: s.Y,
+		})
+	}
+}
+
+func writeReport(path string) {
+	if report == nil || path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("# wrote JSON report to %s\n", path)
+}
+
+// runKNNBench measures the retrieval core in isolation: per-query latency
+// of the cache-tiled SearchBatch versus the naive per-row Metric path,
+// under both the default Euclidean metric and a re-weighted metric — the
+// two retrieval shapes of the feedback loop.
+func runKNNBench(scale float64, k, numQueries int, seed int64) {
+	header(fmt.Sprintf("KNN retrieval core (scale %.2f, k = %d, %d queries)", scale, k, numQueries))
+	ds, err := dataset.Build(imagegen.IMSILike(seed, scale), histogram.DefaultExtractor)
+	if err != nil {
+		fail(err)
+	}
+	scan, err := knn.NewScanMatrix(ds.Matrix())
+	if err != nil {
+		fail(err)
+	}
+	qs := make([][]float64, numQueries)
+	for i := range qs {
+		qs[i] = ds.Items[(i*131)%ds.Len()].Feature
+	}
+	weights := make([]float64, ds.Dim)
+	for i := range weights {
+		weights[i] = 0.5 + float64(i%4)
+	}
+	wm, err := distance.NewWeightedEuclidean(weights)
+	if err != nil {
+		fail(err)
+	}
+	runs := []struct {
+		name   string
+		search func() error
+	}{
+		{"batch-euclidean", func() error { _, err := scan.SearchBatch(qs, k, distance.Euclidean{}); return err }},
+		{"batch-weighted", func() error { _, err := scan.SearchBatch(qs, k, wm); return err }},
+		{"naive-euclidean", func() error {
+			for _, q := range qs {
+				if _, err := scan.SearchNaive(q, k, distance.Euclidean{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	fmt.Printf("%-18s %14s %12s\n", "mode", "ns/query", "queries/s")
+	for _, r := range runs {
+		t0 := time.Now()
+		if err := r.search(); err != nil {
+			fail(err)
+		}
+		elapsed := time.Since(t0)
+		nsq := float64(elapsed.Nanoseconds()) / float64(len(qs))
+		qps := 1e9 / nsq
+		fmt.Printf("%-18s %14.0f %12.0f\n", r.name, nsq, qps)
+		if report != nil {
+			report.KNN[r.name] = knnBenchResult{
+				Collection: ds.Len(), Dim: ds.Dim, K: k, Queries: len(qs),
+				NsPerQuery: nsq, QPS: qps,
+			}
+		}
+	}
+	fmt.Println()
 }
 
 func fail(err error) {
@@ -119,8 +279,10 @@ func header(title string) {
 	fmt.Println(strings.Repeat("=", 72))
 }
 
-// printSeries renders several series sharing an X axis as one table.
+// printSeries renders several series sharing an X axis as one table and
+// records them for the -json report.
 func printSeries(xLabel string, series ...*eval.Series) {
+	record(xLabel, series...)
 	const colWidth = 28
 	fmt.Printf("%-12s", xLabel)
 	for _, s := range series {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/histogram"
 	"repro/internal/imagegen"
+	"repro/internal/store"
 )
 
 // Item is one database object: a feature vector with its category label.
@@ -23,11 +24,16 @@ type Item struct {
 }
 
 // Dataset is the in-memory collection the retrieval engine searches.
+// Feature vectors live in one contiguous row-major store (mat); every
+// Item.Feature is a view into it, so the scan kernels stream the whole
+// collection as one slab.
 type Dataset struct {
 	Items      []Item
 	Dim        int
 	ByCategory map[string][]int // category → item indices
 	QueryCats  []string         // categories queries are sampled from
+
+	mat *store.FlatMatrix
 }
 
 // Build generates the collection from cfg and extracts features with the
@@ -37,18 +43,28 @@ func Build(cfg imagegen.Config, ex histogram.Extractor) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(imgs) == 0 {
+		return nil, errors.New("dataset: configuration generates no images")
+	}
 	d := &Dataset{
 		Dim:        ex.Bins(),
 		ByCategory: make(map[string][]int),
 		QueryCats:  cfg.QueryCategoryNames(),
 	}
+	mat, err := store.NewFlatMatrix(len(imgs), ex.Bins())
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	d.mat = mat
 	for _, g := range imgs {
 		feat, err := ex.Extract(g.Image)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: extracting image %d: %w", g.ID, err)
 		}
-		d.ByCategory[g.Category] = append(d.ByCategory[g.Category], len(d.Items))
-		d.Items = append(d.Items, Item{ID: g.ID, Category: g.Category, Theme: g.Theme, Feature: feat})
+		i := len(d.Items)
+		mat.SetRow(i, feat)
+		d.ByCategory[g.Category] = append(d.ByCategory[g.Category], i)
+		d.Items = append(d.Items, Item{ID: g.ID, Category: g.Category, Theme: g.Theme, Feature: mat.Row(i)})
 	}
 	return d, nil
 }
@@ -61,10 +77,17 @@ func FromItems(items []Item, queryCats []string) (*Dataset, error) {
 	}
 	dim := len(items[0].Feature)
 	d := &Dataset{Dim: dim, ByCategory: make(map[string][]int), QueryCats: queryCats}
+	mat, err := store.NewFlatMatrix(len(items), dim)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	d.mat = mat
 	for i, it := range items {
 		if len(it.Feature) != dim {
 			return nil, fmt.Errorf("dataset: item %d has dimension %d, want %d", i, len(it.Feature), dim)
 		}
+		mat.SetRow(i, it.Feature)
+		it.Feature = mat.Row(i)
 		d.ByCategory[it.Category] = append(d.ByCategory[it.Category], i)
 		d.Items = append(d.Items, it)
 	}
@@ -85,14 +108,14 @@ func (d *Dataset) IsGood(i int, queryCategory string) bool {
 }
 
 // Features returns the feature matrix as a slice of rows (aliasing the
-// item storage; callers must not mutate).
+// flat store; callers must not mutate).
 func (d *Dataset) Features() [][]float64 {
-	out := make([][]float64, len(d.Items))
-	for i := range d.Items {
-		out[i] = d.Items[i].Feature
-	}
-	return out
+	return d.mat.Rows()
 }
+
+// Matrix returns the contiguous feature store backing the collection
+// (aliased; callers must not mutate).
+func (d *Dataset) Matrix() *store.FlatMatrix { return d.mat }
 
 // SampleQueries draws n item indices uniformly at random from the query
 // categories, without replacement when possible (with replacement once the

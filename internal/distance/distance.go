@@ -150,17 +150,14 @@ func UniformWeighted(d int) *WeightedEuclidean {
 	return &WeightedEuclidean{w: vec.Ones(d)}
 }
 
-// Distance implements Metric.
+// Distance implements Metric. It is math.Sqrt(vec.SqDistW(a, b, w)), the
+// same canonical accumulation the retrieval kernels use, so naive and
+// kernelized paths agree bitwise.
 func (m *WeightedEuclidean) Distance(a, b []float64) float64 {
 	if len(a) != len(m.w) || len(b) != len(m.w) {
 		panic(fmt.Sprintf("distance: dimension mismatch: %d, %d vs %d weights", len(a), len(b), len(m.w)))
 	}
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += m.w[i] * d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(vec.SqDistW(a, b, m.w))
 }
 
 // Name implements Metric.

@@ -9,7 +9,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
@@ -72,7 +71,7 @@ func New(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	scan, err := knn.NewScan(ds.Features())
+	scan, err := knn.NewScanMatrix(ds.Matrix())
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +101,45 @@ func (e *Engine) Retrieve(q, w []float64, k int) ([]knn.Result, error) {
 		return e.index.SearchWeighted(q, k, m)
 	}
 	return e.scan.Search(q, k, m)
+}
+
+// WeightedQuery pairs a query point with the weight vector of its
+// re-weighted metric.
+type WeightedQuery struct {
+	Q, W []float64
+}
+
+// RetrieveBatch answers several weighted retrievals in one call through
+// the scan's cache-tiled SearchBatchMulti: every L2-sized block of the
+// collection is streamed once for the whole batch, with each query
+// evaluated under its own weighted metric against the hot block. Results
+// are positionally aligned with qs and identical to calling Retrieve per
+// query. Singleton batches and the index path answer queries one by one
+// (a lone kernel query is served with more parallelism by the sharded
+// Search; tree descent has no batch variant).
+func (e *Engine) RetrieveBatch(qs []WeightedQuery, k int) ([][]knn.Result, error) {
+	if e.index != nil || len(qs) == 1 {
+		out := make([][]knn.Result, len(qs))
+		for i, wq := range qs {
+			res, err := e.Retrieve(wq.Q, wq.W, k)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	points := make([][]float64, len(qs))
+	metrics := make([]distance.Metric, len(qs))
+	for i, wq := range qs {
+		m, err := distance.NewWeightedEuclidean(wq.W)
+		if err != nil {
+			return nil, err
+		}
+		points[i] = wq.Q
+		metrics[i] = m
+	}
+	return e.scan.SearchBatchMulti(points, k, metrics)
 }
 
 // Score applies the automatic relevance oracle of §5: an item scores
@@ -167,7 +205,7 @@ func (e *Engine) RunLoop(queryCategory string, q0, w0 []float64, k int) (LoopOut
 	// repeated list means the loop has entered a limit cycle and no further
 	// improvement is possible ("stable situation", §5). Track every list
 	// seen to terminate both on fixed points and on longer cycles.
-	seen := map[string]bool{signature(results): true}
+	seen := map[uint64]bool{signature(results): true}
 	for iter := 0; iter < e.maxIters; iter++ {
 		scores := e.Score(queryCategory, results)
 		vectors := make([][]float64, len(results))
@@ -209,13 +247,27 @@ func (e *Engine) RunLoop(queryCategory string, q0, w0 []float64, k int) (LoopOut
 	return out, nil
 }
 
-// signature encodes a result list's index sequence for cycle detection.
-func signature(results []knn.Result) string {
-	var b strings.Builder
+// signature encodes a result list's index sequence for cycle detection:
+// FNV-1a over the little-endian index bytes. The previous implementation
+// built a string with one fmt.Fprintf per result per iteration, which
+// dominated the loop's bookkeeping cost; the hash is allocation-free. A
+// 64-bit collision between the handful of lists one loop can see is
+// vanishingly unlikely (and a collision merely ends refinement one
+// iteration early, it cannot corrupt results).
+func signature(results []knn.Result) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, r := range results {
-		fmt.Fprintf(&b, "%d,", r.Index)
+		x := uint64(r.Index)
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= prime64
+		}
 	}
-	return b.String()
+	return h
 }
 
 // UniformWeights returns the all-ones weight vector of the collection's

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/feedback"
+	"repro/internal/knn"
 	"repro/internal/vec"
 )
 
@@ -235,4 +236,100 @@ func TestRunLoopWithRocchioAndMARS(t *testing.T) {
 	if final < first {
 		t.Errorf("Rocchio+MARS degraded precision %d -> %d", first, final)
 	}
+}
+
+func TestSignatureDistinguishesLists(t *testing.T) {
+	a := []knn.Result{{Index: 1}, {Index: 2}, {Index: 3}}
+	b := []knn.Result{{Index: 1}, {Index: 2}, {Index: 4}}
+	c := []knn.Result{{Index: 3}, {Index: 2}, {Index: 1}}
+	if signature(a) == signature(b) {
+		t.Error("different index sets should hash differently")
+	}
+	if signature(a) == signature(c) {
+		t.Error("order must matter: reversed list should hash differently")
+	}
+	if signature(a) != signature([]knn.Result{{Index: 1}, {Index: 2}, {Index: 3}}) {
+		t.Error("equal lists must hash equally")
+	}
+	if signature(nil) != signature([]knn.Result{}) {
+		t.Error("empty list hash must be stable")
+	}
+}
+
+func TestRetrieveBatchMatchesRetrieve(t *testing.T) {
+	ds := clusteredDataset(t, 200, 11)
+	e, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := e.UniformWeights()
+	shifted := make([]float64, ds.Dim)
+	for i := range shifted {
+		shifted[i] = 0.5 + float64(i%3)
+	}
+	qs := []WeightedQuery{
+		{Q: ds.Items[0].Feature, W: uniform},
+		{Q: ds.Items[1].Feature, W: uniform}, // same weights: grouped into one batch
+		{Q: ds.Items[2].Feature, W: shifted}, // new weights: new group
+	}
+	batch, err := e.RetrieveBatch(qs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wq := range qs {
+		want, err := e.Retrieve(wq.Q, wq.W, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("query %d result %d: %+v != %+v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestRetrieveBatchWithIndex(t *testing.T) {
+	ds := clusteredDataset(t, 150, 13)
+	e, err := New(ds, Options{UseIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := e.UniformWeights()
+	qs := []WeightedQuery{
+		{Q: ds.Items[0].Feature, W: uniform},
+		{Q: ds.Items[5].Feature, W: uniform},
+	}
+	batch, err := e.RetrieveBatch(qs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wq := range qs {
+		want, err := e.Retrieve(wq.Q, wq.W, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !knn.SameIndexSet(batch[i], want) {
+			t.Fatalf("query %d: index batch diverges from Retrieve", i)
+		}
+	}
+}
+
+// BenchmarkFeedbackSignature measures the allocation-free FNV-1a cycle
+// key that replaced the fmt.Fprintf string builder in RunLoop.
+func BenchmarkFeedbackSignature(b *testing.B) {
+	results := make([]knn.Result, 50)
+	for i := range results {
+		results[i] = knn.Result{Index: i * 37}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= signature(results)
+	}
+	_ = sink
 }

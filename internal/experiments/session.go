@@ -250,17 +250,17 @@ func (s *Session) ProcessQuery(itemIdx int) (QueryRecord, error) {
 		return rec, err
 	}
 
-	// (2) First-round retrieval under default and predicted parameters.
-	defaultResults, err := s.Engine.Retrieve(q, uniform, k)
+	// (2) First-round retrieval under default and predicted parameters,
+	// batched so the collection streams through cache once for both.
+	firstRound, err := s.Engine.RetrieveBatch([]engine.WeightedQuery{
+		{Q: q, W: uniform},
+		{Q: qPred, W: wPred},
+	}, k)
 	if err != nil {
 		return rec, err
 	}
-	rec.GoodDefault = s.Engine.GoodCount(item.Category, defaultResults)
-	bypassResults, err := s.Engine.Retrieve(qPred, wPred, k)
-	if err != nil {
-		return rec, err
-	}
-	rec.GoodBypass = s.Engine.GoodCount(item.Category, bypassResults)
+	rec.GoodDefault = s.Engine.GoodCount(item.Category, firstRound[0])
+	rec.GoodBypass = s.Engine.GoodCount(item.Category, firstRound[1])
 
 	// (3) Feedback loop from the default parameters.
 	out, err := s.Engine.RunLoop(item.Category, q, uniform, k)
@@ -338,18 +338,18 @@ func (s *Session) EvaluateAtK(itemIdx int, rs []int) (goodDefault, goodBypass, g
 			maxR = r
 		}
 	}
-	defRes, err := s.Engine.Retrieve(q, uniform, maxR)
+	// One batched call answers all three scenario retrievals: the scan
+	// streams each cache block of the collection once for the batch,
+	// evaluating every scenario's metric against the hot block.
+	batch, err := s.Engine.RetrieveBatch([]engine.WeightedQuery{
+		{Q: q, W: uniform},
+		{Q: qPred, W: wPred},
+		{Q: out.QOpt, W: out.WOpt},
+	}, maxR)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	bypRes, err := s.Engine.Retrieve(qPred, wPred, maxR)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	seenRes, err := s.Engine.Retrieve(out.QOpt, out.WOpt, maxR)
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	defRes, bypRes, seenRes := batch[0], batch[1], batch[2]
 	countTop := func(resIdx []int, r int) int {
 		n := 0
 		for i := 0; i < r && i < len(resIdx); i++ {

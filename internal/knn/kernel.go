@@ -1,0 +1,475 @@
+// Kernelized scan paths: squared-space comparison, early abandonment, a
+// sharded parallel scan with a deterministic merge, and a cache-tiled
+// batch scan. The naive path pays a virtual Metric.Distance call and a
+// math.Sqrt per database vector; the kernel path walks the contiguous
+// feature slab, compares candidates by their squared distance (monotone
+// in the true distance), abandons a candidate as soon as its partial sum
+// exceeds the current k-th best, and takes one square root per *reported
+// result*. Batches additionally tile the collection into L2-sized row
+// blocks so one streamed block serves every query in the batch — at
+// paper scale a lone query is memory-bound (the whole feature slab
+// streams through cache per search), so amortizing the stream across a
+// query batch is where the large win lives. The parity property tests
+// assert every path returns []Result identical to the generic path.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/distance"
+	"repro/internal/store"
+)
+
+// minShardRows is the smallest shard worth a goroutine: below this the
+// spawn/merge overhead dominates the scan itself.
+const minShardRows = 1024
+
+// rowTile is the number of rows per cache block of the tiled batch scan:
+// 512 rows × 32 dims × 8 B = 128 KiB, comfortably L2-resident while the
+// batch's query vectors stay in L1.
+const rowTile = 512
+
+// tileMask masks tile-buffer cursors: cursors never exceed the row index
+// being processed, so idx&tileMask == idx, and the mask lets the compiler
+// drop the bounds check on every buffer access.
+const tileMask = rowTile - 1
+
+// scanWorkers returns how many shards to scan n rows with.
+func scanWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if max := n / minShardRows; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scanState carries one query's accumulation across row blocks: the k
+// best candidates so far as a sorted insertion array in *squared* space,
+// and the current abandon bound (the k-th best squared distance seen so
+// far, +Inf until k candidates have been retained). A sorted array beats
+// a binary heap here: scan loops pre-filter with bound2, so nearly every
+// offer is a real insert, and a binary search plus a ≤ 800-byte memmove
+// costs less than a heap sift's cascade of mispredicted compares — while
+// keeping the same retained set under the (distance, index) total order.
+type scanState struct {
+	k      int
+	items  []Result // ascending by (squared distance, index)
+	bound2 float64
+}
+
+func newScanState(k int) scanState {
+	return scanState{k: k, items: make([]Result, 0, k), bound2: math.Inf(1)}
+}
+
+// offer inserts a candidate with squared distance d2, keeping items
+// sorted and at most k long, and refreshes bound2. Callers pre-filter
+// with bound2, but offer is also correct for candidates beyond it. The
+// insert position comes from a backward shift (insertion sort step), not
+// a binary search: the shift loop's branch is perfectly predicted until
+// the single exit, while a binary search eats one misprediction per
+// level.
+func (st *scanState) offer(idx int, d2 float64) {
+	cand := Result{Index: idx, Distance: d2}
+	items := st.items
+	if len(items) < st.k {
+		items = append(items, cand)
+		j := len(items) - 1
+		for j > 0 && worse(items[j-1], cand) {
+			items[j] = items[j-1]
+			j--
+		}
+		items[j] = cand
+		st.items = items
+		if len(items) == st.k {
+			st.bound2 = items[st.k-1].Distance
+		}
+		return
+	}
+	j := st.k - 1
+	if !worse(items[j], cand) {
+		return
+	}
+	for j > 0 && worse(items[j-1], cand) {
+		items[j] = items[j-1]
+		j--
+	}
+	items[j] = cand
+	st.bound2 = items[st.k-1].Distance
+}
+
+// searchKernel answers one k-NN query through the squared-space kernel,
+// sharding the collection across workers when it is large enough.
+func (s *Scan) searchKernel(q []float64, k int, kern distance.Kernel) []Result {
+	n := s.mat.Len()
+	workers := scanWorkers(n)
+	if workers == 1 {
+		st := newScanState(k)
+		scanRows(s.mat, q, kern, 0, n, &st)
+		return finishSquared(st.items, k)
+	}
+	// Contiguous shards keep each worker on one linear slab of the store.
+	states := make([]scanState, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			states[w] = newScanState(k)
+			scanRows(s.mat, q, kern, lo, hi, &states[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Deterministic merge: the union of per-shard candidates is re-ranked
+	// under the same (distance, index) total order regardless of worker
+	// completion order; shard boundaries are pure functions of (n,
+	// workers), so repeated runs see identical candidate sets.
+	merged := newScanState(k)
+	for w := range states {
+		for _, r := range states[w].items {
+			if r.Distance <= merged.bound2 {
+				merged.offer(r.Index, r.Distance)
+			}
+		}
+	}
+	return finishSquared(merged.items, k)
+}
+
+// scanRows accumulates rows [lo, hi) into st in *squared* space: the
+// state holds squared distances, whose (value, index) order matches the
+// true-distance order because x ↦ √x is monotone. Dimensionality 32 (the
+// paper's histogram width) dispatches to loops with compile-time-constant
+// trip counts; other dimensionalities go through the canonical
+// vec-backed kernel, so every path produces sums bitwise identical to
+// the naive Metric implementations. Abandon-check cadence varies by
+// loop; cadence only changes how much of a doomed row is read, never a
+// surviving sum.
+func scanRows(mat *store.FlatMatrix, q []float64, kern distance.Kernel, lo, hi int, st *scanState) {
+	dim := mat.Dim()
+	if dim == 32 {
+		if kern.Weights() == nil {
+			scanRows32(mat, q, lo, hi, st)
+		} else {
+			scanRows32W(mat, q, kern.Weights(), lo, hi, st)
+		}
+		return
+	}
+	bound2 := st.bound2
+	slab := mat.Slab(lo, hi)
+	for i := lo; i < hi; i++ {
+		off := (i - lo) * dim
+		row := slab[off : off+dim : off+dim]
+		s, abandoned := kern.SquaredAbandon(q, row, bound2)
+		if abandoned {
+			continue
+		}
+		st.offer(i, s)
+		bound2 = st.bound2
+	}
+}
+
+// scanRows32 is the unweighted D=32 fast path: four 8-element blocks with
+// constant indices, abandon check per block.
+func scanRows32(mat *store.FlatMatrix, q []float64, lo, hi int, st *scanState) {
+	bound2 := st.bound2
+	slab := mat.Slab(lo, hi)
+	q = q[:32]
+	for i := lo; i < hi; i++ {
+		off := (i - lo) * 32
+		row := slab[off : off+32 : off+32]
+		var s0, s1, s2, s3 float64
+		abandoned := false
+		for blk := 0; blk < 32; blk += 8 {
+			qq := q[blk : blk+8 : blk+8]
+			rr := row[blk : blk+8 : blk+8]
+			d0 := qq[0] - rr[0]
+			s0 += d0 * d0
+			d1 := qq[1] - rr[1]
+			s1 += d1 * d1
+			d2 := qq[2] - rr[2]
+			s2 += d2 * d2
+			d3 := qq[3] - rr[3]
+			s3 += d3 * d3
+			d4 := qq[4] - rr[4]
+			s0 += d4 * d4
+			d5 := qq[5] - rr[5]
+			s1 += d5 * d5
+			d6 := qq[6] - rr[6]
+			s2 += d6 * d6
+			d7 := qq[7] - rr[7]
+			s3 += d7 * d7
+			if (s0+s1)+(s2+s3) > bound2 {
+				abandoned = true
+				break
+			}
+		}
+		if abandoned {
+			continue
+		}
+		s := (s0 + s1) + (s2 + s3)
+		if s <= bound2 {
+			st.offer(i, s)
+			bound2 = st.bound2
+		}
+	}
+}
+
+// scanRows32W is the weighted D=32 fast path.
+func scanRows32W(mat *store.FlatMatrix, q, w []float64, lo, hi int, st *scanState) {
+	bound2 := st.bound2
+	slab := mat.Slab(lo, hi)
+	q = q[:32]
+	w = w[:32]
+	for i := lo; i < hi; i++ {
+		off := (i - lo) * 32
+		row := slab[off : off+32 : off+32]
+		var s0, s1, s2, s3 float64
+		abandoned := false
+		for blk := 0; blk < 32; blk += 8 {
+			qq := q[blk : blk+8 : blk+8]
+			rr := row[blk : blk+8 : blk+8]
+			ww := w[blk : blk+8 : blk+8]
+			d0 := qq[0] - rr[0]
+			s0 += ww[0] * d0 * d0
+			d1 := qq[1] - rr[1]
+			s1 += ww[1] * d1 * d1
+			d2 := qq[2] - rr[2]
+			s2 += ww[2] * d2 * d2
+			d3 := qq[3] - rr[3]
+			s3 += ww[3] * d3 * d3
+			d4 := qq[4] - rr[4]
+			s0 += ww[4] * d4 * d4
+			d5 := qq[5] - rr[5]
+			s1 += ww[5] * d5 * d5
+			d6 := qq[6] - rr[6]
+			s2 += ww[6] * d6 * d6
+			d7 := qq[7] - rr[7]
+			s3 += ww[7] * d7 * d7
+			if (s0+s1)+(s2+s3) > bound2 {
+				abandoned = true
+				break
+			}
+		}
+		if abandoned {
+			continue
+		}
+		s := (s0 + s1) + (s2 + s3)
+		if s <= bound2 {
+			st.offer(i, s)
+			bound2 = st.bound2
+		}
+	}
+}
+
+// finishSquared converts squared-space candidates into final results: one
+// sqrt per result, then the canonical (distance, index) sort.
+func finishSquared(items []Result, k int) []Result {
+	for i := range items {
+		items[i].Distance = math.Sqrt(items[i].Distance)
+	}
+	SortResults(items)
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+// SearchBatch answers many queries under one metric. With a kernel
+// metric, queries are answered through the cache-tiled batch scan —
+// every L2-sized row block is streamed from memory once and served to
+// all queries — and the batch is split across GOMAXPROCS workers.
+// Results are positionally aligned with qs and identical to calling
+// Search per query: each query still visits rows in ascending order with
+// its own TopK and abandon bound. Metrics without a kernel are answered
+// sequentially, since the Metric interface does not promise goroutine
+// safety.
+func (s *Scan) SearchBatch(qs [][]float64, k int, m distance.Metric) ([][]Result, error) {
+	ms := make([]distance.Metric, len(qs))
+	for i := range ms {
+		ms[i] = m
+	}
+	return s.SearchBatchMulti(qs, k, ms)
+}
+
+// SearchBatchMulti is SearchBatch with one metric per query — the shape
+// of the feedback harness, where every retrieval carries its own learned
+// weight vector. All queries still share each streamed cache block, so
+// mixed-metric batches keep the memory amortization. If any metric lacks
+// a kernel, or the batch is a singleton (which the sharded Search serves
+// with more parallelism), queries fall back to Search one by one.
+func (s *Scan) SearchBatchMulti(qs [][]float64, k int, ms []distance.Metric) ([][]Result, error) {
+	if len(ms) != len(qs) {
+		return nil, fmt.Errorf("knn: %d queries but %d metrics", len(qs), len(ms))
+	}
+	for i, q := range qs {
+		if err := s.checkQuery(q, k); err != nil {
+			return nil, fmt.Errorf("knn: batch query %d: %w", i, err)
+		}
+	}
+	out := make([][]Result, len(qs))
+	kerns := make([]distance.Kernel, len(qs))
+	allKern := true
+	for i, m := range ms {
+		var ok bool
+		if kerns[i], ok = distance.KernelFor(m); !ok {
+			allKern = false
+			break
+		}
+	}
+	if !allKern || len(qs) == 1 {
+		for i, q := range qs {
+			res, err := s.Search(q, k, ms[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		s.scanBatchTiled(qs, k, kerns, out, 0, len(qs))
+		return out, nil
+	}
+	// Split the query batch across workers; each worker tiles its share
+	// of queries over the collection.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(qs) / workers
+		hi := (w + 1) * len(qs) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s.scanBatchTiled(qs, k, kerns, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// tileBufs are the per-worker scratch buffers of the phased tile scan:
+// the four stripe accumulators of every row in the tile, and the
+// survivor row lists between phases.
+type tileBufs struct {
+	s0, s1, s2, s3 []float64
+	surv           []int32
+}
+
+func newTileBufs() *tileBufs {
+	return &tileBufs{
+		s0:   make([]float64, rowTile),
+		s1:   make([]float64, rowTile),
+		s2:   make([]float64, rowTile),
+		s3:   make([]float64, rowTile),
+		surv: make([]int32, rowTile),
+	}
+}
+
+// scanBatchTiled processes queries qs[qlo:qhi] against the whole
+// collection, tiling rows into L2-sized blocks: the outer loop streams
+// one block, the inner loop advances every query's scan state across it.
+// Per query this offers candidates in exactly the row order 0..n-1 with
+// exactly the sums a standalone Search computes, so the result list is
+// identical to per-query Search.
+//
+// At D = 32 each tile runs a branch-free vertical cascade instead of the
+// abandoning row loop: dims [0,8) are accumulated for every row with
+// survivors compacted against the tile-entry bound, then three more
+// 8-dimension passes extend the shrinking survivor set, and final sums
+// within the live bound are offered. Early abandonment's per-row exit
+// branch mispredicts on nearly every row inside a hot tile and costs
+// more than the arithmetic it skips; the cascade's filters are branchless
+// cursor advances. Filtering against the tile-entry bound (always ≥ the
+// live bound) can only keep extra candidates, never drop one a
+// sequential scan would keep — the final live-bound check restores
+// exactness.
+func (s *Scan) scanBatchTiled(qs [][]float64, k int, kerns []distance.Kernel, out [][]Result, qlo, qhi int) {
+	n, dim := s.mat.Len(), s.mat.Dim()
+	states := make([]scanState, qhi-qlo)
+	for i := range states {
+		states[i] = newScanState(k)
+	}
+	var bufs *tileBufs
+	if dim == 32 {
+		bufs = newTileBufs()
+	}
+	for blockLo := 0; blockLo < n; blockLo += rowTile {
+		blockHi := blockLo + rowTile
+		if blockHi > n {
+			blockHi = n
+		}
+		for qi := qlo; qi < qhi; qi++ {
+			st := &states[qi-qlo]
+			if dim != 32 {
+				scanRows(s.mat, qs[qi], kerns[qi], blockLo, blockHi, st)
+				continue
+			}
+			if w := kerns[qi].Weights(); w == nil {
+				scanTile32(s.mat, qs[qi], blockLo, blockHi, st, bufs)
+			} else {
+				scanTile32W(s.mat, qs[qi], w, blockLo, blockHi, st, bufs)
+			}
+		}
+	}
+	for qi := qlo; qi < qhi; qi++ {
+		out[qi] = finishSquared(states[qi-qlo].items, k)
+	}
+}
+
+// scanTile32 runs the four-pass cascade over rows [blockLo, blockHi) for
+// one unweighted query at D = 32, through the phase kernels (SSE2 on
+// amd64, identical Go loops elsewhere — phase1.go).
+func scanTile32(mat *store.FlatMatrix, q []float64, blockLo, blockHi int, st *scanState, b *tileBufs) {
+	rows := blockHi - blockLo
+	slab := mat.Slab(blockLo, blockHi)
+	bound2 := st.bound2
+	q = q[:32]
+	s0b, s1b, s2b, s3b := b.s0, b.s1, b.s2, b.s3
+	surv := b.surv
+	c := phase1x32(&q[0], &slab[0], rows, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], &surv[0])
+	c = phaseNext8(&q[8], &slab[8], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c = phaseNext8(&q[16], &slab[16], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c = phaseNext8(&q[24], &slab[24], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	for j := 0; j < c; j++ {
+		if sum := (s0b[j] + s1b[j]) + (s2b[j] + s3b[j]); sum <= bound2 {
+			st.offer(blockLo+int(surv[j]), sum)
+			bound2 = st.bound2
+		}
+	}
+	st.bound2 = bound2
+}
+
+// scanTile32W is the weighted counterpart of scanTile32.
+func scanTile32W(mat *store.FlatMatrix, q, w []float64, blockLo, blockHi int, st *scanState, b *tileBufs) {
+	rows := blockHi - blockLo
+	slab := mat.Slab(blockLo, blockHi)
+	bound2 := st.bound2
+	q = q[:32]
+	w = w[:32]
+	s0b, s1b, s2b, s3b := b.s0, b.s1, b.s2, b.s3
+	surv := b.surv
+	c := phase1x32w(&q[0], &w[0], &slab[0], rows, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], &surv[0])
+	c = phaseNext8w(&q[8], &w[8], &slab[8], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c = phaseNext8w(&q[16], &w[16], &slab[16], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c = phaseNext8w(&q[24], &w[24], &slab[24], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	for j := 0; j < c; j++ {
+		if sum := (s0b[j] + s1b[j]) + (s2b[j] + s3b[j]); sum <= bound2 {
+			st.offer(blockLo+int(surv[j]), sum)
+			bound2 = st.bound2
+		}
+	}
+	st.bound2 = bound2
+}

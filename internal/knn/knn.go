@@ -6,12 +6,11 @@
 package knn
 
 import (
-	"container/heap"
-	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/distance"
+	"repro/internal/store"
 )
 
 // Result is one retrieved object.
@@ -31,69 +30,150 @@ type Searcher interface {
 	Len() int
 }
 
-// Scan is the exact sequential-scan searcher: it supports *any* metric,
-// including the per-query re-weighted distances of the feedback loop,
-// which fixed-metric indexes cannot serve directly.
+// Scan is the exact scan searcher: it supports *any* metric, including
+// the per-query re-weighted distances of the feedback loop, which
+// fixed-metric indexes cannot serve directly. Features live in one
+// contiguous row-major FlatMatrix; for Euclidean and weighted-Euclidean
+// metrics the scan runs a squared-space early-abandoning kernel sharded
+// over GOMAXPROCS workers (see DESIGN.md, "Retrieval core").
 type Scan struct {
-	data [][]float64
+	mat *store.FlatMatrix
 }
 
-// NewScan builds a scan searcher over the given vectors (aliased, not
-// copied).
+// NewScan builds a scan searcher over the given vectors (copied into a
+// contiguous flat store).
 func NewScan(data [][]float64) (*Scan, error) {
-	if len(data) == 0 {
-		return nil, errors.New("knn: empty collection")
+	mat, err := store.FromRows(data)
+	if err != nil {
+		return nil, fmt.Errorf("knn: %w", err)
 	}
-	dim := len(data[0])
-	for i, v := range data {
-		if len(v) != dim {
-			return nil, fmt.Errorf("knn: vector %d has dimension %d, want %d", i, len(v), dim)
-		}
+	return &Scan{mat: mat}, nil
+}
+
+// NewScanMatrix builds a scan searcher directly over a flat feature
+// matrix (aliased, not copied).
+func NewScanMatrix(mat *store.FlatMatrix) (*Scan, error) {
+	if mat == nil || mat.Len() == 0 {
+		return nil, fmt.Errorf("knn: empty collection")
 	}
-	return &Scan{data: data}, nil
+	return &Scan{mat: mat}, nil
 }
 
 // Len implements Searcher.
-func (s *Scan) Len() int { return len(s.data) }
+func (s *Scan) Len() int { return s.mat.Len() }
+
+// Matrix returns the underlying flat feature store.
+func (s *Scan) Matrix() *store.FlatMatrix { return s.mat }
+
+func (s *Scan) checkQuery(q []float64, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("knn: k must be positive, got %d", k)
+	}
+	if len(q) != s.mat.Dim() {
+		return fmt.Errorf("knn: query has dimension %d, want %d", len(q), s.mat.Dim())
+	}
+	return nil
+}
 
 // Search implements Searcher.
 func (s *Scan) Search(q []float64, k int, m distance.Metric) ([]Result, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("knn: k must be positive, got %d", k)
+	if err := s.checkQuery(q, k); err != nil {
+		return nil, err
 	}
-	if len(q) != len(s.data[0]) {
-		return nil, fmt.Errorf("knn: query has dimension %d, want %d", len(q), len(s.data[0]))
+	if kern, ok := distance.KernelFor(m); ok {
+		return s.searchKernel(q, k, kern), nil
 	}
+	return s.searchGeneric(q, k, m), nil
+}
+
+// searchGeneric is the virtual-dispatch fallback path for metrics without
+// a specialized kernel. It is also the reference implementation the
+// parity tests compare the kernels against.
+func (s *Scan) searchGeneric(q []float64, k int, m distance.Metric) []Result {
 	h := NewTopK(k)
-	for i, v := range s.data {
-		h.Offer(i, m.Distance(q, v))
+	for i, n := 0, s.mat.Len(); i < n; i++ {
+		h.Offer(i, m.Distance(q, s.mat.Row(i)))
 	}
-	return h.Results(), nil
+	return h.Results()
+}
+
+// SearchNaive answers the query through the generic per-row Metric path
+// regardless of whether m has a specialized kernel. It exists as the
+// reference implementation for the kernel parity tests and benchmarks;
+// production callers should use Search.
+func (s *Scan) SearchNaive(q []float64, k int, m distance.Metric) ([]Result, error) {
+	if err := s.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	return s.searchGeneric(q, k, m), nil
 }
 
 // TopK maintains the k smallest (distance, index) pairs seen so far using
-// a bounded max-heap. It is shared by all Searcher implementations.
+// a bounded max-heap. It is shared by all Searcher implementations. The
+// heap is hand-rolled rather than container/heap: Offer sits on the
+// per-candidate hot path of every scan and index search, and the
+// interface-based heap costs a virtual Less/Swap call per sift level.
 type TopK struct {
 	k int
-	h resultMaxHeap
+	h []Result
 }
 
 // NewTopK returns an accumulator for the k nearest results.
 func NewTopK(k int) *TopK {
-	return &TopK{k: k, h: make(resultMaxHeap, 0, k+1)}
+	return &TopK{k: k, h: make([]Result, 0, k)}
 }
 
 // Offer considers a candidate.
 func (t *TopK) Offer(index int, dist float64) {
 	if len(t.h) < t.k {
-		heap.Push(&t.h, Result{Index: index, Distance: dist})
+		t.h = append(t.h, Result{Index: index, Distance: dist})
+		t.siftUp(len(t.h) - 1)
 		return
 	}
 	if worse(Result{Index: index, Distance: dist}, t.h[0]) {
 		return
 	}
 	t.h[0] = Result{Index: index, Distance: dist}
-	heap.Fix(&t.h, 0)
+	t.siftDown(0)
+}
+
+// siftUp restores the max-heap property from leaf i upward, moving the
+// displaced element once (hole insertion) instead of swapping per level.
+func (t *TopK) siftUp(i int) {
+	h := t.h
+	item := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(item, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = item
+}
+
+// siftDown restores the max-heap property from node i downward.
+func (t *TopK) siftDown(i int) {
+	h := t.h
+	n := len(h)
+	item := h[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		largest := left
+		if right := left + 1; right < n && worse(h[right], h[left]) {
+			largest = right
+		}
+		if !worse(h[largest], item) {
+			break
+		}
+		h[i] = h[largest]
+		i = largest
+	}
+	h[i] = item
 }
 
 // Bound returns the current k-th smallest distance, or +Inf semantics via
@@ -111,9 +191,39 @@ func (t *TopK) Bound() (float64, bool) {
 func (t *TopK) Results() []Result {
 	out := make([]Result, len(t.h))
 	copy(out, t.h)
-	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	SortResults(out)
 	return out
 }
+
+// SortResults orders results by ascending (distance, index) — the
+// canonical result order every searcher returns.
+func SortResults(rs []Result) {
+	slices.SortFunc(rs, func(a, b Result) int {
+		switch {
+		case a.Distance < b.Distance:
+			return -1
+		case a.Distance > b.Distance:
+			return 1
+		case a.Index < b.Index:
+			return -1
+		case a.Index > b.Index:
+			return 1
+		}
+		return 0
+	})
+}
+
+// Items returns the retained candidates in internal heap order — an
+// unsorted copy used by the parallel-scan merge, which re-ranks across
+// shards anyway.
+func (t *TopK) Items() []Result {
+	out := make([]Result, len(t.h))
+	copy(out, t.h)
+	return out
+}
+
+// K returns the accumulator's capacity.
+func (t *TopK) K() int { return t.k }
 
 // worse reports whether a is strictly worse (farther, then higher index)
 // than b.
@@ -122,22 +232,6 @@ func worse(a, b Result) bool {
 		return a.Distance > b.Distance
 	}
 	return a.Index > b.Index
-}
-
-// resultMaxHeap is a max-heap on (distance, index) so the root is the
-// current worst retained result.
-type resultMaxHeap []Result
-
-func (h resultMaxHeap) Len() int            { return len(h) }
-func (h resultMaxHeap) Less(i, j int) bool  { return worse(h[i], h[j]) }
-func (h resultMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultMaxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultMaxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }
 
 // Indices extracts the index sequence of a result list.

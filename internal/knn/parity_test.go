@@ -1,0 +1,345 @@
+package knn
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+// resultsBitwiseEqual demands exact equality: same indices, same float64
+// bit patterns.
+func resultsBitwiseEqual(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index || a[i].Distance != b[i].Distance {
+			return false
+		}
+	}
+	return true
+}
+
+// randomCollection builds a collection with deliberate duplicate rows so
+// distance ties (resolved by index) are exercised.
+func randomCollection(rng *rand.Rand, n, dim int) [][]float64 {
+	data := make([][]float64, n)
+	for i := range data {
+		if i > 0 && rng.Float64() < 0.15 {
+			// Duplicate an earlier row: guaranteed distance tie.
+			data[i] = data[rng.Intn(i)]
+			continue
+		}
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		data[i] = v
+	}
+	return data
+}
+
+// TestKernelParityEuclidean: the squared-space early-abandoning kernel
+// (including the D=32 fast paths) must return []Result bitwise identical
+// to the naive per-row Metric path, across dimensions, collection sizes
+// and k, with ties present.
+func TestKernelParityEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, dim := range []int{1, 2, 3, 5, 8, 13, 32, 45} {
+		for _, n := range []int{1, 7, 60, 700} {
+			data := randomCollection(rng, n, dim)
+			scan, err := NewScan(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := distance.Euclidean{}
+			for trial := 0; trial < 6; trial++ {
+				q := make([]float64, dim)
+				for j := range q {
+					q[j] = rng.NormFloat64()
+				}
+				if trial == 0 {
+					q = data[rng.Intn(n)] // query in the collection: zero distance
+				}
+				k := 1 + rng.Intn(2*n)
+				want, err := scan.SearchNaive(q, k, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := scan.Search(q, k, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !resultsBitwiseEqual(got, want) {
+					t.Fatalf("dim=%d n=%d k=%d: kernel %v != naive %v", dim, n, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelParityWeighted covers the weighted kernel, including zero
+// weights (which collapse dimensions and create extra ties).
+func TestKernelParityWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for _, dim := range []int{2, 8, 32, 33} {
+		for _, n := range []int{5, 120, 700} {
+			data := randomCollection(rng, n, dim)
+			scan, err := NewScan(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 6; trial++ {
+				w := make([]float64, dim)
+				for j := range w {
+					w[j] = rng.Float64() * 3
+				}
+				if trial%2 == 0 {
+					// Zero out a random subset (at least one weight stays
+					// positive for metric validity).
+					for j := 0; j < dim-1; j++ {
+						if rng.Float64() < 0.3 {
+							w[j] = 0
+						}
+					}
+				}
+				m, err := distance.NewWeightedEuclidean(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q := data[rng.Intn(n)]
+				k := 1 + rng.Intn(n)
+				want, err := scan.SearchNaive(q, k, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := scan.Search(q, k, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !resultsBitwiseEqual(got, want) {
+					t.Fatalf("dim=%d n=%d k=%d: weighted kernel diverges from naive", dim, n, k)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchBatchParity: the cache-tiled batch scan (and its generic-dim
+// fallback) must equal per-query Search bitwise, for both supported
+// metric classes and collections larger than one tile.
+func TestSearchBatchParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for _, dim := range []int{6, 32} {
+		for _, n := range []int{40, rowTile + 37, 3*rowTile + 1} {
+			data := randomCollection(rng, n, dim)
+			scan, err := NewScan(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := make([]float64, dim)
+			for j := range w {
+				w[j] = 0.25 + rng.Float64()
+			}
+			wm, err := distance.NewWeightedEuclidean(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range []distance.Metric{distance.Euclidean{}, wm} {
+				qs := make([][]float64, 9)
+				for i := range qs {
+					qs[i] = data[rng.Intn(n)]
+				}
+				k := 1 + rng.Intn(70)
+				batch, err := scan.SearchBatch(qs, k, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, q := range qs {
+					want, err := scan.Search(q, k, m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !resultsBitwiseEqual(batch[i], want) {
+						t.Fatalf("dim=%d n=%d k=%d metric=%s query %d: batch != search", dim, n, k, m.Name(), i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchBatchGenericMetric: metrics without a kernel run the naive
+// path query by query.
+func TestSearchBatchGenericMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	data := randomCollection(rng, 90, 5)
+	scan, err := NewScan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := [][]float64{data[3], data[11], data[70]}
+	batch, err := scan.SearchBatch(qs, 7, distance.Manhattan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := scan.Search(q, 7, distance.Manhattan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsBitwiseEqual(batch[i], want) {
+			t.Fatalf("query %d: generic batch != search", i)
+		}
+	}
+}
+
+// TestSearchBatchValidation covers batch error paths.
+func TestSearchBatchValidation(t *testing.T) {
+	scan, _ := NewScan([][]float64{{0, 0}, {1, 1}})
+	if _, err := scan.SearchBatch([][]float64{{1, 2, 3}}, 1, distance.Euclidean{}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, err := scan.SearchBatch([][]float64{{1, 2}}, 0, distance.Euclidean{}); err == nil {
+		t.Error("k=0 should error")
+	}
+	out, err := scan.SearchBatch(nil, 3, distance.Euclidean{})
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+}
+
+// TestParallelScanParity forces the sharded path (by lowering GOMAXPROCS
+// interplay aside, the shard merge runs whenever workers > 1; here we
+// call the internals directly to stay deterministic on 1-CPU hosts).
+func TestParallelScanParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	data := randomCollection(rng, 2600, 32)
+	scan, err := NewScan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, ok := distance.KernelFor(distance.Euclidean{})
+	if !ok {
+		t.Fatal("no kernel for Euclidean")
+	}
+	for trial := 0; trial < 5; trial++ {
+		q := data[rng.Intn(len(data))]
+		k := 1 + rng.Intn(80)
+		want, err := scan.SearchNaive(q, k, distance.Euclidean{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Emulate a W-way shard split with the same merge the parallel
+		// path performs, for several worker counts.
+		for _, workers := range []int{2, 3, 7} {
+			n := scan.Len()
+			merged := newScanState(k)
+			for wkr := 0; wkr < workers; wkr++ {
+				lo := wkr * n / workers
+				hi := (wkr + 1) * n / workers
+				st := newScanState(k)
+				scanRows(scan.Matrix(), q, kern, lo, hi, &st)
+				for _, r := range st.items {
+					if r.Distance <= merged.bound2 {
+						merged.offer(r.Index, r.Distance)
+					}
+				}
+			}
+			got := finishSquared(merged.items, k)
+			if !resultsBitwiseEqual(got, want) {
+				t.Fatalf("trial %d workers %d: sharded scan != naive", trial, workers)
+			}
+		}
+	}
+}
+
+// TestSearchNaiveMatchesBruteSort anchors the reference path itself
+// against a full sort, so the parity suite is not self-referential.
+func TestSearchNaiveMatchesBruteSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	data := randomCollection(rng, 300, 4)
+	scan, err := NewScan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.Euclidean{}
+	q := data[17]
+	all := make([]Result, len(data))
+	for i, v := range data {
+		all[i] = Result{Index: i, Distance: m.Distance(q, v)}
+	}
+	SortResults(all)
+	for _, k := range []int{1, 5, 299, 300, 1000} {
+		want := all
+		if k < len(all) {
+			want = all[:k]
+		}
+		got, err := scan.SearchNaive(q, k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsBitwiseEqual(got, want) {
+			t.Fatalf("k=%d: naive != brute sort", k)
+		}
+	}
+}
+
+func ExampleScan_SearchBatch() {
+	scan, _ := NewScan([][]float64{{0, 0}, {3, 4}, {6, 8}})
+	res, _ := scan.SearchBatch([][]float64{{0, 0}, {6, 8}}, 2, distance.Euclidean{})
+	for i, rs := range res {
+		fmt.Printf("query %d:", i)
+		for _, r := range rs {
+			fmt.Printf(" (%d, %g)", r.Index, r.Distance)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// query 0: (0, 0) (1, 5)
+	// query 1: (2, 0) (1, 5)
+}
+
+// TestParallelPathsUnderRaisedGOMAXPROCS exercises the real goroutine
+// fan-out of Search (sharded scan) and SearchBatch (query split) even on
+// single-CPU hosts by raising GOMAXPROCS, and asserts parity with the
+// naive path.
+func TestParallelPathsUnderRaisedGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := rand.New(rand.NewSource(707))
+	data := randomCollection(rng, 3*minShardRows, 32)
+	scan, err := NewScan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := distance.Euclidean{}
+	qs := make([][]float64, 8)
+	for i := range qs {
+		qs[i] = data[rng.Intn(len(data))]
+	}
+	batch, err := scan.SearchBatch(qs, 40, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := scan.SearchNaive(q, 40, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsBitwiseEqual(batch[i], want) {
+			t.Fatalf("batch query %d diverges under GOMAXPROCS=4", i)
+		}
+		got, err := scan.Search(q, 40, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsBitwiseEqual(got, want) {
+			t.Fatalf("sharded search query %d diverges under GOMAXPROCS=4", i)
+		}
+	}
+}

@@ -34,6 +34,13 @@ type Tree struct {
 	size     int
 	objects  [][]float64 // objects by insertion index
 
+	// kern is the metric's squared-space kernel when it has one: object
+	// entries in Search are then evaluated by early-abandoning squared
+	// accumulation, paying one square root per surviving candidate
+	// instead of one per visited object.
+	kern    distance.Kernel
+	hasKern bool
+
 	lastDistCalls int
 }
 
@@ -65,12 +72,14 @@ func New(dim int, m distance.Metric, capacity int) (*Tree, error) {
 	if capacity <= 1 {
 		capacity = DefaultCapacity
 	}
-	return &Tree{
+	t := &Tree{
 		metric:   m,
 		capacity: capacity,
 		dim:      dim,
 		root:     &node{leaf: true},
-	}, nil
+	}
+	t.kern, t.hasKern = distance.KernelFor(m)
+	return t, nil
 }
 
 // BuildFrom creates a tree and inserts every vector, returning the tree.
@@ -346,6 +355,20 @@ func (t *Tree) Search(q []float64, k int) ([]knn.Result, error) {
 				}
 			}
 			t.lastDistCalls++
+			if e.leafEntry() && t.hasKern {
+				// Kernel fast path: accumulate in squared space and give
+				// up once the partial sum provably exceeds the pruning
+				// radius (SquaredBoundAbove keeps the bound admissible
+				// under rounding); the sqrt is paid only by survivors.
+				bound2 := math.Inf(1)
+				if tau, ok := top.Bound(); ok {
+					bound2 = distance.SquaredBoundAbove(tau)
+				}
+				if s, abandoned := t.kern.SquaredAbandon(q, t.objects[e.obj], bound2); !abandoned {
+					top.Offer(e.obj, math.Sqrt(s))
+				}
+				continue
+			}
 			d := t.metric.Distance(q, t.objects[e.obj])
 			if e.leafEntry() {
 				top.Offer(e.obj, d)

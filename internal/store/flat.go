@@ -1,0 +1,102 @@
+// Package store provides the contiguous feature storage backing the
+// retrieval core. A FlatMatrix keeps every feature vector of a collection
+// in one row-major []float64, so sequential scans walk memory linearly
+// (one cache-friendly stream instead of a pointer chase through per-row
+// allocations) and distance kernels can slice rows without bounds churn.
+//
+// DESIGN.md ("Flat feature store") describes how the retrieval layers
+// (knn, engine, dataset) share one FlatMatrix without copying.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FlatMatrix is an n×dim row-major matrix of float64 features.
+type FlatMatrix struct {
+	data []float64
+	n    int
+	dim  int
+}
+
+// NewFlatMatrix allocates a zeroed n×dim matrix.
+func NewFlatMatrix(n, dim int) (*FlatMatrix, error) {
+	if n <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("store: invalid matrix shape %dx%d", n, dim)
+	}
+	return &FlatMatrix{data: make([]float64, n*dim), n: n, dim: dim}, nil
+}
+
+// FromRows copies the given rows into a fresh contiguous matrix. Every row
+// must have the same length.
+func FromRows(rows [][]float64) (*FlatMatrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("store: empty collection")
+	}
+	dim := len(rows[0])
+	if dim == 0 {
+		return nil, errors.New("store: zero-dimensional rows")
+	}
+	m := &FlatMatrix{data: make([]float64, len(rows)*dim), n: len(rows), dim: dim}
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("store: row %d has dimension %d, want %d", i, len(r), dim)
+		}
+		copy(m.data[i*dim:(i+1)*dim], r)
+	}
+	return m, nil
+}
+
+// FromData wraps an existing row-major backing slice (aliased, not
+// copied). len(data) must equal n*dim.
+func FromData(data []float64, n, dim int) (*FlatMatrix, error) {
+	if n <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("store: invalid matrix shape %dx%d", n, dim)
+	}
+	if len(data) != n*dim {
+		return nil, fmt.Errorf("store: backing slice has %d elements, want %d", len(data), n*dim)
+	}
+	return &FlatMatrix{data: data, n: n, dim: dim}, nil
+}
+
+// Len returns the number of rows.
+func (m *FlatMatrix) Len() int { return m.n }
+
+// Dim returns the row dimensionality.
+func (m *FlatMatrix) Dim() int { return m.dim }
+
+// Row returns row i as a full-capacity-clipped view into the backing
+// slice. The view aliases the matrix; callers must not append to it.
+func (m *FlatMatrix) Row(i int) []float64 {
+	off := i * m.dim
+	return m.data[off : off+m.dim : off+m.dim]
+}
+
+// SetRow copies v into row i.
+func (m *FlatMatrix) SetRow(i int, v []float64) {
+	if len(v) != m.dim {
+		panic(fmt.Sprintf("store: row has dimension %d, want %d", len(v), m.dim))
+	}
+	copy(m.data[i*m.dim:(i+1)*m.dim], v)
+}
+
+// Data returns the row-major backing slice (aliased; treat as read-only
+// unless you own the matrix).
+func (m *FlatMatrix) Data() []float64 { return m.data }
+
+// Rows materializes the matrix as a slice of row views sharing the
+// backing storage — the bridge for APIs that still take [][]float64.
+func (m *FlatMatrix) Rows() [][]float64 {
+	out := make([][]float64, m.n)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// Slab returns the half-open row range [lo, hi) as one contiguous slice —
+// the unit a scan shard walks.
+func (m *FlatMatrix) Slab(lo, hi int) []float64 {
+	return m.data[lo*m.dim : hi*m.dim]
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"testing"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 || m.Dim() != 3 {
+		t.Fatalf("shape = %dx%d", m.Len(), m.Dim())
+	}
+	r1 := m.Row(1)
+	if r1[0] != 4 || r1[2] != 6 {
+		t.Errorf("Row(1) = %v", r1)
+	}
+	// FromRows copies: mutating the source must not change the matrix.
+	rows[0][0] = 99
+	if m.Row(0)[0] != 1 {
+		t.Error("FromRows aliased its input")
+	}
+	if len(m.Data()) != 6 {
+		t.Errorf("Data length = %d", len(m.Data()))
+	}
+	if got := m.Slab(1, 2); len(got) != 3 || got[0] != 4 {
+		t.Errorf("Slab(1,2) = %v", got)
+	}
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty collection should error")
+	}
+	if _, err := FromRows([][]float64{{}}); err == nil {
+		t.Error("zero-dim rows should error")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestFromData(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	m, err := FromData(data, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FromData aliases: a write through the matrix is visible in data.
+	m.SetRow(0, []float64{7, 8})
+	if data[0] != 7 || data[1] != 8 {
+		t.Errorf("data = %v", data)
+	}
+	if _, err := FromData(data, 3, 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FromData(data, 0, 2); err == nil {
+		t.Error("zero rows should error")
+	}
+}
+
+func TestRowsViewsShareStorage(t *testing.T) {
+	m, err := NewFlatMatrix(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := m.Rows()
+	rows[2][1] = 42
+	if m.Row(2)[1] != 42 {
+		t.Error("Rows() views should alias the backing storage")
+	}
+}
+
+func TestRowViewCapacityClipped(t *testing.T) {
+	m, _ := NewFlatMatrix(2, 2)
+	r := m.Row(0)
+	if cap(r) != 2 {
+		t.Errorf("row view capacity = %d, want 2 (clipped so append cannot clobber the next row)", cap(r))
+	}
+}

@@ -164,15 +164,11 @@ func Sum(v []float64) float64 {
 	return s
 }
 
-// Dist returns the Euclidean distance between a and b.
+// Dist returns the Euclidean distance between a and b. It is defined as
+// math.Sqrt(SqDist(a, b)), so true distances everywhere agree bitwise
+// with the squared-space retrieval kernels.
 func Dist(a, b []float64) float64 {
-	mustSameLen(a, b)
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(SqDist(a, b))
 }
 
 // Equal reports whether a and b have the same length and identical

@@ -21,6 +21,14 @@ type Tree struct {
 	data   [][]float64
 	metric distance.Metric
 	root   *node
+	// kern is the squared-space kernel of the tree metric, when it has
+	// one (Euclidean / weighted Euclidean): searches then descend
+	// entirely in squared space — candidates early-abandon against the
+	// squared k-th-best bound, shell pruning uses the square-free
+	// comparison below, and the only square roots taken are one per
+	// reported result.
+	kern    distance.Kernel
+	hasKern bool
 	// stats
 	lastDistCalls int
 }
@@ -28,6 +36,7 @@ type Tree struct {
 type node struct {
 	vp      int     // vantage point index
 	radius  float64 // median distance from vp to the items in inside
+	radius2 float64 // radius squared, for squared-space descent
 	inside  *node
 	outside *node
 	bucket  []int // leaf: remaining item indices (including vp when leaf)
@@ -49,6 +58,7 @@ func Build(data [][]float64, m distance.Metric, seed int64) (*Tree, error) {
 		}
 	}
 	t := &Tree{data: data, metric: m}
+	t.kern, t.hasKern = distance.KernelFor(m)
 	idx := make([]int, len(data))
 	for i := range idx {
 		idx[i] = i
@@ -98,6 +108,7 @@ func (t *Tree) build(idx []int, rng *rand.Rand) *node {
 	return &node{
 		vp:      vp,
 		radius:  radius,
+		radius2: radius * radius,
 		inside:  t.build(insideIdx, rng),
 		outside: t.build(outsideIdx, rng),
 	}
@@ -123,8 +134,43 @@ func (t *Tree) Search(q []float64, k int) ([]knn.Result, error) {
 	}
 	t.lastDistCalls = 0
 	top := knn.NewTopK(k)
+	if t.hasKern {
+		t.search2(t.root, q, top)
+		return sqrtResults(top), nil
+	}
 	t.search(t.root, q, top)
 	return top.Results(), nil
+}
+
+// sqrtResults converts a squared-space TopK into final results: one sqrt
+// per reported result, then the canonical (distance, index) sort.
+func sqrtResults(top *knn.TopK) []knn.Result {
+	items := top.Items()
+	for i := range items {
+		items[i].Distance = math.Sqrt(items[i].Distance)
+	}
+	knn.SortResults(items)
+	return items
+}
+
+// pruneSlack widens the pruning radius by a relative margin before the
+// square-free test below: the inputs are rounded squares (≤ ~D·ε
+// relative accumulation error each) and the test squares them again, so
+// without slack a shell boundary within a few ulps could be pruned even
+// though the exact test d − r > τ is false. 1e-9 is ~10⁴× the worst
+// accumulated relative error at the dimensionalities used here, and a
+// relatively enlarged τ only makes pruning more conservative — never
+// less exact.
+const pruneSlack = 1 + 1e-9
+
+// pruneFar reports, in squared space, whether d - r > tau (all true-space
+// quantities non-negative, given as squares): equivalent to
+// d² − r² − τ² > 2·r·τ, compared square-free as D > 0 ∧ D² > 4·r²·τ²,
+// with tau2 widened by pruneSlack for floating-point admissibility.
+func pruneFar(d2, r2, tau2 float64) bool {
+	tau2 *= pruneSlack
+	D := d2 - r2 - tau2
+	return D > 0 && D*D > 4*r2*tau2
 }
 
 // SearchWeighted answers an exact k-NN query under the weighted Euclidean
@@ -156,6 +202,12 @@ func (t *Tree) SearchWeighted(q []float64, k int, w *distance.WeightedEuclidean)
 	}
 	t.lastDistCalls = 0
 	top := knn.NewTopK(k)
+	if t.hasKern {
+		if kw, ok := distance.KernelFor(w); ok {
+			t.searchWeighted2(t.root, q, top, kw, minW)
+			return sqrtResults(top), nil
+		}
+	}
 	t.searchWeighted(t.root, q, top, w, math.Sqrt(minW))
 	return top.Results(), nil
 }
@@ -197,6 +249,56 @@ func (t *Tree) search(n *node, q []float64, top *knn.TopK) {
 	t.search(second, q, top)
 }
 
+// search2 is the squared-space descent used when the tree metric has a
+// kernel: the TopK accumulates squared distances, leaf candidates
+// early-abandon against the exact squared bound, and the shell test runs
+// square-free (pruneFar), so no square root is taken anywhere in the
+// descent.
+func (t *Tree) search2(n *node, q []float64, top *knn.TopK) {
+	if n == nil {
+		return
+	}
+	bound2 := math.Inf(1)
+	if b, ok := top.Bound(); ok {
+		bound2 = b
+	}
+	if n.leaf {
+		for _, i := range n.bucket {
+			t.lastDistCalls++
+			if s, abandoned := t.kern.SquaredAbandon(q, t.data[i], bound2); !abandoned {
+				top.Offer(i, s)
+				if b, ok := top.Bound(); ok {
+					bound2 = b
+				}
+			}
+		}
+		return
+	}
+	t.lastDistCalls++
+	dvp2 := t.kern.Squared(q, t.data[n.vp])
+	top.Offer(n.vp, dvp2)
+	first, second := n.inside, n.outside
+	far := dvp2 >= n.radius2
+	if far {
+		first, second = n.outside, n.inside
+	}
+	t.search2(first, q, top)
+	if tau2, ok := top.Bound(); ok {
+		// The other side can only contain an improvement when the ball
+		// of squared radius tau2 around q crosses the splitting shell.
+		if far {
+			if pruneFar(dvp2, n.radius2, tau2) {
+				return
+			}
+		} else {
+			if pruneFar(n.radius2, dvp2, tau2) {
+				return
+			}
+		}
+	}
+	t.search2(second, q, top)
+}
+
 // searchWeighted mirrors search but evaluates candidates with the weighted
 // metric while pruning with tree-metric (Euclidean) geometry: the shell
 // test compares L2 distances against tau_w / √(min w), the largest L2
@@ -233,6 +335,55 @@ func (t *Tree) searchWeighted(n *node, q []float64, top *knn.TopK, w *distance.W
 		}
 	}
 	t.searchWeighted(second, q, top, w, sqrtMinW)
+}
+
+// searchWeighted2 is the squared-space weighted descent: candidates are
+// compared by their weighted squared distance (early-abandoned against
+// the exact squared bound), while shell pruning runs in the tree
+// metric's squared space against τ²/min(wᵢ) — the squared form of the
+// √(min wᵢ)·L2 lower bound — using the square-free comparison pruneFar.
+func (t *Tree) searchWeighted2(n *node, q []float64, top *knn.TopK, kw distance.Kernel, minW float64) {
+	if n == nil {
+		return
+	}
+	bound2 := math.Inf(1)
+	if b, ok := top.Bound(); ok {
+		bound2 = b
+	}
+	if n.leaf {
+		for _, i := range n.bucket {
+			t.lastDistCalls++
+			if s, abandoned := kw.SquaredAbandon(q, t.data[i], bound2); !abandoned {
+				top.Offer(i, s)
+				if b, ok := top.Bound(); ok {
+					bound2 = b
+				}
+			}
+		}
+		return
+	}
+	t.lastDistCalls += 2
+	dTree2 := t.kern.Squared(q, t.data[n.vp])
+	top.Offer(n.vp, kw.Squared(q, t.data[n.vp]))
+	first, second := n.inside, n.outside
+	far := dTree2 >= n.radius2
+	if far {
+		first, second = n.outside, n.inside
+	}
+	t.searchWeighted2(first, q, top, kw, minW)
+	if tau2, ok := top.Bound(); ok && minW > 0 {
+		l2tau2 := tau2 / minW
+		if far {
+			if pruneFar(dTree2, n.radius2, l2tau2) {
+				return
+			}
+		} else {
+			if pruneFar(n.radius2, dTree2, l2tau2) {
+				return
+			}
+		}
+	}
+	t.searchWeighted2(second, q, top, kw, minW)
 }
 
 // RangeSearch returns every item within radius r of q under the tree's
