@@ -11,6 +11,7 @@ package feedbackbypass_test
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/imagegen"
 	"repro/internal/knn"
 	"repro/internal/mtree"
+	"repro/internal/persist"
 	"repro/internal/simplextree"
 	"repro/internal/vptree"
 )
@@ -226,6 +228,164 @@ func BenchmarkLookupIncremental(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tree.Predict(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Concurrent prediction plane (paper-scale Simplex Tree, D = 31). ---
+
+// predictBenchTree is the shared read-mostly tree of the prediction-plane
+// benchmarks: paper-scale dimensions with 1000 stored points.
+func predictBenchTree(b *testing.B) (*simplextree.Tree, [][]float64) {
+	b.Helper()
+	predictTreeOnce.Do(func() {
+		d := 31
+		def := make([]float64, 2*d)
+		tree, err := simplextree.New(geom.StandardSimplex(d), def, simplextree.Options{})
+		if err != nil {
+			predictTreeErr = err
+			return
+		}
+		rng := rand.New(rand.NewSource(37))
+		interior := func() []float64 {
+			w := make([]float64, d+1)
+			var sum float64
+			for i := range w {
+				w[i] = 0.05 + rng.Float64()
+				sum += w[i]
+			}
+			q := make([]float64, d)
+			for i := 0; i < d; i++ {
+				q[i] = w[i+1] / sum
+			}
+			return q
+		}
+		for i := 0; i < 1000; i++ {
+			v := make([]float64, 2*d)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			if _, err := tree.Insert(interior(), v); err != nil {
+				predictTreeErr = err
+				return
+			}
+		}
+		qs := make([][]float64, 1024)
+		for i := range qs {
+			qs[i] = interior()
+		}
+		predictTree, predictQueries = tree, qs
+	})
+	if predictTreeErr != nil {
+		b.Fatal(predictTreeErr)
+	}
+	return predictTree, predictQueries
+}
+
+var (
+	predictTreeOnce sync.Once
+	predictTree     *simplextree.Tree
+	predictQueries  [][]float64
+	predictTreeErr  error
+)
+
+// BenchmarkPredict measures the serial allocation-free read path — the
+// baseline the parallel series is compared against.
+func BenchmarkPredict(b *testing.B) {
+	tree, queries := predictBenchTree(b)
+	dst := make([]float64, tree.OQPDim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.PredictInto(dst, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictParallel runs the read path from GOMAXPROCS goroutines
+// sharing the read lock — the concurrent-sessions shape. Compare ns/op
+// against BenchmarkPredict: on a multi-core host throughput scales with
+// cores because readers never exclude each other.
+func BenchmarkPredictParallel(b *testing.B) {
+	tree, queries := predictBenchTree(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]float64, tree.OQPDim())
+		i := 0
+		for pb.Next() {
+			if _, err := tree.PredictInto(dst, queries[i%len(queries)]); err != nil {
+				b.Error(err) // FailNow is not allowed on RunParallel workers
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkPredictParallel8 pins the 8-goroutine series of the
+// acceptance criterion regardless of GOMAXPROCS: one op = the whole
+// 1024-query workload split across 8 goroutines (ns/query is reported).
+func BenchmarkPredictParallel8(b *testing.B) {
+	tree, queries := predictBenchTree(b)
+	const workers = 8
+	chunk := (len(queries) + workers - 1) / workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(queries) {
+				hi = len(queries)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				dst := make([]float64, tree.OQPDim())
+				for _, q := range queries[lo:hi] {
+					if _, err := tree.PredictInto(dst, q); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/query")
+}
+
+// BenchmarkPredictBatch measures the batch Mopt API: one op = one
+// 1024-query PredictBatch under a single lock acquisition.
+func BenchmarkPredictBatch(b *testing.B) {
+	tree, queries := predictBenchTree(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tree.PredictBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/query")
+}
+
+// BenchmarkWALAppend measures the durability tax per accepted insert:
+// one fixed-size record (D=31, N=62) written to the journal.
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	wal, err := persist.OpenWAL(filepath.Join(dir, "bench.fbwl"), 31, 62)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wal.Close()
+	q := make([]float64, 31)
+	v := make([]float64, 62)
+	for i := range q {
+		q[i] = float64(i) / 40
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v[0] = float64(i)
+		if err := wal.Append(q, v); err != nil {
 			b.Fatal(err)
 		}
 	}

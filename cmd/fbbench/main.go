@@ -17,23 +17,29 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/geom"
 	"repro/internal/histogram"
 	"repro/internal/imagegen"
 	"repro/internal/knn"
 	"repro/internal/persist"
+	"repro/internal/simplextree"
 )
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, or knn (retrieval-core micro-benchmark)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), or tree (Simplex Tree concurrency/throughput series)")
 		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
 		queries  = flag.Int("queries", 700, "training queries to process")
 		k        = flag.Int("k", 15, "results per query (paper: 50)")
@@ -68,6 +74,12 @@ func main() {
 
 	if *figure == "knn" {
 		runKNNBench(*scale, *k, *numEval, *seed)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *figure == "tree" {
+		runTreeBench(*queries, *epsilon, *seed)
 		writeReport(*jsonPath)
 		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
 		return
@@ -144,9 +156,10 @@ func main() {
 
 // jsonReport accumulates everything printed for the -json flag.
 type jsonReport struct {
-	Meta   reportMeta                `json:"meta"`
-	Series map[string][]jsonSeries   `json:"series,omitempty"`
-	KNN    map[string]knnBenchResult `json:"knn,omitempty"`
+	Meta   reportMeta                 `json:"meta"`
+	Series map[string][]jsonSeries    `json:"series,omitempty"`
+	KNN    map[string]knnBenchResult  `json:"knn,omitempty"`
+	Tree   map[string]treeBenchResult `json:"tree,omitempty"`
 }
 
 type reportMeta struct {
@@ -173,6 +186,16 @@ type knnBenchResult struct {
 	Queries    int     `json:"queries"`
 	NsPerQuery float64 `json:"ns_per_query"`
 	QPS        float64 `json:"qps"`
+}
+
+type treeBenchResult struct {
+	Dim        int     `json:"dim"`
+	OQPDim     int     `json:"oqp_dim"`
+	Points     int     `json:"points"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
 }
 
 // report is nil unless -json was given; section names the figure being
@@ -265,6 +288,164 @@ func runKNNBench(scale float64, k, numQueries int, seed int64) {
 			}
 		}
 	}
+	fmt.Println()
+}
+
+// runTreeBench measures the Simplex Tree prediction plane at the paper's
+// operating point (D = 31, N = 62): serial vs. parallel Predict
+// throughput under concurrent sessions, the batch API, the insert path,
+// and WAL append cost. The read path is lock-shared and allocation-free,
+// so parallel throughput should scale with cores (on a single-core host
+// the series documents the absence of contention instead).
+func runTreeBench(queries int, epsilon float64, seed int64) {
+	const (
+		d      = 31
+		oqpDim = 62
+		points = 1000
+	)
+	if queries < 1024 {
+		queries = 1024
+	}
+	header(fmt.Sprintf("Simplex Tree prediction plane (D = %d, N = %d, %d stored points, %d queries)", d, oqpDim, points, queries))
+	rng := rand.New(rand.NewSource(seed))
+	interior := func() []float64 {
+		w := make([]float64, d+1)
+		var sum float64
+		for i := range w {
+			w[i] = 0.05 + rng.Float64()
+			sum += w[i]
+		}
+		q := make([]float64, d)
+		for i := 0; i < d; i++ {
+			q[i] = w[i+1] / sum
+		}
+		return q
+	}
+	newTree := func() *simplextree.Tree {
+		tree, err := simplextree.New(geom.StandardSimplex(d), make([]float64, oqpDim), simplextree.Options{Epsilon: epsilon})
+		if err != nil {
+			fail(err)
+		}
+		return tree
+	}
+	randomValue := func() []float64 {
+		v := make([]float64, oqpDim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+
+	// Build the shared read-mostly tree and the query/insert workloads.
+	tree := newTree()
+	insertQs := make([][]float64, points)
+	insertVs := make([][]float64, points)
+	for i := 0; i < points; i++ {
+		insertQs[i] = interior()
+		insertVs[i] = randomValue()
+		if _, err := tree.Insert(insertQs[i], insertVs[i]); err != nil {
+			fail(err)
+		}
+	}
+	qs := make([][]float64, queries)
+	for i := range qs {
+		qs[i] = interior()
+	}
+
+	reportRow := func(name string, ops, goroutines int, elapsed time.Duration) {
+		nsPerOp := float64(elapsed.Nanoseconds()) / float64(ops)
+		fmt.Printf("%-22s %4d goroutine(s) %14.0f ns/op %12.0f ops/s\n",
+			name, goroutines, nsPerOp, 1e9/nsPerOp)
+		if report != nil {
+			if report.Tree == nil {
+				report.Tree = map[string]treeBenchResult{}
+			}
+			report.Tree[name] = treeBenchResult{
+				Dim: d, OQPDim: oqpDim, Points: points, Goroutines: goroutines,
+				Ops: ops, NsPerOp: nsPerOp, OpsPerSec: 1e9 / nsPerOp,
+			}
+		}
+	}
+
+	// Serial predictions through the allocation-free read path.
+	dst := make([]float64, oqpDim)
+	t0 := time.Now()
+	for _, q := range qs {
+		if _, err := tree.PredictInto(dst, q); err != nil {
+			fail(err)
+		}
+	}
+	reportRow("predict-serial", len(qs), 1, time.Since(t0))
+
+	// Concurrent sessions: G goroutines share the read lock.
+	for _, g := range []int{2, 4, 8} {
+		var wg sync.WaitGroup
+		t0 = time.Now()
+		chunk := (len(qs) + g - 1) / g
+		errs := make([]error, g)
+		for w := 0; w < g; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(qs) {
+				hi = len(qs)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				out := make([]float64, oqpDim)
+				for _, q := range qs[lo:hi] {
+					if _, err := tree.PredictInto(out, q); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		for _, err := range errs {
+			if err != nil {
+				fail(err)
+			}
+		}
+		reportRow(fmt.Sprintf("predict-parallel-%d", g), len(qs), g, elapsed)
+	}
+
+	// The batch API: one lock acquisition for the whole stream.
+	t0 = time.Now()
+	if _, _, err := tree.PredictBatch(qs); err != nil {
+		fail(err)
+	}
+	reportRow("predict-batch", len(qs), runtime.GOMAXPROCS(0), time.Since(t0))
+
+	// Insert throughput (exclusive lock) into a fresh tree.
+	fresh := newTree()
+	t0 = time.Now()
+	if _, err := fresh.InsertBatch(insertQs, insertVs); err != nil {
+		fail(err)
+	}
+	reportRow("insert-batch", points, 1, time.Since(t0))
+
+	// WAL append cost: one record per accepted insert.
+	walDir, err := os.MkdirTemp("", "fbbench-wal")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(walDir)
+	wal, err := persist.OpenWAL(filepath.Join(walDir, "bench.fbwl"), d, oqpDim)
+	if err != nil {
+		fail(err)
+	}
+	defer wal.Close()
+	t0 = time.Now()
+	for i := 0; i < points; i++ {
+		if err := wal.Append(insertQs[i], insertVs[i]); err != nil {
+			fail(err)
+		}
+	}
+	reportRow("wal-append", points, 1, time.Since(t0))
 	fmt.Println()
 }
 

@@ -54,12 +54,13 @@ func main() {
 		}
 		q[i] = v
 	}
-	oqp, err := tree.Predict(q)
+	oqp := make([]float64, tree.OQPDim())
+	pst, err := tree.PredictInto(oqp, q)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("\nprediction at %v:\n", q)
-	fmt.Printf("  simplices traversed: %d\n", tree.LastTraversed())
+	fmt.Printf("  simplices traversed: %d\n", pst.Traversed)
 	fmt.Printf("  OQP vector: %v\n", oqp)
 }
 

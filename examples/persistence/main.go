@@ -2,6 +2,9 @@
 // are "forgotten across multiple query sessions" (§1 of the paper). This
 // example trains a module in one "session", saves it, loads it in a fresh
 // session, verifies the predictions survived, and keeps learning on top.
+// It then repeats the exercise with the durable module: inserts journaled
+// to a write-ahead log, a simulated crash (no Close), and recovery via
+// snapshot + WAL replay.
 package main
 
 import (
@@ -107,8 +110,62 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("session 2: inserted one more loop outcome (stored=%v), tree now has %d points\n",
+	fmt.Printf("session 2: inserted one more loop outcome (stored=%v), tree now has %d points\n\n",
 		changed, restored.Stats().Points)
+
+	// ---- Session 3: the durable module survives a crash. ----
+	// OpenDurable journals every accepted insert to a write-ahead log
+	// before the tree mutates; CompactEvery folds the journal into a
+	// snapshot periodically so recovery stays fast.
+	stateDir := filepath.Join(dir, "durable")
+	durable, err := feedbackbypass.OpenDurable(stateDir, codec.D(), codec.P(),
+		feedbackbypass.Config{Epsilon: 0.01, DefaultWeights: codec.DefaultWeights()},
+		feedbackbypass.DurableOptions{CompactEvery: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var crashQP []float64
+	for i := 0; i < 15; i++ {
+		q := randomHistogram(rng, bins)
+		qp, err := codec.QueryPoint(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := ones(bins)
+		w[i%bins] = 3
+		oqp, err := codec.EncodeOQP(q, q, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := durable.Insert(qp, oqp); err != nil {
+			log.Fatal(err)
+		}
+		crashQP = qp
+	}
+	lastPred, err := durable.Predict(crashQP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 3: %d inserts journaled (journal holds %d records since the last snapshot)\n",
+		durable.Stats().Points, durable.Journaled())
+	// Crash: the process dies here — no Close, no final snapshot. The
+	// acknowledged inserts are on the journal.
+
+	// ---- Session 4: recovery = snapshot + WAL replay. ----
+	recovered, err := feedbackbypass.OpenDurable(stateDir, codec.D(), codec.P(),
+		feedbackbypass.Config{Epsilon: 0.01, DefaultWeights: codec.DefaultWeights()},
+		feedbackbypass.DurableOptions{CompactEvery: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recovered.Close()
+	recPred, err := recovered.Predict(crashQP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 4: recovered %d points; prediction drift after crash: Δdelta=%.3g Δweights=%.3g\n",
+		recovered.Stats().Points,
+		maxDiff(lastPred.Delta, recPred.Delta), maxDiff(lastPred.Weights, recPred.Weights))
 }
 
 func randomHistogram(rng *rand.Rand, bins int) []float64 {

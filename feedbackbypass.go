@@ -56,8 +56,22 @@ type OQP = core.OQP
 type Config = core.Config
 
 // Bypass is the FeedbackBypass module: Predict (the paper's Mopt method)
-// and Insert over a Simplex Tree.
+// and Insert over a Simplex Tree. Predictions are pure reads and run in
+// parallel; PredictBatch/InsertBatch amortize one lock acquisition over a
+// whole batch.
 type Bypass = core.Bypass
+
+// DurableBypass is a Bypass whose accepted inserts are journaled to a
+// write-ahead log before the tree mutates; recovery is snapshot + replay
+// (see OpenDurable).
+type DurableBypass = core.DurableBypass
+
+// DurableOptions tunes DurableBypass compaction and fsync behaviour.
+type DurableOptions = core.DurableOptions
+
+// PredictStats reports per-prediction lookup measurements (simplices
+// traversed — the Figure 16 series).
+type PredictStats = simplextree.PredictStats
 
 // HistogramCodec maps between full normalized histograms (with one weight
 // per bin) and the module's reduced query domain: the last bin is dropped
@@ -111,6 +125,14 @@ var (
 // New creates a FeedbackBypass module for a D-dimensional query domain
 // with P distance-function parameters.
 func New(d, p int, cfg Config) (*Bypass, error) { return core.New(d, p, cfg) }
+
+// OpenDurable opens (or initializes) a crash-safe module rooted at dir:
+// accepted inserts are journaled to a write-ahead log, recovery replays
+// the journal on top of the latest snapshot, and compaction keeps the
+// journal short. See core.DurableBypass for the consistency contract.
+func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*DurableBypass, error) {
+	return core.OpenDurable(dir, d, p, cfg, opts)
+}
 
 // NewHistogramCodec returns the codec for normalized histograms with the
 // given number of bins.

@@ -129,12 +129,46 @@ func (b *Bypass) Tree() *simplextree.Tree { return b.tree }
 // Predict returns the OQPs for query point q — the Mopt method of
 // Figure 5. Weight validity (positivity etc.) is the codec's concern at
 // decode time, since the stored parameterization is codec-defined.
+// Predictions are pure reads and run in parallel.
 func (b *Bypass) Predict(q []float64) (OQP, error) {
 	raw, err := b.tree.Predict(q)
 	if err != nil {
 		return OQP{}, err
 	}
 	return DecodeOQP(raw, b.d, b.p)
+}
+
+// PredictWithStats is Predict returning the per-call lookup statistics
+// (the Figure 16 traversal series) alongside the OQPs.
+func (b *Bypass) PredictWithStats(q []float64) (OQP, simplextree.PredictStats, error) {
+	raw := make([]float64, b.d+b.p)
+	st, err := b.tree.PredictInto(raw, q)
+	if err != nil {
+		return OQP{}, st, err
+	}
+	oqp, err := DecodeOQP(raw, b.d, b.p)
+	return oqp, st, err
+}
+
+// PredictBatch predicts OQPs for every query point under one read-lock
+// acquisition, sharded across GOMAXPROCS goroutines; results are bitwise
+// identical to serial Predict calls. On error (lowest-indexed failing
+// query) the successful entries are still returned, with zero OQPs at
+// the failed indices.
+func (b *Bypass) PredictBatch(qs [][]float64) ([]OQP, error) {
+	raws, _, err := b.tree.PredictBatch(qs)
+	out := make([]OQP, len(raws))
+	for i, raw := range raws {
+		if raw == nil {
+			continue
+		}
+		oqp, derr := DecodeOQP(raw, b.d, b.p)
+		if derr != nil {
+			return out, derr
+		}
+		out[i] = oqp
+	}
+	return out, err
 }
 
 // Insert stores the OQPs the feedback loop converged to for query point q
@@ -151,6 +185,31 @@ func (b *Bypass) Insert(q []float64, oqp OQP) (bool, error) {
 		return false, errors.New("core: OQP contains non-finite values")
 	}
 	return b.tree.Insert(q, oqp.Encode())
+}
+
+// InsertBatch stores many converged feedback outcomes under one
+// exclusive-lock acquisition, applying them in order with the same ε
+// semantics as repeated Insert calls. It returns the number of pairs
+// that changed the tree; on a validation or insert error it stops at the
+// failing pair with earlier pairs applied.
+func (b *Bypass) InsertBatch(qs [][]float64, oqps []OQP) (stored int, err error) {
+	if len(qs) != len(oqps) {
+		return 0, fmt.Errorf("core: batch has %d points but %d OQPs", len(qs), len(oqps))
+	}
+	values := make([][]float64, len(oqps))
+	for i, oqp := range oqps {
+		if len(oqp.Delta) != b.d {
+			return 0, fmt.Errorf("core: OQP %d: Δ has dimension %d, want %d", i, len(oqp.Delta), b.d)
+		}
+		if len(oqp.Weights) != b.p {
+			return 0, fmt.Errorf("core: OQP %d: W has dimension %d, want %d", i, len(oqp.Weights), b.p)
+		}
+		if !vec.IsFinite(oqp.Delta) || !vec.IsFinite(oqp.Weights) {
+			return 0, fmt.Errorf("core: OQP %d contains non-finite values", i)
+		}
+		values[i] = oqp.Encode()
+	}
+	return b.tree.InsertBatch(qs, values)
 }
 
 // Stats reports the shape of the underlying Simplex Tree.

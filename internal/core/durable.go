@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/persist"
+	"repro/internal/simplextree"
+)
+
+// Durable file names inside the module directory.
+const (
+	snapshotFile = "tree.fbsx"
+	journalFile  = "tree.fbwl"
+)
+
+// DurableOptions tunes the persistence behaviour of a DurableBypass.
+type DurableOptions struct {
+	// CompactEvery triggers an automatic compaction (snapshot + journal
+	// truncation) once this many inserts have been journaled since the
+	// last snapshot. Zero disables automatic compaction; call Compact.
+	CompactEvery int
+	// Sync forces an fsync after every journal append. Without it an
+	// acknowledged insert survives a process kill (the append is an
+	// unbuffered write) but not necessarily a power loss.
+	Sync bool
+}
+
+// DurableBypass is a Bypass whose learned mapping survives crashes: every
+// accepted insert is journaled to a write-ahead log before the tree
+// mutates, and opening the module recovers snapshot + journal replay.
+// Periodic compaction (snapshot the tree, truncate the journal) keeps
+// recovery time proportional to the inserts since the last snapshot, not
+// the lifetime of the module.
+//
+// Reads (Predict, PredictBatch, Stats, ...) are the embedded Bypass's and
+// run in parallel. Inserts must go through DurableBypass.Insert /
+// InsertBatch — they serialize against Compact so no acknowledged insert
+// can fall between a snapshot and a journal truncation.
+//
+// Replay is deterministic and idempotent: the journal holds exactly the
+// accepted inserts in application order, each replayed insert re-derives
+// the same ε decision against the same intermediate tree, and a record
+// already covered by the snapshot (a crash between the snapshot rename
+// and the journal truncation) is rejected — by the ε test when ε > 0, or
+// by the tree's exact-duplicate vertex-update check when interpolation
+// rounding defeats an ε = 0 skip.
+type DurableBypass struct {
+	*Bypass
+
+	mu        sync.Mutex // serializes inserts against compaction
+	wal       *persist.WAL
+	snapPath  string
+	journaled int // inserts journaled since the last compaction
+	opts      DurableOptions
+}
+
+// OpenDurable opens (or initializes) a durable FeedbackBypass module
+// rooted at dir. On first open it creates a fresh module from cfg; on
+// later opens it recovers the persisted state — snapshot (if any) plus
+// write-ahead-log replay — and cfg is consulted only if no snapshot
+// exists yet. The directory is created if needed.
+func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*DurableBypass, error) {
+	if opts.CompactEvery < 0 {
+		return nil, fmt.Errorf("core: negative CompactEvery %d", opts.CompactEvery)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snapPath := filepath.Join(dir, snapshotFile)
+	walPath := filepath.Join(dir, journalFile)
+
+	var b *Bypass
+	if _, err := os.Stat(snapPath); err == nil {
+		tree, err := persist.LoadFile(snapPath)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading snapshot: %w", err)
+		}
+		b, err = FromTree(tree, p)
+		if err != nil {
+			return nil, err
+		}
+		if b.D() != d {
+			return nil, fmt.Errorf("core: snapshot is for D=%d, want %d", b.D(), d)
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		if b, err = New(d, p, cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	tree := b.Tree()
+	wal, err := persist.OpenWAL(walPath, d, tree.OQPDim())
+	if err != nil {
+		return nil, err
+	}
+	replayed, err := wal.Replay(func(q, value []float64) error {
+		_, ierr := tree.Insert(q, value)
+		return ierr
+	})
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("core: replaying journal: %w", err)
+	}
+	db := &DurableBypass{
+		Bypass:    b,
+		wal:       wal,
+		snapPath:  snapPath,
+		journaled: replayed,
+		opts:      opts,
+	}
+	// Journal every accepted insert before the tree mutates (the
+	// observer runs under the tree's exclusive lock, after the insert is
+	// certain to succeed). Append is all-or-nothing — a failed write or
+	// fsync rolls the log back to the last record boundary — so an
+	// aborted insert leaves journal and tree consistent with each other.
+	wal.SetSyncOnAppend(opts.Sync)
+	tree.SetObserver(func(q, value []float64) error {
+		return db.wal.Append(q, value)
+	})
+	return db, nil
+}
+
+// Insert stores a converged feedback outcome durably: an accepted insert
+// is journaled before the in-memory tree changes, so once Insert returns
+// true the outcome survives a crash.
+func (db *DurableBypass) Insert(q []float64, oqp OQP) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	before := db.wal.Records()
+	changed, err := db.Bypass.Insert(q, oqp)
+	db.journaled += db.wal.Records() - before
+	if err != nil {
+		return changed, err
+	}
+	return changed, db.maybeCompactLocked()
+}
+
+// InsertBatch durably stores many outcomes under one exclusive-lock
+// acquisition (see Bypass.InsertBatch for ordering and error semantics).
+func (db *DurableBypass) InsertBatch(qs [][]float64, oqps []OQP) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	before := db.wal.Records()
+	stored, err := db.Bypass.InsertBatch(qs, oqps)
+	db.journaled += db.wal.Records() - before
+	if err != nil {
+		return stored, err
+	}
+	return stored, db.maybeCompactLocked()
+}
+
+// Journaled reports the number of inserts journaled since the last
+// compaction (including those replayed at open).
+func (db *DurableBypass) Journaled() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.journaled
+}
+
+// Compact snapshots the tree and truncates the journal, bounding future
+// recovery time. The snapshot is written to a temporary file, fsynced,
+// and atomically renamed before the journal is reset, so a crash at any
+// point leaves a recoverable (snapshot, journal) pair.
+func (db *DurableBypass) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.compactLocked()
+}
+
+func (db *DurableBypass) maybeCompactLocked() error {
+	if db.opts.CompactEvery <= 0 || db.journaled < db.opts.CompactEvery {
+		return nil
+	}
+	return db.compactLocked()
+}
+
+func (db *DurableBypass) compactLocked() error {
+	tmp := db.snapPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := persist.Save(f, db.Tree()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, db.snapPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename's directory entry must be durable before the journal is
+	// truncated: otherwise a power loss could persist the truncation but
+	// not the rename, leaving an old snapshot next to an empty journal.
+	if err := syncDir(filepath.Dir(db.snapPath)); err != nil {
+		return err
+	}
+	if err := db.wal.Reset(); err != nil {
+		return err
+	}
+	db.journaled = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// Close flushes and closes the journal. The module must not be used
+// afterwards; reopen with OpenDurable.
+func (db *DurableBypass) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.Tree().SetObserver(nil)
+	if err := db.wal.Sync(); err != nil {
+		db.wal.Close()
+		return err
+	}
+	return db.wal.Close()
+}
+
+// Observer re-exports the simplextree hook type for callers layering
+// their own journaling.
+type Observer = simplextree.Observer

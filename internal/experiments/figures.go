@@ -111,19 +111,22 @@ func Figure11(s *Session, ks []int, numEval int) (*Figure11Result, error) {
 	nK := len(sorted)
 	sumPrec := map[string][]float64{"d": make([]float64, nK), "b": make([]float64, nK), "s": make([]float64, nK)}
 	sumRec := map[string][]float64{"d": make([]float64, nK), "b": make([]float64, nK), "s": make([]float64, nK)}
-	for _, qi := range evalQs {
-		gd, gb, gs, err := s.EvaluateAtK(qi, sorted)
-		if err != nil {
-			return nil, err
-		}
+	// One batched evaluation: all Mopt predictions for the eval stream
+	// are answered by a single read-locked PredictBatch.
+	counts, err := s.EvaluateManyAtK(evalQs, sorted)
+	if err != nil {
+		return nil, err
+	}
+	for qidx, qi := range evalQs {
+		c := counts[qidx]
 		rel := s.DS.Relevant(s.DS.Items[qi].Category)
 		for i, k := range sorted {
-			sumPrec["d"][i] += float64(gd[i]) / float64(k)
-			sumPrec["b"][i] += float64(gb[i]) / float64(k)
-			sumPrec["s"][i] += float64(gs[i]) / float64(k)
-			sumRec["d"][i] += float64(gd[i]) / float64(rel)
-			sumRec["b"][i] += float64(gb[i]) / float64(rel)
-			sumRec["s"][i] += float64(gs[i]) / float64(rel)
+			sumPrec["d"][i] += float64(c.GoodDefault[i]) / float64(k)
+			sumPrec["b"][i] += float64(c.GoodBypass[i]) / float64(k)
+			sumPrec["s"][i] += float64(c.GoodSeen[i]) / float64(k)
+			sumRec["d"][i] += float64(c.GoodDefault[i]) / float64(rel)
+			sumRec["b"][i] += float64(c.GoodBypass[i]) / float64(rel)
+			sumRec["s"][i] += float64(c.GoodSeen[i]) / float64(rel)
 		}
 	}
 	n := float64(len(evalQs))
@@ -254,15 +257,15 @@ func Figure13(cfg Config, trainKs, rs []int, numEval int) (*Figure13Result, erro
 		}
 		sumPrec := make([]float64, len(rs))
 		sumRec := make([]float64, len(rs))
-		for _, qi := range evalQs {
-			_, gb, _, err := sess.EvaluateAtK(qi, rs)
-			if err != nil {
-				return nil, err
-			}
+		counts, err := sess.EvaluateManyAtK(evalQs, rs)
+		if err != nil {
+			return nil, err
+		}
+		for qidx, qi := range evalQs {
 			rel := sess.DS.Relevant(sess.DS.Items[qi].Category)
 			for i, r := range rs {
-				sumPrec[i] += float64(gb[i]) / float64(r)
-				sumRec[i] += float64(gb[i]) / float64(rel)
+				sumPrec[i] += float64(counts[qidx].GoodBypass[i]) / float64(r)
+				sumRec[i] += float64(counts[qidx].GoodBypass[i]) / float64(rel)
 			}
 		}
 		p := &eval.Series{Label: fmt.Sprintf("k = %d", k)}

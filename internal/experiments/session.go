@@ -240,11 +240,11 @@ func (s *Session) ProcessQuery(itemIdx int) (QueryRecord, error) {
 	if err != nil {
 		return rec, err
 	}
-	oqp, err := s.Bypass.Predict(qp)
+	oqp, pst, err := s.Bypass.PredictWithStats(qp)
 	if err != nil {
 		return rec, err
 	}
-	rec.Traversed = s.Bypass.Tree().LastTraversed()
+	rec.Traversed = pst.Traversed
 	qPred, wPred, err := s.Codec.DecodeOQP(q, oqp)
 	if err != nil {
 		return rec, err
@@ -305,69 +305,99 @@ func (s *Session) SampleEvalQueries(n int) ([]int, error) {
 	return s.DS.SampleQueries(s.rng, n)
 }
 
-// EvaluateAtK measures, for one query item and a trained tree, the number
-// of good matches among the top r results under (a) default parameters,
-// (b) predicted parameters, and (c) the optimal parameters from a
-// converged loop at the session's training K. It powers Figures 11 and 13.
+// EvalCounts holds, for one evaluated query, the number of good matches
+// among the top r results (one entry per requested r) under the three
+// scenarios: default parameters, predicted parameters, and the optimal
+// parameters from a converged loop.
+type EvalCounts struct {
+	GoodDefault []int
+	GoodBypass  []int
+	GoodSeen    []int
+}
+
+// EvaluateAtK measures one query item against a trained tree. It powers
+// Figures 11 and 13; batch several items with EvaluateManyAtK.
 func (s *Session) EvaluateAtK(itemIdx int, rs []int) (goodDefault, goodBypass, goodSeen []int, err error) {
-	item := s.DS.Items[itemIdx]
-	q := item.Feature
-	uniform := s.Engine.UniformWeights()
-	qp, err := s.Codec.QueryPoint(q)
+	res, err := s.EvaluateManyAtK([]int{itemIdx}, rs)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	oqp, err := s.Bypass.Predict(qp)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	qPred, wPred, err := s.Codec.DecodeOQP(q, oqp)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	out, err := s.Engine.RunLoop(item.Category, q, uniform, s.Config.K)
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	return res[0].GoodDefault, res[0].GoodBypass, res[0].GoodSeen, nil
+}
+
+// EvaluateManyAtK evaluates a batch of query items against the trained
+// tree. The evaluation loop is read-only with respect to the Simplex
+// Tree, so all Mopt predictions for the batch are answered by one
+// Bypass.PredictBatch call — a single read-lock acquisition sharded
+// across goroutines — before the per-item retrievals run.
+func (s *Session) EvaluateManyAtK(itemIdxs []int, rs []int) ([]EvalCounts, error) {
 	maxR := 0
 	for _, r := range rs {
 		if r <= 0 {
-			return nil, nil, nil, errors.New("experiments: retrieved-object counts must be positive")
+			return nil, errors.New("experiments: retrieved-object counts must be positive")
 		}
 		if r > maxR {
 			maxR = r
 		}
 	}
-	// One batched call answers all three scenario retrievals: the scan
-	// streams each cache block of the collection once for the batch,
-	// evaluating every scenario's metric against the hot block.
-	batch, err := s.Engine.RetrieveBatch([]engine.WeightedQuery{
-		{Q: q, W: uniform},
-		{Q: qPred, W: wPred},
-		{Q: out.QOpt, W: out.WOpt},
-	}, maxR)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	defRes, bypRes, seenRes := batch[0], batch[1], batch[2]
-	countTop := func(resIdx []int, r int) int {
-		n := 0
-		for i := 0; i < r && i < len(resIdx); i++ {
-			if s.DS.IsGood(resIdx[i], item.Category) {
-				n++
-			}
+	qps := make([][]float64, len(itemIdxs))
+	for i, itemIdx := range itemIdxs {
+		if itemIdx < 0 || itemIdx >= s.DS.Len() {
+			return nil, fmt.Errorf("experiments: item index %d out of range", itemIdx)
 		}
-		return n
+		qp, err := s.Codec.QueryPoint(s.DS.Items[itemIdx].Feature)
+		if err != nil {
+			return nil, err
+		}
+		qps[i] = qp
 	}
-	defIdx := knn.Indices(defRes)
-	bypIdx := knn.Indices(bypRes)
-	seenIdx := knn.Indices(seenRes)
-	for _, r := range rs {
-		goodDefault = append(goodDefault, countTop(defIdx, r))
-		goodBypass = append(goodBypass, countTop(bypIdx, r))
-		goodSeen = append(goodSeen, countTop(seenIdx, r))
+	oqps, err := s.Bypass.PredictBatch(qps)
+	if err != nil {
+		return nil, err
 	}
-	return goodDefault, goodBypass, goodSeen, nil
+	uniform := s.Engine.UniformWeights()
+	out := make([]EvalCounts, len(itemIdxs))
+	for i, itemIdx := range itemIdxs {
+		item := s.DS.Items[itemIdx]
+		q := item.Feature
+		qPred, wPred, err := s.Codec.DecodeOQP(q, oqps[i])
+		if err != nil {
+			return nil, err
+		}
+		loop, err := s.Engine.RunLoop(item.Category, q, uniform, s.Config.K)
+		if err != nil {
+			return nil, err
+		}
+		// One batched call answers all three scenario retrievals: the scan
+		// streams each cache block of the collection once for the batch,
+		// evaluating every scenario's metric against the hot block.
+		batch, err := s.Engine.RetrieveBatch([]engine.WeightedQuery{
+			{Q: q, W: uniform},
+			{Q: qPred, W: wPred},
+			{Q: loop.QOpt, W: loop.WOpt},
+		}, maxR)
+		if err != nil {
+			return nil, err
+		}
+		countTop := func(resIdx []int, r int) int {
+			n := 0
+			for j := 0; j < r && j < len(resIdx); j++ {
+				if s.DS.IsGood(resIdx[j], item.Category) {
+					n++
+				}
+			}
+			return n
+		}
+		defIdx := knn.Indices(batch[0])
+		bypIdx := knn.Indices(batch[1])
+		seenIdx := knn.Indices(batch[2])
+		for _, r := range rs {
+			out[i].GoodDefault = append(out[i].GoodDefault, countTop(defIdx, r))
+			out[i].GoodBypass = append(out[i].GoodBypass, countTop(bypIdx, r))
+			out[i].GoodSeen = append(out[i].GoodSeen, countTop(seenIdx, r))
+		}
+	}
+	return out, nil
 }
 
 // SeriesByScenario bundles the three per-scenario curves most figures

@@ -114,6 +114,61 @@ func (s *Simplex) Barycentric(q []float64) ([]float64, error) {
 	return lam, nil
 }
 
+// BarycentricSolver solves the barycentric system of one fixed simplex
+// repeatedly without re-factorizing or allocating: the (D+1)×(D+1)
+// coefficient matrix depends only on the vertices, so its LU factorization
+// is computed once and every query costs two triangular solves (O(D²)).
+// The Simplex Tree builds one solver for its root simplex at construction.
+//
+// A solver is immutable after construction and safe for concurrent use;
+// callers supply the per-call output and scratch buffers.
+type BarycentricSolver struct {
+	lu *vec.LU
+	n  int // D+1
+}
+
+// Solver factorizes the simplex's barycentric system. It returns
+// ErrDegenerate (wrapped) for simplices whose system is singular.
+func (s *Simplex) Solver() (*BarycentricSolver, error) {
+	d := s.Dim()
+	n := d + 1
+	a := vec.NewMatrix(n, n)
+	// First row encodes Σλ_i = 1, the rest Σλ_j·v_j[i] = q[i].
+	for j := 0; j < n; j++ {
+		a.Set(0, j, 1)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i+1, j, s.verts[j][i])
+		}
+	}
+	lu, err := vec.Factorize(a)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	return &BarycentricSolver{lu: lu, n: n}, nil
+}
+
+// Dim returns the simplex dimensionality D the solver was built for.
+func (bs *BarycentricSolver) Dim() int { return bs.n - 1 }
+
+// BarycentricInto computes the barycentric coordinates of q into dst using
+// rhs as scratch for the right-hand side. dst and rhs must have length D+1
+// and must not alias each other; q must have length D. No allocation is
+// performed.
+func (bs *BarycentricSolver) BarycentricInto(dst, rhs, q []float64) error {
+	d := bs.n - 1
+	if len(q) != d {
+		return fmt.Errorf("geom: point has dimension %d, want %d", len(q), d)
+	}
+	if len(dst) != bs.n || len(rhs) != bs.n {
+		return fmt.Errorf("geom: dst/rhs have length %d/%d, want %d", len(dst), len(rhs), bs.n)
+	}
+	rhs[0] = 1
+	copy(rhs[1:], q)
+	return bs.lu.SolveInto(dst, rhs)
+}
+
 // FromBarycentric maps barycentric coordinates λ back to a point Σλ_i·v_i.
 func (s *Simplex) FromBarycentric(lam []float64) ([]float64, error) {
 	if len(lam) != len(s.verts) {
@@ -224,10 +279,24 @@ func ChildBarycentric(lam, mu []float64, h int, tol float64) (nu []float64, ok b
 	if h < 0 || h >= len(mu) || len(lam) != len(mu) {
 		return nil, false
 	}
-	if mu[h] <= tol {
+	nu = make([]float64, len(lam))
+	if !ChildBarycentricInto(nu, lam, mu, h, tol) {
 		return nil, false
 	}
-	nu = make([]float64, len(lam))
+	return nu, true
+}
+
+// ChildBarycentricInto is the allocation-free variant of ChildBarycentric:
+// it writes the child coordinates into nu, which must have length len(lam)
+// and must not alias lam or mu. ok is false when the child is degenerate
+// (μ_h ≤ tol) or the inputs are malformed, in which case nu is untouched.
+func ChildBarycentricInto(nu, lam, mu []float64, h int, tol float64) bool {
+	if h < 0 || h >= len(mu) || len(lam) != len(mu) || len(nu) != len(lam) {
+		return false
+	}
+	if mu[h] <= tol {
+		return false
+	}
 	w := lam[h] / mu[h]
 	for j := range lam {
 		if j == h {
@@ -236,7 +305,7 @@ func ChildBarycentric(lam, mu []float64, h int, tol float64) (nu []float64, ok b
 			nu[j] = lam[j] - w*mu[j]
 		}
 	}
-	return nu, true
+	return true
 }
 
 // Centroid returns the barycenter of the simplex.

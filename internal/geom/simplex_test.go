@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -426,5 +427,98 @@ func TestHighDimensionalBarycentric31(t *testing.T) {
 	}
 	if !vec.EqualTol(back, q, 1e-9) {
 		t.Error("31-dimensional round trip failed")
+	}
+}
+
+// Property: the precomputed-LU solver reproduces the per-call solve
+// bitwise — both run the same factorize-then-two-triangular-solves
+// pipeline on the same matrix, so even rounding must agree.
+func TestSolverMatchesBarycentric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, d := range []int{1, 2, 5, 15, 31} {
+		s := StandardSimplex(d)
+		solver, err := s.Solver()
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if solver.Dim() != d {
+			t.Fatalf("d=%d: solver dim %d", d, solver.Dim())
+		}
+		dst := make([]float64, d+1)
+		rhs := make([]float64, d+1)
+		for trial := 0; trial < 10; trial++ {
+			q := make([]float64, d)
+			for i := range q {
+				q[i] = rng.Float64() * 2 / float64(d)
+			}
+			want, err := s.Barycentric(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := solver.BarycentricInto(dst, rhs, q); err != nil {
+				t.Fatal(err)
+			}
+			if !vec.Equal(dst, want) {
+				t.Fatalf("d=%d: solver %v != direct %v", d, dst, want)
+			}
+		}
+		// Malformed buffers are rejected, not sliced out of bounds.
+		if err := solver.BarycentricInto(dst[:d], rhs, make([]float64, d)); err == nil {
+			t.Error("short dst accepted")
+		}
+		if err := solver.BarycentricInto(dst, rhs, make([]float64, d+2)); err == nil {
+			t.Error("long query accepted")
+		}
+	}
+	// A degenerate simplex has no solver.
+	if _, err := NewSimplex([][]float64{{0, 0}, {1, 1}, {2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	degenerate := &Simplex{verts: [][]float64{{0, 0}, {1, 1}, {2, 2}}}
+	if _, err := degenerate.Solver(); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("degenerate solver error = %v, want ErrDegenerate", err)
+	}
+}
+
+// Property: ChildBarycentricInto matches the allocating variant and
+// rejects aliasing-safe bad inputs the same way.
+func TestChildBarycentricIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := 6
+	s := StandardSimplex(d)
+	p, err := s.RandomInteriorPoint([]float64{1, 2, 1, 3, 1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := s.Barycentric(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float64, d)
+		for i := range q {
+			q[i] = rng.Float64() / float64(d)
+		}
+		lam, err := s.Barycentric(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := 0; h <= d; h++ {
+			want, okWant := ChildBarycentric(lam, mu, h, DefaultTol)
+			nu := make([]float64, len(lam))
+			ok := ChildBarycentricInto(nu, lam, mu, h, DefaultTol)
+			if ok != okWant {
+				t.Fatalf("h=%d: ok %v != %v", h, ok, okWant)
+			}
+			if ok && !vec.Equal(nu, want) {
+				t.Fatalf("h=%d: %v != %v", h, nu, want)
+			}
+		}
+	}
+	if ChildBarycentricInto(make([]float64, d), nil, mu, 0, DefaultTol) {
+		t.Error("mismatched lam accepted")
+	}
+	if ChildBarycentricInto(make([]float64, d+1), mu, mu, -1, DefaultTol) {
+		t.Error("negative index accepted")
 	}
 }

@@ -1,0 +1,351 @@
+package persist
+
+// Write-ahead log for Simplex Tree inserts. The snapshot format of Save/
+// Load captures a whole tree; the WAL complements it with incremental
+// durability: every accepted insert appends one fixed-size record, and
+// recovery is snapshot + replay. Compaction rewrites the snapshot and
+// truncates the log (core.DurableBypass wires the two together).
+//
+// Format (little-endian):
+//
+//	header:
+//	  magic   [4]byte  "FBWL"
+//	  version uint32   currently 1
+//	  dim     uint32   query-domain dimensionality D
+//	  oqpDim  uint32   stored-vector dimensionality N
+//	record (fixed size, repeated):
+//	  q       [D]float64
+//	  value   [N]float64
+//	  crc32   uint32   IEEE checksum of the record's q+value bytes
+//
+// Records carry the same CRC-32/IEEE checksum the snapshot format uses,
+// but per record, so a torn final write (a crash mid-append) is
+// detectable and cheap to drop: replay and open both tolerate a
+// truncated tail record, while a size-complete record with a checksum
+// mismatch is reported as ErrCorrupt.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+var walMagic = [4]byte{'F', 'B', 'W', 'L'}
+
+// WALVersion is the current log format version.
+const WALVersion = 1
+
+const walHeaderSize = 4 + 4 + 4 + 4
+
+// WAL is an append-only insert journal for one Simplex Tree. Appends are
+// single unbuffered writes, so every record acknowledged by Append has
+// reached the kernel when Append returns (call Sync to force it to
+// stable storage). A WAL is not safe for concurrent use by itself; the
+// tree's exclusive write lock already serializes the observer appends.
+type WAL struct {
+	f       *os.File
+	path    string
+	dim     int
+	oqpDim  int
+	buf     []byte // reused record encoding buffer
+	records int    // valid records on disk
+	off     int64  // offset just past the last valid record
+	sync    bool   // fsync after every append
+	broken  error  // set when a failed append could not be rolled back
+}
+
+func walRecordSize(dim, oqpDim int) int { return 8*(dim+oqpDim) + 4 }
+
+// OpenWAL opens (or creates) the write-ahead log at path for trees of
+// query dimension dim and OQP dimension oqpDim. An existing log is
+// validated record by record: a truncated tail record — the signature of
+// a crash mid-append — is discarded by truncating the file, while a
+// size-complete record with a bad checksum returns ErrCorrupt. The
+// returned WAL is positioned for appending.
+func OpenWAL(path string, dim, oqpDim int) (*WAL, error) {
+	if dim <= 0 || oqpDim <= 0 {
+		return nil, fmt.Errorf("persist: invalid WAL dimensions D=%d N=%d", dim, oqpDim)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{
+		f:      f,
+		path:   path,
+		dim:    dim,
+		oqpDim: oqpDim,
+		buf:    make([]byte, walRecordSize(dim, oqpDim)),
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() < walHeaderSize {
+		// Empty file, or a header torn by a crash during creation (or
+		// during Reset, between the truncate and the header rewrite). A
+		// file this short cannot hold records, so nothing is lost:
+		// rewrite the header instead of reporting corruption.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.off = walHeaderSize
+		return w, nil
+	}
+	validEnd, records, err := scanWAL(f, dim, oqpDim)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if validEnd < info.Size() {
+		// Torn tail record: drop it so the next append starts on a
+		// record boundary.
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.records = records
+	w.off = validEnd
+	return w, nil
+}
+
+// SetSyncOnAppend makes every Append fsync before acknowledging, giving
+// power-loss durability per record instead of process-kill durability.
+func (w *WAL) SetSyncOnAppend(sync bool) { w.sync = sync }
+
+// writeHeader writes the log header at the current (zero) offset.
+func (w *WAL) writeHeader() error {
+	var hdr [walHeaderSize]byte
+	copy(hdr[0:4], walMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], WALVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(w.dim))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(w.oqpDim))
+	_, err := w.f.Write(hdr[:])
+	return err
+}
+
+// scanWAL validates the header and every record of r, returning the file
+// offset just past the last valid record and the record count. A
+// truncated tail is tolerated (the returned offset excludes it); a
+// complete record with a checksum mismatch is ErrCorrupt.
+func scanWAL(f *os.File, dim, oqpDim int) (validEnd int64, records int, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	br := bufio.NewReader(f)
+	if err := readWALHeader(br, dim, oqpDim); err != nil {
+		return 0, 0, err
+	}
+	recSize := walRecordSize(dim, oqpDim)
+	buf := make([]byte, recSize)
+	offset := int64(walHeaderSize)
+	for {
+		_, err := io.ReadFull(br, buf)
+		if err == io.EOF {
+			return offset, records, nil // clean end on a record boundary
+		}
+		if err == io.ErrUnexpectedEOF {
+			return offset, records, nil // torn tail: tolerate, drop
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := checkWALRecord(buf); err != nil {
+			return 0, 0, err
+		}
+		offset += int64(recSize)
+		records++
+	}
+}
+
+// readWALHeader consumes and validates the header from r.
+func readWALHeader(r io.Reader, dim, oqpDim int) error {
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: reading WAL header: %v", ErrCorrupt, err)
+	}
+	if [4]byte(hdr[0:4]) != walMagic {
+		return fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != WALVersion {
+		return fmt.Errorf("%w: unsupported WAL version %d", ErrCorrupt, v)
+	}
+	gotDim := binary.LittleEndian.Uint32(hdr[8:12])
+	gotOQP := binary.LittleEndian.Uint32(hdr[12:16])
+	if gotDim != uint32(dim) || gotOQP != uint32(oqpDim) {
+		return fmt.Errorf("%w: WAL is for D=%d N=%d, want D=%d N=%d", ErrCorrupt, gotDim, gotOQP, dim, oqpDim)
+	}
+	return nil
+}
+
+// checkWALRecord verifies the trailing checksum of one complete record.
+func checkWALRecord(rec []byte) error {
+	payload := rec[:len(rec)-4]
+	want := binary.LittleEndian.Uint32(rec[len(rec)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return fmt.Errorf("%w: WAL record checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	return nil
+}
+
+// Append journals one accepted insert. The write is a single unbuffered
+// write call, so a process kill after Append returns cannot lose the
+// record (power-loss durability additionally needs Sync, or
+// SetSyncOnAppend). Append is all-or-nothing: a partial write or a
+// failed per-append fsync is rolled back by truncating to the last
+// record boundary, so the log never advances misaligned; if even the
+// rollback fails, the WAL refuses further appends instead of corrupting
+// the records already acknowledged.
+func (w *WAL) Append(q, value []float64) error {
+	if w.broken != nil {
+		return w.broken
+	}
+	if len(q) != w.dim {
+		return fmt.Errorf("persist: WAL append point has dimension %d, want %d", len(q), w.dim)
+	}
+	if len(value) != w.oqpDim {
+		return fmt.Errorf("persist: WAL append value has dimension %d, want %d", len(value), w.oqpDim)
+	}
+	off := 0
+	for _, x := range q {
+		binary.LittleEndian.PutUint64(w.buf[off:], math.Float64bits(x))
+		off += 8
+	}
+	for _, x := range value {
+		binary.LittleEndian.PutUint64(w.buf[off:], math.Float64bits(x))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(w.buf[off:], crc32.ChecksumIEEE(w.buf[:off]))
+	if _, err := w.f.Write(w.buf); err != nil {
+		return w.rollback(err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return w.rollback(err)
+		}
+	}
+	w.off += int64(len(w.buf))
+	w.records++
+	return nil
+}
+
+// rollback restores the log to the last record boundary after a failed
+// append. When the truncate itself fails the WAL is marked broken: the
+// on-disk tail is in an unknown state, and appending past it would make
+// the whole log unreadable (a size-complete record spanning torn bytes
+// fails its checksum and turns every later record into ErrCorrupt).
+func (w *WAL) rollback(cause error) error {
+	if terr := w.f.Truncate(w.off); terr != nil {
+		w.broken = fmt.Errorf("persist: WAL append failed (%v) and rollback failed (%v); log closed to appends", cause, terr)
+		return w.broken
+	}
+	if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
+		w.broken = fmt.Errorf("persist: WAL append failed (%v) and reposition failed (%v); log closed to appends", cause, serr)
+		return w.broken
+	}
+	return cause
+}
+
+// Records reports the number of valid records in the log (found at open
+// plus appended since).
+func (w *WAL) Records() int { return w.records }
+
+// Sync flushes the log to stable storage.
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Reset truncates the log back to an empty header — the log-compaction
+// step after the tree state has been captured in a snapshot. A
+// successful Reset also clears the broken state left by an
+// unrecoverable append failure, since the rewritten log is aligned
+// again.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	w.records = 0
+	w.off = walHeaderSize
+	w.broken = nil
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// Replay reads the log from the beginning through a separate read handle
+// and invokes fn for every valid record in order, returning the number
+// replayed. A truncated tail record is silently dropped; a checksum
+// mismatch on a complete record is ErrCorrupt. The q and value slices
+// are reused across calls; fn must not retain them.
+func (w *WAL) Replay(fn func(q, value []float64) error) (int, error) {
+	f, err := os.Open(w.path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return ReplayWAL(f, w.dim, w.oqpDim, fn)
+}
+
+// ReplayWAL replays every valid record of the log read from r (see
+// WAL.Replay for the tolerance semantics).
+func ReplayWAL(r io.Reader, dim, oqpDim int, fn func(q, value []float64) error) (int, error) {
+	if dim <= 0 || oqpDim <= 0 {
+		return 0, fmt.Errorf("persist: invalid WAL dimensions D=%d N=%d", dim, oqpDim)
+	}
+	br := bufio.NewReader(r)
+	if err := readWALHeader(br, dim, oqpDim); err != nil {
+		return 0, err
+	}
+	recSize := walRecordSize(dim, oqpDim)
+	buf := make([]byte, recSize)
+	q := make([]float64, dim)
+	value := make([]float64, oqpDim)
+	replayed := 0
+	for {
+		_, err := io.ReadFull(br, buf)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return replayed, nil // clean end, or tolerated torn tail
+		}
+		if err != nil {
+			return replayed, err
+		}
+		if err := checkWALRecord(buf); err != nil {
+			return replayed, err
+		}
+		for i := range q {
+			q[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		base := 8 * dim
+		for i := range value {
+			value[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[base+8*i:]))
+		}
+		if err := fn(q, value); err != nil {
+			return replayed, err
+		}
+		replayed++
+	}
+}

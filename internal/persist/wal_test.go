@@ -1,0 +1,297 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walRecordsForTest(rng *rand.Rand, n, dim, oqpDim int) (qs, vs [][]float64) {
+	for i := 0; i < n; i++ {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		v := make([]float64, oqpDim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		qs = append(qs, q)
+		vs = append(vs, v)
+	}
+	return qs, vs
+}
+
+func appendAll(t *testing.T, w *WAL, qs, vs [][]float64) {
+	t.Helper()
+	for i := range qs {
+		if err := w.Append(qs[i], vs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fbwl")
+	const dim, oqpDim = 3, 5
+	qs, vs := walRecordsForTest(rand.New(rand.NewSource(1)), 17, dim, oqpDim)
+
+	w, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, qs, vs)
+	if w.Records() != len(qs) {
+		t.Errorf("records = %d, want %d", w.Records(), len(qs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: every record must be found, and replay must return them in
+	// order.
+	w2, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Records() != len(qs) {
+		t.Errorf("reopened records = %d, want %d", w2.Records(), len(qs))
+	}
+	i := 0
+	n, err := w2.Replay(func(q, v []float64) error {
+		if !equalFloats(q, qs[i]) || !equalFloats(v, vs[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(qs) {
+		t.Errorf("replayed %d, want %d", n, len(qs))
+	}
+
+	// Appending after reopen continues the log.
+	if err := w2.Append(qs[0], vs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Records() != len(qs)+1 {
+		t.Errorf("records after append = %d, want %d", w2.Records(), len(qs)+1)
+	}
+}
+
+// TestWALTruncatedTailTolerated simulates a crash mid-append: the torn
+// final record must be dropped by both Replay and OpenWAL, and the log
+// must stay appendable.
+func TestWALTruncatedTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fbwl")
+	const dim, oqpDim = 4, 6
+	qs, vs := walRecordsForTest(rand.New(rand.NewSource(2)), 9, dim, oqpDim)
+	w, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, qs, vs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record in half.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSize := walRecordSize(dim, oqpDim)
+	torn := data[:len(data)-recSize/2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := ReplayWAL(bytes.NewReader(torn), dim, oqpDim, func(q, v []float64) error { return nil })
+	if err != nil {
+		t.Fatalf("replay of torn log: %v", err)
+	}
+	if n != len(qs)-1 {
+		t.Errorf("replayed %d, want %d (torn tail dropped)", n, len(qs)-1)
+	}
+
+	w2, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatalf("open of torn log: %v", err)
+	}
+	defer w2.Close()
+	if w2.Records() != len(qs)-1 {
+		t.Errorf("reopened records = %d, want %d", w2.Records(), len(qs)-1)
+	}
+	// The torn bytes must have been truncated away so the next append
+	// lands on a record boundary.
+	if err := w2.Append(qs[0], vs[0]); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	if _, err := w2.Replay(func(q, v []float64) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(qs) {
+		t.Errorf("after truncate+append replayed %d, want %d", n, len(qs))
+	}
+}
+
+// TestWALCorruptChecksumErrors flips a payload byte of a complete record:
+// replay and open must both fail with ErrCorrupt.
+func TestWALCorruptChecksumErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fbwl")
+	const dim, oqpDim = 2, 3
+	qs, vs := walRecordsForTest(rand.New(rand.NewSource(3)), 5, dim, oqpDim)
+	w, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, qs, vs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the third record's payload.
+	recSize := walRecordSize(dim, oqpDim)
+	data[walHeaderSize+2*recSize+5] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ReplayWAL(bytes.NewReader(data), dim, oqpDim, func(q, v []float64) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("replay of corrupt log: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := OpenWAL(path, dim, oqpDim); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("open of corrupt log: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALHeaderValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fbwl")
+	w, err := OpenWAL(path, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Dimension mismatch must be rejected.
+	if _, err := OpenWAL(path, 4, 4); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("dim mismatch: err = %v, want ErrCorrupt", err)
+	}
+	// Bad magic must be rejected.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path, 3, 4); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	// Append dimension validation.
+	w2, err := OpenWAL(filepath.Join(dir, "y.fbwl"), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := w2.Append([]float64{1, 2}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("short point accepted")
+	}
+	if err := w2.Append([]float64{1, 2, 3}, []float64{1}); err == nil {
+		t.Error("short value accepted")
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fbwl")
+	const dim, oqpDim = 3, 3
+	qs, vs := walRecordsForTest(rand.New(rand.NewSource(4)), 6, dim, oqpDim)
+	w, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendAll(t, w, qs, vs)
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 {
+		t.Errorf("records after reset = %d, want 0", w.Records())
+	}
+	n := 0
+	if _, err := w.Replay(func(q, v []float64) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("replayed %d after reset, want 0", n)
+	}
+	// The log keeps working after a reset.
+	if err := w.Append(qs[0], vs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 1 {
+		t.Errorf("records = %d, want 1", w.Records())
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWALTornHeaderRecovered covers a crash during header creation (or
+// mid-Reset): a file shorter than the header holds no records, so
+// reopening must rewrite the header instead of reporting corruption.
+func TestWALTornHeaderRecovered(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.fbwl")
+	for _, size := range []int{1, 7, walHeaderSize - 1} {
+		if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenWAL(path, 3, 4)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if w.Records() != 0 {
+			t.Errorf("size %d: records = %d, want 0", size, w.Records())
+		}
+		if err := w.Append(make([]float64, 3), make([]float64, 4)); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if _, err := w.Replay(func(q, v []float64) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Errorf("size %d: replayed %d, want 1", size, n)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

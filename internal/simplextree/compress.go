@@ -26,33 +26,24 @@ func (t *Tree) CompressValues(eps float64) (dropped int, err error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	seen := make(map[*Vertex]bool)
-	var rec func(n *node) error
-	rec = func(n *node) error {
-		for _, v := range n.verts {
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			sparse, cerr := haar.Compress(v.Value, eps)
-			if cerr != nil {
-				return cerr
-			}
-			dropped += haar.NextPowerOfTwo(len(v.Value)) - sparse.StorageSize()
-			back, derr := sparse.Decompress()
-			if derr != nil {
-				return derr
-			}
-			copy(v.Value, back)
+	t.walkLocked(func(v *Vertex) {
+		if err != nil {
+			return
 		}
-		for _, c := range n.children {
-			if err := rec(c); err != nil {
-				return err
-			}
+		sparse, cerr := haar.Compress(v.Value, eps)
+		if cerr != nil {
+			err = cerr
+			return
 		}
-		return nil
-	}
-	if err := rec(t.root); err != nil {
+		dropped += haar.NextPowerOfTwo(len(v.Value)) - sparse.StorageSize()
+		back, derr := sparse.Decompress()
+		if derr != nil {
+			err = derr
+			return
+		}
+		copy(v.Value, back)
+	})
+	if err != nil {
 		return 0, err
 	}
 	return dropped, nil

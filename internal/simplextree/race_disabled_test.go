@@ -1,0 +1,5 @@
+//go:build !race
+
+package simplextree
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package simplextree
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// intentionally drops items under -race, so allocation-count assertions
+// are skipped there.
+const raceEnabled = true

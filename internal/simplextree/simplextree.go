@@ -13,15 +13,27 @@
 // predicted within ε is not stored, so resource usage tracks the intrinsic
 // complexity of the optimal query mapping, not the number of queries.
 //
-// Lookups descend with an O(D)-per-child incremental barycentric update
-// (geom.ChildBarycentric) instead of a fresh O(D³) solve per node; see
-// DESIGN.md ("Incremental barycentric descent").
+// # Concurrency model
+//
+// The tree is split into a read plane and a write plane. The read plane —
+// Predict, PredictInto, PredictBatch, PredictNaive, Walk, Stats, Snapshot
+// and the accessors — is pure: it runs under the shared read lock, never
+// mutates the tree, and reports per-call traversal counts through
+// PredictStats instead of storing them. Any number of readers proceed in
+// parallel. The write plane — Insert, InsertBatch, SetObserver,
+// CompressValues — takes the exclusive lock. Lookups are allocation-free
+// after warm-up: the root barycentric system is LU-factorized once at
+// construction (the root simplex never changes), descent uses the O(D)
+// incremental child update (geom.ChildBarycentricInto), and per-call
+// buffers come from a scratch pool; see DESIGN.md ("Concurrent prediction
+// plane").
 package simplextree
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/geom"
@@ -29,7 +41,22 @@ import (
 )
 
 // ErrOutOfDomain is returned for query points outside the root simplex.
+// Every lookup failure caused by a point's position (outside the domain,
+// or unresolvable numerical boundary) wraps it, so callers can classify
+// with errors.Is.
 var ErrOutOfDomain = errors.New("simplextree: query point outside the root simplex")
+
+// boundarySlack widens the containment band used while descending:
+// a child accepts a point when every barycentric coordinate is
+// ≥ -boundarySlack·tol. Descent multiplies the rounding of the root solve
+// by up to 1/μ_h per level (geom.ChildBarycentric), so coordinates of
+// points genuinely on a facet drift below -tol after a few levels; the
+// slack absorbs that drift. Both the incremental fast path and the
+// re-solving fallback use this one constant so they accept the same
+// points (the fallback used to be 10x looser than the fast path, which
+// made the two paths disagree exactly on the boundary queries the
+// fallback exists for).
+const boundarySlack = 10
 
 // Vertex is a stored query point with its OQP vector. Vertices are shared
 // by every simplex they delimit, so updating a vertex's value is visible
@@ -37,6 +64,8 @@ var ErrOutOfDomain = errors.New("simplextree: query point outside the root simpl
 type Vertex struct {
 	Point []float64
 	Value []float64
+
+	id int32 // creation-order index; keys the mark slices of Walk/Stats
 }
 
 type node struct {
@@ -49,8 +78,35 @@ type node struct {
 
 func (n *node) leaf() bool { return len(n.children) == 0 }
 
+// Observer is the write-path hook: it is invoked, while the exclusive
+// lock is held, for every insert the tree has decided to store — after
+// the ε check and the structural validation, immediately before the tree
+// mutates. Returning an error aborts the insert with the tree unchanged,
+// which gives the hook write-ahead semantics (package persist journals
+// accepted inserts to a WAL through it). The slices are the caller's;
+// implementations must not retain them past the call.
+type Observer func(q, value []float64) error
+
+// PredictStats reports per-call measurements of one lookup.
+type PredictStats struct {
+	// Traversed is the number of simplices visited — the "no. of
+	// simplices traversed" series of Figure 16.
+	Traversed int
+}
+
+// scratch holds the per-call buffers of one lookup, recycled through the
+// tree's pool so warmed-up predictions allocate nothing.
+type scratch struct {
+	rhs  []float64 // right-hand side of the root barycentric solve
+	lam  []float64 // barycentric coordinates at the current node
+	bufA []float64 // candidate/best child coordinates (descent juggles
+	bufB []float64 // three equal-size buffers without copying)
+}
+
 // Tree is a Simplex Tree mapping points of a D-dimensional query domain to
-// N-dimensional OQP vectors. It is safe for concurrent use.
+// N-dimensional OQP vectors. It is safe for concurrent use: predictions
+// run in parallel under a read lock, inserts serialize under the write
+// lock (see the package comment).
 type Tree struct {
 	mu sync.RWMutex
 
@@ -59,11 +115,17 @@ type Tree struct {
 	epsilon float64 // insert threshold ε of §4.2
 	tol     float64 // geometric tolerance
 
-	root      *node
-	numPoints int // stored (split or updated) query points
-	numLeaves int
+	root       *node
+	rootSolver *geom.BarycentricSolver // LU of the fixed root system
+	numPoints  int                     // stored (split or updated) query points
+	numLeaves  int
+	numVerts   int32 // distinct vertices ever created (next Vertex.id)
 
-	lastTraversed int // simplices visited by the most recent operation
+	observer Observer
+
+	scratch sync.Pool // *scratch
+
+	lastTraversed int // Deprecated bookkeeping; see LastTraversed
 }
 
 // Options configures a Tree.
@@ -97,28 +159,56 @@ func New(domain *geom.Simplex, defaultOQP []float64, opts Options) (*Tree, error
 	if opts.Tol < 0 {
 		return nil, fmt.Errorf("simplextree: negative tolerance %v", opts.Tol)
 	}
-	// Degeneracy check: the barycentric system must be solvable. (A volume
-	// threshold would wrongly reject high-dimensional domains, whose volume
-	// 1/D! underflows any fixed tolerance.)
-	if _, err := domain.Barycentric(domain.Centroid()); err != nil {
-		return nil, fmt.Errorf("simplextree: domain is degenerate: %w", err)
-	}
 	d := domain.Dim()
 	verts := make([]*Vertex, d+1)
 	for i := range verts {
 		verts[i] = &Vertex{
 			Point: vec.Clone(domain.Vertex(i)),
 			Value: vec.Clone(defaultOQP),
+			id:    int32(i),
 		}
 	}
-	return &Tree{
+	t := &Tree{
 		dim:       d,
 		oqpDim:    len(defaultOQP),
 		epsilon:   opts.Epsilon,
 		tol:       opts.Tol,
 		root:      &node{verts: verts},
 		numLeaves: 1,
-	}, nil
+		numVerts:  int32(d + 1),
+	}
+	if err := t.initDerived(); err != nil {
+		// Degeneracy check: the barycentric system must be solvable. (A
+		// volume threshold would wrongly reject high-dimensional domains,
+		// whose volume 1/D! underflows any fixed tolerance.)
+		return nil, fmt.Errorf("simplextree: domain is degenerate: %w", err)
+	}
+	return t, nil
+}
+
+// initDerived builds the state derived from the root simplex: the
+// once-per-tree LU factorization of the root barycentric system and the
+// scratch pool. Called by New and FromSnapshot.
+func (t *Tree) initDerived() error {
+	rootSimplex, err := t.simplexOf(t.root)
+	if err != nil {
+		return err
+	}
+	solver, err := rootSimplex.Solver()
+	if err != nil {
+		return err
+	}
+	t.rootSolver = solver
+	n := t.dim + 1
+	t.scratch.New = func() interface{} {
+		return &scratch{
+			rhs:  make([]float64, n),
+			lam:  make([]float64, n),
+			bufA: make([]float64, n),
+			bufB: make([]float64, n),
+		}
+	}
+	return nil
 }
 
 // Dim returns the query-domain dimensionality D.
@@ -145,8 +235,21 @@ func (t *Tree) NumLeaves() int {
 	return t.numLeaves
 }
 
-// LastTraversed reports the number of simplices visited by the most recent
-// Predict/Insert — the "no. of simplices traversed" series of Figure 16.
+// SetObserver installs the write-path hook invoked for every accepted
+// insert (nil removes it). See Observer for the exact contract.
+func (t *Tree) SetObserver(fn Observer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observer = fn
+}
+
+// LastTraversed reports the number of simplices visited by the most
+// recent Insert.
+//
+// Deprecated: predictions no longer store traversal counts — the read
+// path is pure so it can run in parallel. Use the PredictStats returned
+// by PredictInto/PredictBatch (or InsertStats) instead. Only the write
+// path still updates this counter.
 func (t *Tree) LastTraversed() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -175,34 +278,42 @@ func maxDepth(n *node) int {
 }
 
 // lookup descends to the leaf containing q, maintaining barycentric
-// coordinates incrementally. It returns the leaf, the coordinates of q
-// with respect to it, and the number of simplices traversed.
-func (t *Tree) lookup(q []float64) (*node, []float64, int, error) {
+// coordinates incrementally in the scratch buffers. It returns the leaf,
+// the coordinates of q with respect to it (aliasing one of the scratch
+// buffers), and the number of simplices traversed. The caller must hold
+// the lock (either mode) and own sc.
+func (t *Tree) lookup(q []float64, sc *scratch) (*node, []float64, int, error) {
 	if len(q) != t.dim {
 		return nil, nil, 0, fmt.Errorf("simplextree: query has dimension %d, want %d", len(q), t.dim)
 	}
-	rootSimplex, err := t.simplexOf(t.root)
-	if err != nil {
+	if err := t.rootSolver.BarycentricInto(sc.lam, sc.rhs, q); err != nil {
 		return nil, nil, 0, err
 	}
-	lam, err := rootSimplex.Barycentric(q)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	if !geom.AllNonNegative(lam, t.tol) {
+	if !geom.AllNonNegative(sc.lam, t.tol) {
 		return nil, nil, 0, ErrOutOfDomain
 	}
 	n := t.root
+	lam := sc.lam
+	spareA, spareB := sc.bufA, sc.bufB
 	traversed := 1
 	for !n.leaf() {
-		next, nextLam := t.descendOnce(n, lam)
+		next, nextLam := t.descendOnce(n, lam, spareA, spareB)
 		if next == nil {
 			// Numerically ambiguous boundary point: no child accepted it.
 			// Resolve by a fresh solve against each child (robust path).
 			next, nextLam = t.descendSolve(n, q)
 			if next == nil {
-				return nil, nil, traversed, fmt.Errorf("simplextree: no child contains point %v (numerical boundary)", q)
+				return nil, nil, traversed, fmt.Errorf("simplextree: no child contains point %v (numerical boundary): %w", q, ErrOutOfDomain)
 			}
+		}
+		// Rotate buffers: nextLam took one of the spares (or is freshly
+		// allocated by the fallback); the buffer holding the old lam is
+		// free again. Slices are compared by backing array since all
+		// buffers share one length.
+		if &nextLam[0] == &spareA[0] {
+			spareA = lam
+		} else if &nextLam[0] == &spareB[0] {
+			spareB = lam
 		}
 		n, lam = next, nextLam
 		traversed++
@@ -211,33 +322,41 @@ func (t *Tree) lookup(q []float64) (*node, []float64, int, error) {
 }
 
 // descendOnce picks the child containing the point with coordinates lam
-// using the O(D)-per-child incremental update. Among children accepting
-// the point (boundary points may be accepted by several), the one whose
-// minimum coordinate is largest is chosen, which is stable under rounding.
-func (t *Tree) descendOnce(n *node, lam []float64) (*node, []float64) {
+// using the O(D)-per-child incremental update, writing candidate
+// coordinates into the two spare buffers (no allocation). Among children
+// accepting the point (boundary points may be accepted by several), the
+// one whose minimum coordinate is largest is chosen, which is stable
+// under rounding.
+func (t *Tree) descendOnce(n *node, lam, spareA, spareB []float64) (*node, []float64) {
 	var best *node
 	var bestLam []float64
+	cand := spareA
 	bestMin := math.Inf(-1)
 	for i, c := range n.children {
-		nu, ok := geom.ChildBarycentric(lam, n.mu, n.replaced[i], t.tol)
-		if !ok {
+		if !geom.ChildBarycentricInto(cand, lam, n.mu, n.replaced[i], t.tol) {
 			continue
 		}
 		min := math.Inf(1)
-		for _, x := range nu {
+		for _, x := range cand {
 			if x < min {
 				min = x
 			}
 		}
-		if min >= -t.tol && min > bestMin {
-			best, bestLam, bestMin = c, nu, min
+		if min >= -boundarySlack*t.tol && min > bestMin {
+			best, bestLam, bestMin = c, cand, min
+			if &cand[0] == &spareA[0] {
+				cand = spareB
+			} else {
+				cand = spareA
+			}
 		}
 	}
 	return best, bestLam
 }
 
 // descendSolve is the slow fallback: solve the barycentric system directly
-// for each child.
+// for each child. It allocates, but runs only for numerically ambiguous
+// boundary points.
 func (t *Tree) descendSolve(n *node, q []float64) (*node, []float64) {
 	var best *node
 	var bestLam []float64
@@ -257,7 +376,7 @@ func (t *Tree) descendSolve(n *node, q []float64) (*node, []float64) {
 				min = x
 			}
 		}
-		if min >= -10*t.tol && min > bestMin {
+		if min >= -boundarySlack*t.tol && min > bestMin {
 			best, bestLam, bestMin = c, nu, min
 		}
 	}
@@ -272,28 +391,110 @@ func (t *Tree) simplexOf(n *node) (*geom.Simplex, error) {
 	return geom.NewSimplex(pts)
 }
 
-// interpolate evaluates the piecewise-linear wavelet at barycentric
-// coordinates lam over the leaf's vertices: v̂ = Σ_j λ_j · Value(s_j).
-func interpolate(n *node, lam []float64, oqpDim int) []float64 {
-	out := make([]float64, oqpDim)
-	for j, v := range n.verts {
-		vec.Axpy(out, lam[j], v.Value)
+// interpolateInto evaluates the piecewise-linear wavelet at barycentric
+// coordinates lam over the leaf's vertices into dst:
+// v̂ = Σ_j λ_j · Value(s_j).
+func interpolateInto(dst []float64, n *node, lam []float64) {
+	for i := range dst {
+		dst[i] = 0
 	}
-	return out
+	for j, v := range n.verts {
+		vec.Axpy(dst, lam[j], v.Value)
+	}
 }
 
 // Predict returns the interpolated OQP vector for q — the Mopt method of
 // Figure 5. An empty tree returns the default OQPs everywhere inside the
-// domain.
+// domain. Predict is pure: it takes only the read lock, so any number of
+// predictions run in parallel. The single allocation is the result
+// vector; use PredictInto to avoid it.
 func (t *Tree) Predict(q []float64) ([]float64, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	leaf, lam, traversed, err := t.lookup(q)
-	t.lastTraversed = traversed
-	if err != nil {
+	out := make([]float64, t.oqpDim)
+	if _, err := t.PredictInto(out, q); err != nil {
 		return nil, err
 	}
-	return interpolate(leaf, lam, t.oqpDim), nil
+	return out, nil
+}
+
+// PredictInto interpolates the OQP vector for q into dst (length N) and
+// reports per-call traversal statistics. It is the allocation-free read
+// path: after the scratch pool is warm, a call performs zero heap
+// allocations (asserted by TestPredictIntoAllocationFree).
+func (t *Tree) PredictInto(dst, q []float64) (PredictStats, error) {
+	if len(dst) != t.oqpDim {
+		return PredictStats{}, fmt.Errorf("simplextree: dst has dimension %d, want %d", len(dst), t.oqpDim)
+	}
+	sc := t.scratch.Get().(*scratch)
+	t.mu.RLock()
+	leaf, lam, traversed, err := t.lookup(q, sc)
+	st := PredictStats{Traversed: traversed}
+	if err == nil {
+		interpolateInto(dst, leaf, lam)
+	}
+	t.mu.RUnlock()
+	t.scratch.Put(sc)
+	return st, err
+}
+
+// PredictBatch predicts OQP vectors for every query under one read-lock
+// acquisition, sharding the batch across GOMAXPROCS goroutines (each with
+// its own scratch). Results are bitwise identical to serial Predict calls
+// — descent is deterministic and readers share no mutable state. On
+// failure it returns the error of the lowest-indexed failing query of the
+// lowest-indexed failing shard; out[i] is nil for failed queries and the
+// remaining queries are still predicted.
+func (t *Tree) PredictBatch(qs [][]float64) (out [][]float64, stats []PredictStats, err error) {
+	out = make([][]float64, len(qs))
+	stats = make([]PredictStats, len(qs))
+	if len(qs) == 0 {
+		return out, stats, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	chunk := (len(qs) + workers - 1) / workers
+	errs := make([]error, workers)
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sc := t.scratch.Get().(*scratch)
+			defer t.scratch.Put(sc)
+			for i := lo; i < hi; i++ {
+				leaf, lam, traversed, lerr := t.lookup(qs[i], sc)
+				stats[i] = PredictStats{Traversed: traversed}
+				if lerr != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("simplextree: batch query %d: %w", i, lerr)
+					}
+					continue
+				}
+				dst := make([]float64, t.oqpDim)
+				interpolateInto(dst, leaf, lam)
+				out[i] = dst
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return out, stats, e
+		}
+	}
+	return out, stats, nil
 }
 
 // Insert stores the OQP vector observed for q — the Insert method of
@@ -301,31 +502,76 @@ func (t *Tree) Predict(q []float64) ([]float64, error) {
 // error max_i |value_i − v̂_i| exceeds ε; the return value reports whether
 // the tree changed. A q coinciding with an already-stored vertex updates
 // that vertex's value in place (the mapping changed for a re-seen query).
+// Accepted inserts are announced to the observer before the tree mutates.
 func (t *Tree) Insert(q, value []float64) (bool, error) {
-	if len(value) != t.oqpDim {
-		return false, fmt.Errorf("simplextree: OQP vector has dimension %d, want %d", len(value), t.oqpDim)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(q, value)
+}
+
+// InsertBatch stores many (q, value) pairs under one exclusive-lock
+// acquisition, applying them in order with identical semantics to
+// repeated Insert calls (each accepted insert is announced to the
+// observer). It returns the number of pairs that changed the tree; on
+// error it stops at the failing pair, with earlier pairs applied.
+func (t *Tree) InsertBatch(qs, values [][]float64) (stored int, err error) {
+	if len(qs) != len(values) {
+		return 0, fmt.Errorf("simplextree: batch has %d points but %d values", len(qs), len(values))
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	leaf, lam, traversed, err := t.lookup(q)
+	for i := range qs {
+		changed, err := t.insertLocked(qs[i], values[i])
+		if changed {
+			stored++
+		}
+		if err != nil {
+			return stored, fmt.Errorf("simplextree: batch insert %d: %w", i, err)
+		}
+	}
+	return stored, nil
+}
+
+// insertLocked implements Insert under the already-held exclusive lock.
+// The observer is invoked only once the insert is certain to succeed and
+// before any mutation, so a journaling observer achieves write-ahead
+// semantics and an observer error leaves the tree unchanged.
+func (t *Tree) insertLocked(q, value []float64) (bool, error) {
+	if len(value) != t.oqpDim {
+		return false, fmt.Errorf("simplextree: OQP vector has dimension %d, want %d", len(value), t.oqpDim)
+	}
+	sc := t.scratch.Get().(*scratch)
+	defer t.scratch.Put(sc)
+	leaf, lam, traversed, err := t.lookup(q, sc)
 	t.lastTraversed = traversed
 	if err != nil {
 		return false, err
 	}
-	pred := interpolate(leaf, lam, t.oqpDim)
+	pred := make([]float64, t.oqpDim)
+	interpolateInto(pred, leaf, lam)
 	if maxAbsDiff(pred, value) <= t.epsilon {
 		return false, nil
 	}
 	// A point (numerically) equal to a vertex cannot split the simplex;
-	// update the vertex value instead.
+	// update the vertex value instead. Re-asserting the exact stored
+	// value is a no-op (not observed, not counted): WAL replay of a
+	// record already covered by a snapshot lands here when ε = 0, where
+	// interpolation rounding defeats the ε skip above, and must leave
+	// the tree untouched for recovery to be idempotent.
 	for j, l := range lam {
 		if l >= 1-t.tol {
+			if vec.Equal(leaf.verts[j].Value, value) {
+				return false, nil
+			}
+			if err := t.notifyObserver(q, value); err != nil {
+				return false, err
+			}
 			leaf.verts[j].Value = vec.Clone(value)
 			t.numPoints++
 			return true, nil
 		}
 	}
-	newVert := &Vertex{Point: vec.Clone(q), Value: vec.Clone(value)}
+	newVert := &Vertex{Point: vec.Clone(q), Value: vec.Clone(value), id: t.numVerts}
 	var children []*node
 	var replaced []int
 	for h, l := range lam {
@@ -344,27 +590,51 @@ func (t *Tree) Insert(q, value []float64) (bool, error) {
 		// corner cases.
 		return false, fmt.Errorf("simplextree: split of %v produced %d children", q, len(children))
 	}
+	if err := t.notifyObserver(q, value); err != nil {
+		return false, err
+	}
+	// The split's mu must outlive the scratch buffers lam aliases.
 	leaf.split = newVert
-	leaf.mu = lam
+	leaf.mu = vec.Clone(lam)
 	leaf.children = children
 	leaf.replaced = replaced
+	t.numVerts++
 	t.numPoints++
 	t.numLeaves += len(children) - 1
 	return true, nil
 }
 
+func (t *Tree) notifyObserver(q, value []float64) error {
+	if t.observer == nil {
+		return nil
+	}
+	if err := t.observer(q, value); err != nil {
+		return fmt.Errorf("simplextree: insert observer: %w", err)
+	}
+	return nil
+}
+
 // Walk visits every stored vertex exactly once (root corners included),
 // in an unspecified order. It is the traversal used by persistence and by
-// statistics.
+// statistics. Walk is a read operation: concurrent walks are safe, and fn
+// must not mutate the vertices.
 func (t *Tree) Walk(fn func(v *Vertex)) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	seen := make(map[*Vertex]bool)
+	t.walkLocked(fn)
+}
+
+// walkLocked visits each distinct vertex once under an already-held lock.
+// Visited vertices are marked in a slice keyed by the creation-order
+// vertex id — one allocation per walk instead of a hash insert per node
+// visit.
+func (t *Tree) walkLocked(fn func(v *Vertex)) {
+	seen := make([]bool, t.numVerts)
 	var rec func(n *node)
 	rec = func(n *node) {
 		for _, v := range n.verts {
-			if !seen[v] {
-				seen[v] = true
+			if !seen[v.id] {
+				seen[v.id] = true
 				fn(v)
 			}
 		}
@@ -392,7 +662,7 @@ func (t *Tree) Stats() Stats {
 	defer t.mu.RUnlock()
 	s := Stats{Dim: t.dim, OQPDim: t.oqpDim, Points: t.numPoints, Leaves: t.numLeaves}
 	var sumLeafDepth, leaves int
-	seen := make(map[*Vertex]bool)
+	seen := make([]bool, t.numVerts)
 	var rec func(n *node, depth int)
 	rec = func(n *node, depth int) {
 		s.Nodes++
@@ -400,8 +670,9 @@ func (t *Tree) Stats() Stats {
 			s.Depth = depth
 		}
 		for _, v := range n.verts {
-			if !seen[v] {
-				seen[v] = true
+			if !seen[v.id] {
+				seen[v.id] = true
+				s.DistinctVertices++
 			}
 		}
 		if n.leaf() {
@@ -417,7 +688,6 @@ func (t *Tree) Stats() Stats {
 	if leaves > 0 {
 		s.AvgLeafDepth = float64(sumLeafDepth) / float64(leaves)
 	}
-	s.DistinctVertices = len(seen)
 	return s
 }
 
@@ -434,13 +704,14 @@ func maxAbsDiff(a, b []float64) float64 {
 // PredictNaive is the reference implementation of Predict that re-solves
 // the full (D+1)×(D+1) barycentric system at every node instead of using
 // the incremental O(D) update. It exists for the ablation benchmark and
-// for cross-checking the fast path in tests.
+// for cross-checking the fast path in tests. Like Predict it is pure and
+// runs under the read lock.
 func (t *Tree) PredictNaive(q []float64) ([]float64, error) {
 	if len(q) != t.dim {
 		return nil, fmt.Errorf("simplextree: query has dimension %d, want %d", len(q), t.dim)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.root
 	s, err := t.simplexOf(n)
 	if err != nil {
@@ -453,15 +724,14 @@ func (t *Tree) PredictNaive(q []float64) ([]float64, error) {
 	if !geom.AllNonNegative(lam, t.tol) {
 		return nil, ErrOutOfDomain
 	}
-	traversed := 1
 	for !n.leaf() {
 		next, nextLam := t.descendSolve(n, q)
 		if next == nil {
-			return nil, fmt.Errorf("simplextree: no child contains point %v", q)
+			return nil, fmt.Errorf("simplextree: no child contains point %v: %w", q, ErrOutOfDomain)
 		}
 		n, lam = next, nextLam
-		traversed++
 	}
-	t.lastTraversed = traversed
-	return interpolate(n, lam, t.oqpDim), nil
+	out := make([]float64, t.oqpDim)
+	interpolateInto(out, n, lam)
+	return out, nil
 }

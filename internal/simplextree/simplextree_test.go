@@ -449,14 +449,16 @@ func TestStatsAndWalk(t *testing.T) {
 	}
 }
 
-func TestLastTraversedGrowsWithDepth(t *testing.T) {
+func TestTraversedStatsGrowWithDepth(t *testing.T) {
 	tr := newTestTree(t, 2, []float64{0}, 0)
 	q := []float64{0.31, 0.32}
-	if _, err := tr.Predict(q); err != nil {
+	dst := make([]float64, 1)
+	st, err := tr.PredictInto(dst, q)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.LastTraversed() != 1 {
-		t.Errorf("empty tree traversal = %d", tr.LastTraversed())
+	if st.Traversed != 1 {
+		t.Errorf("empty tree traversal = %d", st.Traversed)
 	}
 	// Insert nested points around q to deepen its leaf.
 	pts := [][]float64{{0.3, 0.3}, {0.305, 0.31}, {0.308, 0.315}}
@@ -465,14 +467,31 @@ func TestLastTraversedGrowsWithDepth(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := tr.Predict(q); err != nil {
+	// The write path still records its own traversal for the deprecated
+	// accessor.
+	if tr.LastTraversed() < 1 {
+		t.Errorf("insert traversal = %d, want ≥ 1", tr.LastTraversed())
+	}
+	st, err = tr.PredictInto(dst, q)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.LastTraversed() < 3 {
-		t.Errorf("deep traversal = %d, want ≥ 3", tr.LastTraversed())
+	if st.Traversed < 3 {
+		t.Errorf("deep traversal = %d, want ≥ 3", st.Traversed)
 	}
-	if tr.LastTraversed() > tr.Depth() {
-		t.Errorf("traversed %d exceeds depth %d", tr.LastTraversed(), tr.Depth())
+	if st.Traversed > tr.Depth() {
+		t.Errorf("traversed %d exceeds depth %d", st.Traversed, tr.Depth())
+	}
+	// The batch path reports the same per-query stats.
+	out, stats, err := tr.PredictBatch([][]float64{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0] != st {
+		t.Errorf("batch stats = %+v, want %+v", stats[0], st)
+	}
+	if out[0][0] != dst[0] {
+		t.Errorf("batch prediction %v differs from PredictInto %v", out[0], dst)
 	}
 }
 

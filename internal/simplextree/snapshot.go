@@ -109,7 +109,7 @@ func FromSnapshot(s *Snapshot) (*Tree, error) {
 		if !vec.IsFinite(sv.Point) || !vec.IsFinite(sv.Value) {
 			return nil, fmt.Errorf("simplextree: vertex %d contains non-finite values", i)
 		}
-		verts[i] = &Vertex{Point: vec.Clone(sv.Point), Value: vec.Clone(sv.Value)}
+		verts[i] = &Vertex{Point: vec.Clone(sv.Point), Value: vec.Clone(sv.Value), id: int32(i)}
 	}
 	lookupVert := func(id int32) (*Vertex, error) {
 		if id < 0 || int(id) >= len(verts) {
@@ -181,7 +181,7 @@ func FromSnapshot(s *Snapshot) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{
+	t := &Tree{
 		dim:       s.Dim,
 		oqpDim:    s.OQPDim,
 		epsilon:   s.Epsilon,
@@ -189,5 +189,10 @@ func FromSnapshot(s *Snapshot) (*Tree, error) {
 		root:      root,
 		numPoints: s.Points,
 		numLeaves: leaves,
-	}, nil
+		numVerts:  int32(len(verts)),
+	}
+	if err := t.initDerived(); err != nil {
+		return nil, fmt.Errorf("simplextree: snapshot root simplex is degenerate: %w", err)
+	}
+	return t, nil
 }

@@ -199,34 +199,45 @@ func (f *LU) Det() float64 {
 
 // Solve solves A·x = b for x. b is not modified.
 func (f *LU) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.lu.Rows)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A·x = b, writing the solution into dst without
+// allocating. dst and b must have length n and must not alias each other
+// (the permuted right-hand side is staged in dst while b is still being
+// read).
+func (f *LU) SolveInto(dst, b []float64) error {
 	n := f.lu.Rows
-	if len(b) != n {
-		return nil, fmt.Errorf("%w: rhs has %d rows, want %d", ErrDimensionMismatch, len(b), n)
+	if len(b) != n || len(dst) != n {
+		return fmt.Errorf("%w: rhs/dst have %d/%d rows, want %d", ErrDimensionMismatch, len(b), len(dst), n)
 	}
 	// Apply the permutation.
-	x := make([]float64, n)
 	for i, p := range f.pivot {
-		x[i] = b[p]
+		dst[i] = b[p]
 	}
 	// Forward substitution with unit lower triangular L.
 	for i := 1; i < n; i++ {
 		row := f.lu.Row(i)
 		var s float64
 		for j := 0; j < i; j++ {
-			s += row[j] * x[j]
+			s += row[j] * dst[j]
 		}
-		x[i] -= s
+		dst[i] -= s
 	}
 	// Back substitution with U.
 	for i := n - 1; i >= 0; i-- {
 		row := f.lu.Row(i)
-		s := x[i]
+		s := dst[i]
 		for j := i + 1; j < n; j++ {
-			s -= row[j] * x[j]
+			s -= row[j] * dst[j]
 		}
-		x[i] = s / row[i]
+		dst[i] = s / row[i]
 	}
-	return x, nil
+	return nil
 }
 
 // Solve solves the square linear system a·x = b using LU with partial
