@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), or tree (Simplex Tree concurrency/throughput series)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), or serve (closed-loop multi-session serving benchmark)")
 		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
 		queries  = flag.Int("queries", 700, "training queries to process")
 		k        = flag.Int("k", 15, "results per query (paper: 50)")
@@ -80,6 +80,12 @@ func main() {
 	}
 	if *figure == "tree" {
 		runTreeBench(*queries, *epsilon, *seed)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *figure == "serve" {
+		runServeBench(*scale, *k, *numEval, *seed, *epsilon)
 		writeReport(*jsonPath)
 		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
 		return
@@ -160,6 +166,7 @@ type jsonReport struct {
 	Series map[string][]jsonSeries    `json:"series,omitempty"`
 	KNN    map[string]knnBenchResult  `json:"knn,omitempty"`
 	Tree   map[string]treeBenchResult `json:"tree,omitempty"`
+	Serve  *experiments.ServeResult   `json:"serve,omitempty"`
 }
 
 type reportMeta struct {
@@ -447,6 +454,49 @@ func runTreeBench(queries int, epsilon float64, seed int64) {
 	}
 	reportRow("wal-append", points, 1, time.Since(t0))
 	fmt.Println()
+}
+
+// runServeBench measures the serving layer end to end: closed-loop
+// oracle-driven sessions (Open → Feedback* → Close) against one shared
+// service at increasing client counts. The service — and its Simplex
+// Tree — is shared across levels, so the series doubles as a warm-up
+// trajectory: later levels see higher warm-start and cache-hit rates.
+// `sessions` rides the -eval flag (sessions per level).
+func runServeBench(scale float64, k, sessions int, seed int64, epsilon float64) {
+	cfg := experiments.DefaultServeConfig()
+	cfg.Seed = seed
+	cfg.Scale = scale
+	cfg.K = k
+	cfg.Epsilon = epsilon
+	if sessions > 0 {
+		cfg.SessionsPerLevel = sessions
+	}
+	header(fmt.Sprintf("Serving layer: closed-loop sessions (scale %.2f, k = %d, %d sessions/level)",
+		scale, k, cfg.SessionsPerLevel))
+	res, err := experiments.RunServe(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# collection: %d images (%d bins)\n", res.Collection, res.Dim)
+	fmt.Printf("# each level: train phase (oracle feedback loops, inserts) then bypass phase (same stream, no feedback)\n")
+	fmt.Printf("%-8s %-8s %10s %12s %12s %12s %10s %10s %9s\n",
+		"clients", "phase", "sessions", "sess/s", "p50(us)", "p99(us)", "cache-hit", "warm", "inserted")
+	for _, lvl := range res.Levels {
+		for _, row := range []struct {
+			name string
+			ph   experiments.ServePhaseResult
+		}{{"train", lvl.Train}, {"bypass", lvl.Bypass}} {
+			fmt.Printf("%-8d %-8s %10d %12.1f %12.0f %12.0f %9.1f%% %9.1f%% %9d\n",
+				lvl.Clients, row.name, row.ph.Sessions, row.ph.SessionsPerSec, row.ph.P50Micros,
+				row.ph.P99Micros, 100*row.ph.CacheHitRate, 100*row.ph.WarmRate, row.ph.Inserted)
+		}
+	}
+	st := res.FinalStats
+	fmt.Printf("# final: %d sessions, %d feedback rounds, %d/%d cache hits, %d inserts, tree %d points depth %d\n\n",
+		st.Opened, st.Feedbacks, st.CacheHits, st.Predictions, st.Inserts, st.Tree.Points, st.Tree.Depth)
+	if report != nil {
+		report.Serve = &res
+	}
 }
 
 func fail(err error) {

@@ -1,0 +1,346 @@
+// Command fbserve is the FeedbackBypass network service: a long-lived
+// HTTP/JSON server placing the learned Mopt beside an interactive
+// retrieval engine (Figure 4 of the paper) and serving many concurrent
+// user sessions through internal/service.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness + in-flight session count
+//	GET  /stats     service counters, cache occupancy, tree shape
+//	POST /query     open a session: {"item": 3, "k": 5} or
+//	                {"feature": [...], "k": 5} → first results + session id
+//	GET  /session   ?id=N — current session state without advancing it
+//	POST /feedback  {"session": N, "scores": [1,0,...]} → refined results
+//	POST /close     {"session": N} → converged OQPs inserted into the bypass
+//
+// Results carry each item's category and theme so a client (or a human
+// with curl) can play the relevance oracle. On SIGINT/SIGTERM the server
+// stops accepting connections, drains every in-flight session (inserting
+// converged outcomes), and — when running durably (-dir) — compacts the
+// write-ahead log before exiting.
+//
+// Usage:
+//
+//	fbserve -addr :8080 -scale 0.3 -k 10                  # in-memory
+//	fbserve -addr :8080 -dir /var/lib/fbserve -sync       # durable
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/histogram"
+	"repro/internal/imagegen"
+	"repro/internal/knn"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		scale       = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
+		seed        = flag.Int64("seed", 1, "random seed for the synthetic collection")
+		k           = flag.Int("k", 10, "default results per query")
+		epsilon     = flag.Float64("epsilon", 0.05, "Simplex Tree insert threshold ε")
+		dir         = flag.String("dir", "", "durable module directory (WAL + snapshots); empty = in-memory")
+		syncWAL     = flag.Bool("sync", false, "fsync the WAL on every accepted insert (durable mode)")
+		compactEach = flag.Int("compact-every", 512, "compact the WAL after this many journaled inserts (durable mode)")
+		maxSessions = flag.Int("max-sessions", 1024, "in-flight session bound (further opens get 429)")
+		iterBudget  = flag.Int("iter-budget", engine.DefaultMaxIterations, "feedback rounds allowed per session")
+		cacheSize   = flag.Int("cache", 1024, "LRU prediction cache entries (negative disables)")
+	)
+	flag.Parse()
+
+	log.Printf("building collection (scale %.2f, seed %d) ...", *scale, *seed)
+	ds, err := dataset.Build(imagegen.IMSILike(*seed, *scale), histogram.DefaultExtractor)
+	if err != nil {
+		log.Fatalf("fbserve: %v", err)
+	}
+	eng, err := engine.New(ds, engine.Options{})
+	if err != nil {
+		log.Fatalf("fbserve: %v", err)
+	}
+	codec, err := core.NewHistogramCodec(ds.Dim)
+	if err != nil {
+		log.Fatalf("fbserve: %v", err)
+	}
+	cfg := core.Config{Epsilon: *epsilon, DefaultWeights: codec.DefaultWeights()}
+
+	var (
+		byp     service.Bypass
+		durable *core.DurableBypass
+	)
+	if *dir != "" {
+		durable, err = core.OpenDurable(*dir, codec.D(), codec.P(), cfg, core.DurableOptions{
+			CompactEvery: *compactEach,
+			Sync:         *syncWAL,
+		})
+		if err != nil {
+			log.Fatalf("fbserve: opening durable module: %v", err)
+		}
+		byp = durable
+		log.Printf("durable module at %s: %d points recovered, %d journaled inserts",
+			*dir, durable.Stats().Points, durable.Journaled())
+	} else {
+		mem, err := core.New(codec.D(), codec.P(), cfg)
+		if err != nil {
+			log.Fatalf("fbserve: %v", err)
+		}
+		byp = mem
+	}
+
+	svc, err := service.New(eng, byp, service.Options{
+		MaxSessions:     *maxSessions,
+		IterationBudget: *iterBudget,
+		CacheSize:       *cacheSize,
+		DefaultK:        *k,
+	})
+	if err != nil {
+		log.Fatalf("fbserve: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newMux(svc)}
+	go func() {
+		log.Printf("serving %d images on %s (feedback %s)", ds.Len(), *addr, eng.FeedbackName())
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("fbserve: %v", err)
+		}
+	}()
+
+	// Graceful shutdown: stop accepting, drain sessions (inserting their
+	// converged outcomes), then make the learned state durable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Print("shutting down ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("fbserve: shutdown: %v", err)
+	}
+	closed, inserted, err := svc.Drain()
+	if err != nil {
+		log.Printf("fbserve: drain: %v", err)
+	}
+	log.Printf("drained %d sessions (%d outcomes inserted)", closed, inserted)
+	if durable != nil {
+		if err := durable.Compact(); err != nil {
+			log.Printf("fbserve: compact: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("fbserve: close: %v", err)
+		}
+		log.Printf("compacted WAL; %d points durable", durable.Stats().Points)
+	}
+}
+
+// resultJSON is one retrieved item, annotated with the oracle's category
+// and theme so clients can score relevance.
+type resultJSON struct {
+	Index    int     `json:"index"`
+	Distance float64 `json:"distance"`
+	Category string  `json:"category"`
+	Theme    string  `json:"theme"`
+}
+
+// stateJSON is the wire form of a session snapshot.
+type stateJSON struct {
+	Session    uint64       `json:"session"`
+	K          int          `json:"k"`
+	Results    []resultJSON `json:"results"`
+	Iterations int          `json:"iterations"`
+	BudgetLeft int          `json:"budget_left"`
+	Converged  bool         `json:"converged"`
+	CacheHit   bool         `json:"cache_hit"`
+	Warm       bool         `json:"warm"`
+}
+
+type queryRequest struct {
+	// Item selects a collection image as the query (the usual demo path);
+	// Feature supplies a raw normalized histogram instead.
+	Item    *int      `json:"item"`
+	Feature []float64 `json:"feature"`
+	K       int       `json:"k"`
+}
+
+type feedbackRequest struct {
+	Session uint64    `json:"session"`
+	Scores  []float64 `json:"scores"`
+}
+
+type closeRequest struct {
+	Session uint64 `json:"session"`
+}
+
+type closeResponse struct {
+	Session    uint64 `json:"session"`
+	Iterations int    `json:"iterations"`
+	Inserted   bool   `json:"inserted"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// newMux wires the service into an http.Handler; split from main so the
+// end-to-end tests drive the exact production routes via httptest.
+func newMux(svc *service.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	ds := svc.Engine().Dataset()
+
+	annotate := func(results []knn.Result) []resultJSON {
+		out := make([]resultJSON, len(results))
+		for i, r := range results {
+			item := ds.Items[r.Index]
+			out[i] = resultJSON{Index: r.Index, Distance: r.Distance, Category: item.Category, Theme: item.Theme}
+		}
+		return out
+	}
+	stateResponse := func(st service.SessionState) stateJSON {
+		return stateJSON{
+			Session:    st.ID,
+			K:          st.K,
+			Results:    annotate(st.Results),
+			Iterations: st.Iterations,
+			BudgetLeft: st.BudgetLeft,
+			Converged:  st.Converged,
+			CacheHit:   st.CacheHit,
+			Warm:       st.Warm,
+		}
+	}
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"sessions": svc.Stats().ActiveSessions,
+		})
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		feature := req.Feature
+		if req.Item != nil {
+			if *req.Item < 0 || *req.Item >= ds.Len() {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("item %d out of range [0, %d)", *req.Item, ds.Len()))
+				return
+			}
+			feature = ds.Items[*req.Item].Feature
+		}
+		if feature == nil {
+			writeError(w, http.StatusBadRequest, errors.New("need item or feature"))
+			return
+		}
+		st, err := svc.Open(feature, req.K)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stateResponse(st))
+	})
+
+	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
+		var id uint64
+		if _, err := fmt.Sscan(r.URL.Query().Get("id"), &id); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id: %w", err))
+			return
+		}
+		st, err := svc.Query(id)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stateResponse(st))
+	})
+
+	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		var req feedbackRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		st, err := svc.Feedback(req.Session, req.Scores)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stateResponse(st))
+	})
+
+	mux.HandleFunc("/close", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+			return
+		}
+		var req closeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		res, err := svc.Close(req.Session)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, closeResponse{
+			Session:    res.ID,
+			Iterations: res.Iterations,
+			Inserted:   res.Inserted,
+		})
+	})
+
+	return mux
+}
+
+// statusFor maps the service's errors.Is-able sentinels onto HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, service.ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrOutOfDomain), errors.Is(err, service.ErrInvalidArgument):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("fbserve: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/histogram"
+	"repro/internal/imagegen"
+	"repro/internal/service"
+)
+
+// newTestServer wires the production handler over a small collection and
+// a durable bypass rooted in a temp dir — the same composition main does.
+func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *core.DurableBypass) {
+	t.Helper()
+	ds, err := dataset.Build(imagegen.IMSILike(5, 0.03), histogram.DefaultExtractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(ds, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewHistogramCodec(ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := core.OpenDurable(t.TempDir(), codec.D(), codec.P(),
+		core.Config{Epsilon: 0.05, DefaultWeights: codec.DefaultWeights()},
+		core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { durable.Close() })
+	svc, err := service.New(eng, durable, service.Options{DefaultK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(svc))
+	t.Cleanup(srv.Close)
+	return srv, ds, durable
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestEndToEndSession drives one full interactive session over HTTP:
+// query → oracle-scored feedback rounds to convergence → close, and
+// verifies the converged OQPs landed in the durable bypass.
+func TestEndToEndSession(t *testing.T) {
+	srv, ds, durable := newTestServer(t)
+
+	var health struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+
+	item := 0
+	category := ds.Items[item].Category
+	var st stateJSON
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &item, K: 8}, &st); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if st.Session == 0 || len(st.Results) != 8 {
+		t.Fatalf("query response: %+v", st)
+	}
+	for _, r := range st.Results {
+		if r.Category == "" {
+			t.Fatalf("result missing oracle annotation: %+v", r)
+		}
+	}
+
+	// GET /session reflects the same state.
+	var snap stateJSON
+	if code := getJSON(t, fmt.Sprintf("%s/session?id=%d", srv.URL, st.Session), &snap); code != http.StatusOK {
+		t.Fatalf("session: status %d", code)
+	}
+	if snap.Iterations != 0 || len(snap.Results) != len(st.Results) {
+		t.Fatalf("session snapshot diverged: %+v", snap)
+	}
+
+	rounds := 0
+	for !st.Converged {
+		scores := make([]float64, len(st.Results))
+		for i, r := range st.Results {
+			if r.Category == category {
+				scores[i] = 1
+			}
+		}
+		if code := postJSON(t, srv.URL+"/feedback", feedbackRequest{Session: st.Session, Scores: scores}, &st); code != http.StatusOK {
+			t.Fatalf("feedback: status %d", code)
+		}
+		if rounds++; rounds > 100 {
+			t.Fatal("session never converged over HTTP")
+		}
+	}
+
+	before := durable.Stats().Points
+	var closed closeResponse
+	if code := postJSON(t, srv.URL+"/close", closeRequest{Session: st.Session}, &closed); code != http.StatusOK {
+		t.Fatalf("close: status %d", code)
+	}
+	if closed.Iterations != st.Iterations {
+		t.Errorf("close iterations %d vs state %d", closed.Iterations, st.Iterations)
+	}
+	if st.Iterations > 0 {
+		if !closed.Inserted {
+			t.Error("refined session did not insert into the durable bypass")
+		}
+		if durable.Stats().Points <= before {
+			t.Errorf("tree points %d did not grow past %d", durable.Stats().Points, before)
+		}
+		if durable.Journaled() == 0 {
+			t.Error("insert was not journaled to the WAL")
+		}
+	}
+
+	var stats service.Stats
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Opened != 1 || stats.Closed != 1 || stats.ActiveSessions != 0 {
+		t.Errorf("stats after one session: %+v", stats)
+	}
+}
+
+// TestHTTPErrorMapping pins the sentinel→status mapping.
+func TestHTTPErrorMapping(t *testing.T) {
+	srv, ds, _ := newTestServer(t)
+
+	var errResp errorResponse
+	// Unknown session → 404.
+	if code := postJSON(t, srv.URL+"/feedback", feedbackRequest{Session: 999, Scores: []float64{1}}, &errResp); code != http.StatusNotFound {
+		t.Errorf("unknown session: status %d (%+v)", code, errResp)
+	}
+	if code := postJSON(t, srv.URL+"/close", closeRequest{Session: 999}, &errResp); code != http.StatusNotFound {
+		t.Errorf("unknown close: status %d", code)
+	}
+	// Malformed body → 400.
+	resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+	// Neither item nor feature → 400.
+	if code := postJSON(t, srv.URL+"/query", queryRequest{}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("empty query: status %d", code)
+	}
+	// Out-of-range item → 400.
+	bad := ds.Len() + 7
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &bad}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("bad item: status %d", code)
+	}
+	// Out-of-domain feature → 400 via core.ErrOutOfDomain.
+	feat := make([]float64, ds.Dim)
+	feat[0] = 2
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Feature: feat}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("out-of-domain feature: status %d", code)
+	}
+	// Score-count mismatch → 400 via service.ErrInvalidArgument.
+	item := 0
+	var st stateJSON
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &item, K: 5}, &st); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/feedback", feedbackRequest{Session: st.Session, Scores: []float64{1}}, &errResp); code != http.StatusBadRequest {
+		t.Errorf("score mismatch: status %d", code)
+	}
+	// GET on a POST route → 405.
+	if code := getJSON(t, srv.URL+"/query", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d", code)
+	}
+}
+
+// TestConcurrentHTTPSessions runs full sessions from parallel clients
+// against one server — the serving-layer acceptance path end to end.
+func TestConcurrentHTTPSessions(t *testing.T) {
+	srv, ds, _ := newTestServer(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for s := 0; s < 3; s++ {
+				item := (c*17 + s*31) % ds.Len()
+				category := ds.Items[item].Category
+				var st stateJSON
+				data, _ := json.Marshal(queryRequest{Item: &item, K: 6})
+				resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader(data))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					errCh <- fmt.Errorf("client %d: query status %d", c, resp.StatusCode)
+					return
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					resp.Body.Close()
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				for rounds := 0; !st.Converged && rounds < 100; rounds++ {
+					scores := make([]float64, len(st.Results))
+					for i, r := range st.Results {
+						if r.Category == category {
+							scores[i] = 1
+						}
+					}
+					data, _ = json.Marshal(feedbackRequest{Session: st.Session, Scores: scores})
+					resp, err := http.Post(srv.URL+"/feedback", "application/json", bytes.NewReader(data))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						resp.Body.Close()
+						errCh <- fmt.Errorf("client %d: feedback status %d", c, resp.StatusCode)
+						return
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+						resp.Body.Close()
+						errCh <- err
+						return
+					}
+					resp.Body.Close()
+				}
+				data, _ = json.Marshal(closeRequest{Session: st.Session})
+				resp, err = http.Post(srv.URL+"/close", "application/json", bytes.NewReader(data))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("client %d: close status %d", c, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	var stats service.Stats
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Opened != clients*3 || stats.ActiveSessions != 0 {
+		t.Errorf("stats after concurrent sessions: %+v", stats)
+	}
+}

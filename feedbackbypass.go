@@ -46,6 +46,10 @@ import (
 	"repro/internal/simplextree"
 )
 
+// ErrOutOfDomain is returned (wrapped, errors.Is-able) by Predict and
+// Insert for query points outside the module's domain simplex.
+var ErrOutOfDomain = core.ErrOutOfDomain
+
 // OQP is the pair of optimal query parameters of §3 of the paper: the
 // offset Δopt from the initial to the optimal query point, and the
 // distance-function parameters Wopt.

@@ -26,6 +26,12 @@ import (
 	"repro/internal/vec"
 )
 
+// ErrOutOfDomain re-exports the Simplex Tree's out-of-domain sentinel at
+// the module boundary: every position-caused Predict/Insert failure wraps
+// it, so callers (the serving layer in particular) can classify bad query
+// points with errors.Is without importing simplextree.
+var ErrOutOfDomain = simplextree.ErrOutOfDomain
+
 // OQP is the pair of optimal query parameters of §3: the offset Δopt from
 // the initial to the optimal query point, and the distance-function
 // parameters Wopt.

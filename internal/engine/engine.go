@@ -9,6 +9,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
@@ -24,6 +25,12 @@ import (
 // the bound guards genuinely non-converging trajectories.
 const DefaultMaxIterations = 30
 
+// NoFeedbackLoop disables the feedback loop entirely when assigned to
+// Options.MaxIterations: RunLoop returns after the initial retrieval. The
+// zero value of MaxIterations selects DefaultMaxIterations, so "no
+// iterations" needs its own sentinel.
+const NoFeedbackLoop = -1
+
 // Engine is an interactive similarity retrieval system over a dataset.
 type Engine struct {
 	ds       *dataset.Dataset
@@ -35,10 +42,14 @@ type Engine struct {
 
 // Options configures an engine.
 type Options struct {
-	// Feedback selects the relevance-feedback strategy; the paper's
-	// default (optimal movement + optimal re-weighting) when zero.
+	// Feedback selects the relevance-feedback strategy. The zero value
+	// resolves to the paper's default (optimal movement + optimal
+	// re-weighting) inside feedback.New via the MoveDefault/WeightDefault
+	// rules, so a deliberate MoveNone/WeightNone configuration is passed
+	// through unchanged.
 	Feedback feedback.Options
-	// MaxIterations bounds the feedback loop; DefaultMaxIterations when 0.
+	// MaxIterations bounds the feedback loop; DefaultMaxIterations when 0,
+	// no loop at all when NoFeedbackLoop. Other negatives are errors.
 	MaxIterations int
 	// UseIndex answers retrievals through a VP-tree built on the Euclidean
 	// metric, serving the per-query weighted distances exactly via the
@@ -58,14 +69,13 @@ func New(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, errors.New("engine: empty dataset")
 	}
-	if opts.Feedback == (feedback.Options{}) {
-		opts.Feedback = feedback.DefaultOptions()
-	}
-	if opts.MaxIterations == 0 {
+	switch {
+	case opts.MaxIterations == 0:
 		opts.MaxIterations = DefaultMaxIterations
-	}
-	if opts.MaxIterations < 1 {
-		return nil, fmt.Errorf("engine: max iterations must be positive, got %d", opts.MaxIterations)
+	case opts.MaxIterations == NoFeedbackLoop:
+		opts.MaxIterations = 0
+	case opts.MaxIterations < 0:
+		return nil, fmt.Errorf("engine: max iterations must be positive, 0 (default) or NoFeedbackLoop, got %d", opts.MaxIterations)
 	}
 	fb, err := feedback.New(opts.Feedback)
 	if err != nil {
@@ -88,6 +98,13 @@ func New(ds *dataset.Dataset, opts Options) (*Engine, error) {
 
 // Dataset returns the underlying collection.
 func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
+
+// MaxIterations returns the feedback-loop bound the engine was built with
+// (0 when constructed with NoFeedbackLoop).
+func (e *Engine) MaxIterations() int { return e.maxIters }
+
+// FeedbackName describes the configured relevance-feedback strategy.
+func (e *Engine) FeedbackName() string { return e.fb.Name() }
 
 // Retrieve runs the query-processing step: the k nearest items to q under
 // the weighted Euclidean distance with the given weights (uniform weights
@@ -165,6 +182,26 @@ func (e *Engine) GoodCount(queryCategory string, results []knn.Result) int {
 		}
 	}
 	return n
+}
+
+// RefineFromScores computes the next query point and weight vector from
+// caller-provided relevance scores for the given result list — the
+// feedback step of Figure 5 driven by an external user (e.g. a service
+// session) instead of the category oracle RunLoop embeds. It passes
+// feedback.ErrNoGoodMatches through unchanged so callers can terminate
+// their loop the way RunLoop does.
+func (e *Engine) RefineFromScores(q []float64, results []knn.Result, scores []float64) (newQ, newW []float64, err error) {
+	if len(results) != len(scores) {
+		return nil, nil, fmt.Errorf("engine: %d results but %d scores", len(results), len(scores))
+	}
+	vectors := make([][]float64, len(results))
+	for i, r := range results {
+		if r.Index < 0 || r.Index >= e.ds.Len() {
+			return nil, nil, fmt.Errorf("engine: result index %d out of range [0, %d)", r.Index, e.ds.Len())
+		}
+		vectors[i] = e.ds.Items[r.Index].Feature
+	}
+	return e.fb.Refine(q, vectors, scores)
 }
 
 // LoopOutcome summarizes one run of the feedback loop.
@@ -247,6 +284,19 @@ func (e *Engine) RunLoop(queryCategory string, q0, w0 []float64, k int) (LoopOut
 	return out, nil
 }
 
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, x uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= (x >> s) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // signature encodes a result list's index sequence for cycle detection:
 // FNV-1a over the little-endian index bytes. The previous implementation
 // built a string with one fmt.Fprintf per result per iteration, which
@@ -255,17 +305,28 @@ func (e *Engine) RunLoop(queryCategory string, q0, w0 []float64, k int) (LoopOut
 // vanishingly unlikely (and a collision merely ends refinement one
 // iteration early, it cannot corrupt results).
 func signature(results []knn.Result) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := uint64(fnvOffset64)
 	for _, r := range results {
-		x := uint64(r.Index)
-		for s := 0; s < 64; s += 8 {
-			h ^= (x >> s) & 0xff
-			h *= prime64
-		}
+		h = fnvMix(h, uint64(r.Index))
+	}
+	return h
+}
+
+// ResultSignature is the exported form of the loop's cycle-detection hash;
+// service sessions use it to detect stable result lists across feedback
+// rounds exactly the way RunLoop does.
+func ResultSignature(results []knn.Result) uint64 { return signature(results) }
+
+// QuerySignature hashes a query point (FNV-1a over the little-endian
+// IEEE-754 bits of each component) — the cache key of the serving layer's
+// prediction cache. It is allocation-free and distinguishes +0/−0 and any
+// NaN payloads bitwise, so two queries with equal signatures are, for
+// finite inputs, overwhelmingly likely to be the same point; callers that
+// cannot tolerate the residual collision risk must compare the points.
+func QuerySignature(q []float64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, x := range q {
+		h = fnvMix(h, math.Float64bits(x))
 	}
 	return h
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -43,8 +45,8 @@ func TestNewValidation(t *testing.T) {
 		t.Error("nil dataset should error")
 	}
 	ds := clusteredDataset(t, 10, 1)
-	if _, err := New(ds, Options{MaxIterations: -1}); err == nil {
-		t.Error("negative max iterations should error")
+	if _, err := New(ds, Options{MaxIterations: -2}); err == nil {
+		t.Error("negative max iterations (other than NoFeedbackLoop) should error")
 	}
 	e, err := New(ds, Options{})
 	if err != nil {
@@ -332,4 +334,132 @@ func BenchmarkFeedbackSignature(b *testing.B) {
 		sink ^= signature(results)
 	}
 	_ = sink
+}
+
+// TestZeroFeedbackOptionsSurvive pins the regression where engine.New
+// compared opts.Feedback against feedback.Options{} and silently replaced
+// a deliberate all-none configuration with the paper defaults. With the
+// MoveDefault/WeightDefault zero values, Options{} still means "paper
+// defaults" but an explicit MoveNone/WeightNone survives construction.
+func TestZeroFeedbackOptionsSurvive(t *testing.T) {
+	ds := clusteredDataset(t, 40, 2)
+
+	def, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := def.FeedbackName(); got != "move=optimal,weight=optimal-1/sigma2" {
+		t.Errorf("zero Options resolved to %q, want the paper defaults", got)
+	}
+
+	none, err := New(ds, Options{Feedback: feedback.Options{
+		Movement:  feedback.MoveNone,
+		Weighting: feedback.WeightNone,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := none.FeedbackName(); got != "move=none,weight=none" {
+		t.Errorf("explicit none/none became %q", got)
+	}
+	// Behavioural check: a none/none loop can never move the parameters.
+	item := ds.Items[0]
+	out, err := none.RunLoop(item.Category, item.Feature, none.UniformWeights(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vec.Equal(out.QOpt, item.Feature) || !vec.Equal(out.WOpt, none.UniformWeights()) {
+		t.Error("none/none feedback changed the query parameters")
+	}
+	if !out.Converged || out.Iterations != 0 {
+		t.Errorf("none/none loop: converged=%v iterations=%d, want immediate convergence", out.Converged, out.Iterations)
+	}
+}
+
+// TestNoFeedbackLoop pins the MaxIterations sentinel: NoFeedbackLoop runs
+// zero feedback cycles (the zero value still selects the default bound).
+func TestNoFeedbackLoop(t *testing.T) {
+	ds := clusteredDataset(t, 40, 2)
+	e, err := New(ds, Options{MaxIterations: NoFeedbackLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxIterations() != 0 {
+		t.Fatalf("MaxIterations() = %d, want 0", e.MaxIterations())
+	}
+	item := ds.Items[0]
+	out, err := e.RunLoop(item.Category, item.Feature, e.UniformWeights(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Iterations != 0 || out.Retrievals != 1 {
+		t.Errorf("NoFeedbackLoop ran %d iterations, %d retrievals", out.Iterations, out.Retrievals)
+	}
+	if !knn.SameIndexSet(out.FirstResults, out.FinalResults) {
+		t.Error("NoFeedbackLoop changed the result list")
+	}
+
+	def, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.MaxIterations() != DefaultMaxIterations {
+		t.Errorf("zero MaxIterations resolved to %d, want DefaultMaxIterations", def.MaxIterations())
+	}
+}
+
+// TestRefineFromScores checks the externally driven feedback step agrees
+// with the engine's own oracle-driven refinement.
+func TestRefineFromScores(t *testing.T) {
+	ds := clusteredDataset(t, 40, 2)
+	e, err := New(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := ds.Items[0]
+	results, err := e.Retrieve(item.Feature, e.UniformWeights(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := e.Score(item.Category, results)
+	newQ, newW, err := e.RefineFromScores(item.Feature, results, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newQ) != ds.Dim || len(newW) != ds.Dim {
+		t.Fatalf("refined dimensions %d/%d, want %d", len(newQ), len(newW), ds.Dim)
+	}
+	// All-zero scores surface ErrNoGoodMatches, errors.Is-able.
+	zero := make([]float64, len(results))
+	if _, _, err := e.RefineFromScores(item.Feature, results, zero); !errors.Is(err, feedback.ErrNoGoodMatches) {
+		t.Errorf("zero scores: error %v is not ErrNoGoodMatches", err)
+	}
+	// Mismatched lengths and bad indices are rejected.
+	if _, _, err := e.RefineFromScores(item.Feature, results, scores[:1]); err == nil {
+		t.Error("score-length mismatch accepted")
+	}
+	bad := []knn.Result{{Index: ds.Len() + 5}}
+	if _, _, err := e.RefineFromScores(item.Feature, bad, []float64{1}); err == nil {
+		t.Error("out-of-range result index accepted")
+	}
+}
+
+// TestQuerySignature pins the cache key: equal points collide, any
+// component difference (including ±0) separates.
+func TestQuerySignature(t *testing.T) {
+	a := []float64{0.25, 0.5, 0.125}
+	b := []float64{0.25, 0.5, 0.125}
+	if QuerySignature(a) != QuerySignature(b) {
+		t.Error("equal points have different signatures")
+	}
+	c := []float64{0.25, 0.5, 0.1250000001}
+	if QuerySignature(a) == QuerySignature(c) {
+		t.Error("distinct points share a signature")
+	}
+	if QuerySignature([]float64{0}) == QuerySignature([]float64{math.Copysign(0, -1)}) {
+		t.Error("+0 and -0 should hash differently (bitwise key)")
+	}
+	if ResultSignature([]knn.Result{{Index: 3}}) != signature([]knn.Result{{Index: 3}}) {
+		t.Error("ResultSignature diverges from the internal hash")
+	}
 }

@@ -40,8 +40,13 @@ var ErrNoGoodMatches = errors.New("feedback: no positively scored results")
 type MovementRule int
 
 const (
+	// MoveDefault is the zero value and selects the paper's default
+	// movement rule, MoveOptimal. Making the default its own named value
+	// (rather than defaulting on a zero struct) lets callers ask for
+	// MoveNone deliberately without it being mistaken for "unset".
+	MoveDefault MovementRule = iota
 	// MoveNone leaves the query point unchanged.
-	MoveNone MovementRule = iota
+	MoveNone
 	// MoveOptimal uses the score-weighted centroid of the good matches
 	// (Eq. 2 of the paper, proved optimal in [ISF98]).
 	MoveOptimal
@@ -52,6 +57,8 @@ const (
 // String implements fmt.Stringer.
 func (m MovementRule) String() string {
 	switch m {
+	case MoveDefault:
+		return "default(optimal)"
 	case MoveNone:
 		return "none"
 	case MoveOptimal:
@@ -67,8 +74,11 @@ func (m MovementRule) String() string {
 type WeightingRule int
 
 const (
+	// WeightDefault is the zero value and selects the paper's default
+	// re-weighting rule, WeightOptimal.
+	WeightDefault WeightingRule = iota
 	// WeightNone keeps uniform weights.
-	WeightNone WeightingRule = iota
+	WeightNone
 	// WeightMARS uses w_i = 1/σ_i (early MARS, [RHOM98]).
 	WeightMARS
 	// WeightOptimal uses w_i ∝ 1/σ_i² (optimal for weighted Euclidean,
@@ -79,6 +89,8 @@ const (
 // String implements fmt.Stringer.
 func (w WeightingRule) String() string {
 	switch w {
+	case WeightDefault:
+		return "default(optimal)"
 	case WeightNone:
 		return "none"
 	case WeightMARS:
@@ -226,6 +238,9 @@ func Reweight(results [][]float64, scores []float64, rule WeightingRule, varFloo
 		return nil, fmt.Errorf("feedback: variance floor must be positive, got %v", varFloor)
 	}
 	dim := len(good[0])
+	if rule == WeightDefault {
+		rule = WeightOptimal
+	}
 	if rule == WeightNone {
 		return vec.Ones(dim), nil
 	}
@@ -329,7 +344,11 @@ func OptimalQuadraticWeights(results [][]float64, scores []float64, ridge float6
 	return distance.NewQuadratic(w)
 }
 
-// Options configures an Engine.
+// Options configures an Engine. The zero value selects the paper's
+// defaults: MoveDefault and WeightDefault resolve to the optimal movement
+// and re-weighting rules at construction, so Options{} is equivalent to
+// DefaultOptions(), while a deliberate MoveNone/WeightNone (both non-zero
+// values) survives construction unchanged.
 type Options struct {
 	Movement  MovementRule
 	Weighting WeightingRule
@@ -359,13 +378,21 @@ func DefaultOptions() Options {
 	return Options{Movement: MoveOptimal, Weighting: WeightOptimal}
 }
 
-// New validates the options and returns an engine.
+// New validates the options and returns an engine. The zero-value rules
+// MoveDefault and WeightDefault resolve to the paper's optimal rules here;
+// every other rule is taken literally.
 func New(opts Options) (*Engine, error) {
-	if opts.Movement < MoveNone || opts.Movement > MoveRocchio {
+	if opts.Movement < MoveDefault || opts.Movement > MoveRocchio {
 		return nil, fmt.Errorf("feedback: unknown movement rule %d", opts.Movement)
 	}
-	if opts.Weighting < WeightNone || opts.Weighting > WeightOptimal {
+	if opts.Weighting < WeightDefault || opts.Weighting > WeightOptimal {
 		return nil, fmt.Errorf("feedback: unknown weighting rule %d", opts.Weighting)
+	}
+	if opts.Movement == MoveDefault {
+		opts.Movement = MoveOptimal
+	}
+	if opts.Weighting == WeightDefault {
+		opts.Weighting = WeightOptimal
 	}
 	if opts.Alpha == 0 && opts.Beta == 0 && opts.Gamma == 0 {
 		opts.Alpha, opts.Beta, opts.Gamma = 1, 0.75, 0.25

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentSessions exercises the whole lifecycle from many
+// goroutines against one shared engine and Bypass — the workload the race
+// detector must come back clean on (CI runs this package with -race).
+// Every goroutine runs complete oracle-driven sessions: Open, interleaved
+// Query, Feedback to convergence, Close (inserting into the shared tree,
+// which invalidates the shared prediction cache under the readers).
+func TestConcurrentSessions(t *testing.T) {
+	svc, ds := newTestService(t, Options{MaxSessions: 64, IterationBudget: 6})
+	const (
+		goroutines   = 8
+		perGoroutine = 6
+	)
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Int64
+	)
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				item := ds.Items[(g*perGoroutine+i*13)%ds.Len()]
+				st, err := svc.Open(item.Feature, 8)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for !st.Converged {
+					if _, err := svc.Query(st.ID); err != nil {
+						errCh <- err
+						return
+					}
+					st, err = svc.Feedback(st.ID, oracleScores(ds, item.Category, st.Results))
+					if err != nil {
+						errCh <- err
+						return
+					}
+				}
+				if _, err := svc.Close(st.ID); err != nil {
+					errCh <- err
+					return
+				}
+				completed.Add(1)
+			}
+		}(g)
+	}
+	// Stats readers run concurrently with the sessions.
+	stop := make(chan struct{})
+	var statsWG sync.WaitGroup
+	statsWG.Add(1)
+	go func() {
+		defer statsWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = svc.Stats()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	statsWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if completed.Load() != goroutines*perGoroutine {
+		t.Fatalf("completed %d sessions, want %d", completed.Load(), goroutines*perGoroutine)
+	}
+	stats := svc.Stats()
+	if stats.ActiveSessions != 0 {
+		t.Errorf("%d sessions leaked", stats.ActiveSessions)
+	}
+	if stats.Opened != goroutines*perGoroutine || stats.Closed != stats.Opened {
+		t.Errorf("opened %d / closed %d, want %d", stats.Opened, stats.Closed, goroutines*perGoroutine)
+	}
+	if stats.Inserts == 0 {
+		t.Error("no session ever inserted into the shared bypass")
+	}
+}
+
+// TestConcurrentAdmission hammers a tiny admission bound: the invariant is
+// that in-flight sessions never exceed MaxSessions and every Open either
+// succeeds or fails with ErrOverloaded.
+func TestConcurrentAdmission(t *testing.T) {
+	const maxSessions = 4
+	svc, ds := newTestService(t, Options{MaxSessions: maxSessions})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				st, err := svc.Open(ds.Items[(g+i)%ds.Len()].Feature, 4)
+				if errors.Is(err, ErrOverloaded) {
+					continue
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if n := svc.Stats().ActiveSessions; n > maxSessions {
+					errCh <- errors.New("admission bound exceeded")
+					return
+				}
+				if _, err := svc.Close(st.ID); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if svc.Stats().ActiveSessions != 0 {
+		t.Error("sessions leaked")
+	}
+}

@@ -1,0 +1,553 @@
+// Package service is the concurrent multi-session serving layer of the
+// reproduction: the long-lived process that places FeedbackBypass beside a
+// live interactive retrieval system (Figure 4 of the paper) and serves
+// many user sessions against one shared engine and one shared learned
+// mapping.
+//
+// A session is one user's interactive loop: Open predicts OQPs for the
+// query (through an LRU prediction cache keyed by the engine's FNV query
+// signature), warm-starts retrieval from the predicted parameters, and
+// returns the first result list; Feedback applies one round of
+// user-provided relevance scores (the externally driven form of the
+// Figure 5 loop) and re-retrieves; Close inserts the converged OQPs into
+// the shared Bypass — the moment the whole service learns from the
+// session. Query reads the session's current state without advancing it.
+//
+// Concurrency model (see DESIGN.md, "Serving layer"):
+//
+//   - the session table is guarded by one RWMutex; per-session state by a
+//     per-session mutex, so sessions never contend with each other except
+//     on the table's short map operations;
+//   - retrieval (knn.Scan) is stateless and prediction (simplextree) is
+//     read-locked, so any number of sessions retrieve and predict in
+//     parallel; only Insert takes the tree's exclusive lock;
+//   - admission control bounds in-flight sessions (ErrOverloaded beyond
+//     Options.MaxSessions) and a per-session iteration budget bounds each
+//     feedback loop, so one slow or adversarial session cannot starve the
+//     rest;
+//   - the prediction cache is invalidated generationally: an insert that
+//     changes the tree bumps the generation and drops every entry, and a
+//     prediction raced by such an insert is never cached, so a cached
+//     prediction is always bitwise identical to an uncached one.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/feedback"
+	"repro/internal/knn"
+	"repro/internal/simplextree"
+	"repro/internal/vec"
+)
+
+// ErrSessionNotFound is returned for operations on a session ID that was
+// never opened or has already been closed.
+var ErrSessionNotFound = errors.New("service: session not found")
+
+// ErrOverloaded is returned by Open when the service is at its in-flight
+// session bound; callers should back off and retry.
+var ErrOverloaded = errors.New("service: too many in-flight sessions")
+
+// ErrInvalidArgument wraps client-input failures (wrong query
+// dimensionality, score-count mismatches, malformed scores) so transports
+// can classify them with errors.Is instead of string-matching.
+var ErrInvalidArgument = errors.New("service: invalid argument")
+
+// Bypass is the learned-mapping dependency of the service: both the
+// in-memory core.Bypass and the WAL-backed core.DurableBypass satisfy it.
+type Bypass interface {
+	D() int
+	P() int
+	Predict(q []float64) (core.OQP, error)
+	Insert(q []float64, oqp core.OQP) (bool, error)
+	Stats() simplextree.Stats
+}
+
+// Options tunes the serving layer.
+type Options struct {
+	// MaxSessions bounds concurrently open sessions; Open returns
+	// ErrOverloaded beyond it. Default 1024.
+	MaxSessions int
+	// IterationBudget bounds feedback rounds per session; a session that
+	// reaches it is reported converged with BudgetLeft 0. Default
+	// engine.DefaultMaxIterations.
+	IterationBudget int
+	// CacheSize bounds the LRU prediction cache (entries). 0 selects the
+	// default (1024); negative disables caching.
+	CacheSize int
+	// DefaultK is the result-list size used when Open is called with
+	// k <= 0. Default 10.
+	DefaultK int
+}
+
+func (o *Options) fill() {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 1024
+	}
+	if o.IterationBudget == 0 {
+		o.IterationBudget = engine.DefaultMaxIterations
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.DefaultK == 0 {
+		o.DefaultK = 10
+	}
+}
+
+// Service is a thread-safe multi-session FeedbackBypass server over one
+// shared engine and one shared Bypass.
+type Service struct {
+	eng   *engine.Engine
+	byp   Bypass
+	codec core.HistogramCodec
+	opts  Options
+	cache *predictionCache // nil when disabled
+
+	mu       sync.RWMutex
+	sessions map[uint64]*session
+	nextID   uint64
+
+	// counters (atomic: bumped outside the table lock)
+	opened      atomic.Int64
+	rejected    atomic.Int64
+	closed      atomic.Int64
+	feedbacks   atomic.Int64
+	predictions atomic.Int64
+	cacheHits   atomic.Int64
+	warmStarts  atomic.Int64
+	inserts     atomic.Int64
+	stored      atomic.Int64
+}
+
+// session is one user's in-flight interactive loop.
+type session struct {
+	id uint64
+	mu sync.Mutex
+
+	q0        []float64 // initial query feature (full histogram)
+	q, w      []float64 // current query point and weights
+	k         int
+	results   []knn.Result
+	seen      map[uint64]bool // result-list signatures, for cycle detection
+	iters     int
+	budget    int
+	cacheHit  bool
+	warm      bool // predicted OQP differed from the untrained default
+	converged bool
+	closed    bool
+}
+
+// New validates that the engine's collection and the Bypass agree on the
+// histogram geometry (D = P = dim−1) and returns a serving layer over
+// them. The Bypass may be shared with other writers (e.g. a background
+// trainer); the service's cache stays correct as long as every insert
+// goes through the service.
+func New(eng *engine.Engine, byp Bypass, opts Options) (*Service, error) {
+	if eng == nil {
+		return nil, errors.New("service: nil engine")
+	}
+	if byp == nil {
+		return nil, errors.New("service: nil bypass")
+	}
+	if opts.MaxSessions < 0 {
+		return nil, fmt.Errorf("service: negative MaxSessions %d", opts.MaxSessions)
+	}
+	if opts.IterationBudget < 0 {
+		return nil, fmt.Errorf("service: negative IterationBudget %d", opts.IterationBudget)
+	}
+	opts.fill()
+	codec, err := core.NewHistogramCodec(eng.Dataset().Dim)
+	if err != nil {
+		return nil, err
+	}
+	if byp.D() != codec.D() || byp.P() != codec.P() {
+		return nil, fmt.Errorf("service: bypass is D=%d P=%d, want D=P=%d for a %d-bin collection",
+			byp.D(), byp.P(), codec.D(), eng.Dataset().Dim)
+	}
+	s := &Service{
+		eng:      eng,
+		byp:      byp,
+		codec:    codec,
+		opts:     opts,
+		sessions: make(map[uint64]*session),
+		nextID:   1,
+	}
+	if opts.CacheSize > 0 {
+		s.cache = newPredictionCache(opts.CacheSize)
+	}
+	return s, nil
+}
+
+// Codec returns the histogram codec the service maps queries with.
+func (s *Service) Codec() core.HistogramCodec { return s.codec }
+
+// Engine returns the shared retrieval engine.
+func (s *Service) Engine() *engine.Engine { return s.eng }
+
+// SessionState is a snapshot of one session, returned by every lifecycle
+// method. Results is a fresh copy the caller owns.
+type SessionState struct {
+	ID         uint64
+	K          int
+	Results    []knn.Result
+	Iterations int
+	BudgetLeft int
+	Converged  bool
+	// CacheHit reports whether Open served the prediction from the LRU
+	// cache; Warm whether the predicted OQP differed from the untrained
+	// default (i.e. the tree had learned something for this region).
+	CacheHit bool
+	Warm     bool
+}
+
+func (sess *session) stateLocked() SessionState {
+	res := make([]knn.Result, len(sess.results))
+	copy(res, sess.results)
+	return SessionState{
+		ID:         sess.id,
+		K:          sess.k,
+		Results:    res,
+		Iterations: sess.iters,
+		BudgetLeft: sess.budget - sess.iters,
+		Converged:  sess.converged,
+		CacheHit:   sess.cacheHit,
+		Warm:       sess.warm,
+	}
+}
+
+// predict answers the Mopt lookup through the LRU cache. The generation
+// fence makes a cached entry impossible to go stale: a Put races an
+// invalidation only in the discarded direction.
+func (s *Service) predict(qp []float64) (core.OQP, bool, error) {
+	s.predictions.Add(1)
+	if s.cache == nil {
+		oqp, err := s.byp.Predict(qp)
+		return oqp, false, err
+	}
+	sig := engine.QuerySignature(qp)
+	if oqp, ok := s.cache.Get(sig, qp); ok {
+		s.cacheHits.Add(1)
+		return oqp, true, nil
+	}
+	gen := s.cache.Generation()
+	oqp, err := s.byp.Predict(qp)
+	if err != nil {
+		return core.OQP{}, false, err
+	}
+	s.cache.Put(gen, sig, qp, oqp)
+	return oqp, false, nil
+}
+
+// isDefaultOQP reports whether the prediction is the untrained module's
+// answer: zero offset and neutral (zero log-ratio) weights.
+func isDefaultOQP(oqp core.OQP) bool {
+	for _, x := range oqp.Delta {
+		if x != 0 {
+			return false
+		}
+	}
+	for _, x := range oqp.Weights {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Open admits a new session for the given query feature (a normalized
+// histogram of the collection's dimensionality): it predicts OQPs through
+// the cache, warm-starts retrieval from the predicted parameters, and
+// returns the session's first state. k <= 0 selects Options.DefaultK.
+// Position failures wrap core.ErrOutOfDomain; admission failures wrap
+// ErrOverloaded.
+func (s *Service) Open(feature []float64, k int) (SessionState, error) {
+	dim := s.eng.Dataset().Dim
+	if len(feature) != dim {
+		return SessionState{}, fmt.Errorf("query has %d bins, want %d: %w", len(feature), dim, ErrInvalidArgument)
+	}
+	if k <= 0 {
+		k = s.opts.DefaultK
+	}
+	// A k beyond the collection returns the whole collection anyway, but
+	// the scan pre-allocates k-sized result buffers per worker — so an
+	// unclamped client-supplied k is a one-request memory bomb.
+	if k > s.eng.Dataset().Len() {
+		k = s.eng.Dataset().Len()
+	}
+	qp, err := s.codec.QueryPoint(feature)
+	if err != nil {
+		return SessionState{}, err
+	}
+
+	// Reserve the admission slot first (cheap, under the table lock); the
+	// expensive predict+retrieve runs outside it, with the half-built
+	// session holding its own lock so concurrent lookups block rather
+	// than observe a torn session.
+	sess := &session{
+		k:      k,
+		budget: s.opts.IterationBudget,
+		seen:   make(map[uint64]bool),
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	s.mu.Lock()
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return SessionState{}, fmt.Errorf("service: %d sessions in flight: %w", s.opts.MaxSessions, ErrOverloaded)
+	}
+	sess.id = s.nextID
+	s.nextID++
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+
+	abort := func(err error) (SessionState, error) {
+		// Mark the session closed before unpublishing: a concurrent
+		// lookup that grabbed the pointer before the delete blocks on
+		// sess.mu (held until Open returns) and must then see a dead
+		// session, not a half-built live one.
+		sess.closed = true
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		return SessionState{}, err
+	}
+	oqp, cacheHit, err := s.predict(qp)
+	if err != nil {
+		return abort(err)
+	}
+	qPred, wPred, err := s.codec.DecodeOQP(feature, oqp)
+	if err != nil {
+		return abort(err)
+	}
+	results, err := s.eng.Retrieve(qPred, wPred, k)
+	if err != nil {
+		return abort(err)
+	}
+	sess.q0 = vec.Clone(feature)
+	sess.q, sess.w = qPred, wPred
+	sess.results = results
+	sess.seen[engine.ResultSignature(results)] = true
+	sess.cacheHit = cacheHit
+	sess.warm = !isDefaultOQP(oqp)
+	s.opened.Add(1)
+	if sess.warm {
+		s.warmStarts.Add(1)
+	}
+	return sess.stateLocked(), nil
+}
+
+// lookup returns the live session for id.
+func (s *Service) lookup(id uint64) (*session, error) {
+	s.mu.RLock()
+	sess := s.sessions[id]
+	s.mu.RUnlock()
+	if sess == nil {
+		return nil, fmt.Errorf("service: session %d: %w", id, ErrSessionNotFound)
+	}
+	return sess, nil
+}
+
+// Query returns the session's current state without advancing it.
+func (s *Service) Query(id uint64) (SessionState, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return SessionState{}, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return SessionState{}, fmt.Errorf("service: session %d: %w", id, ErrSessionNotFound)
+	}
+	return sess.stateLocked(), nil
+}
+
+// Feedback applies one round of relevance scores (one per current result,
+// non-negative, 0 = irrelevant) to the session: parameters are refined,
+// retrieval re-runs, and the new state is returned. A session that has
+// converged — stable result list, no good matches to learn from, or
+// exhausted iteration budget — is returned unchanged with Converged set;
+// the client should Close it.
+func (s *Service) Feedback(id uint64, scores []float64) (SessionState, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return SessionState{}, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return SessionState{}, fmt.Errorf("service: session %d: %w", id, ErrSessionNotFound)
+	}
+	if sess.converged || sess.iters >= sess.budget {
+		sess.converged = true
+		return sess.stateLocked(), nil
+	}
+	if len(scores) != len(sess.results) {
+		return SessionState{}, fmt.Errorf("%d scores for %d results: %w", len(scores), len(sess.results), ErrInvalidArgument)
+	}
+	s.feedbacks.Add(1)
+	newQ, newW, err := s.eng.RefineFromScores(sess.q, sess.results, scores)
+	if errors.Is(err, feedback.ErrNoGoodMatches) {
+		// Nothing to learn from: the loop terminates with the current
+		// parameters, exactly like engine.RunLoop.
+		sess.converged = true
+		return sess.stateLocked(), nil
+	}
+	if err != nil {
+		// The session's own state is validated; a refine failure means the
+		// scores were malformed (NaN, negative, ...) — a client error.
+		return SessionState{}, fmt.Errorf("%v: %w", err, ErrInvalidArgument)
+	}
+	newResults, err := s.eng.Retrieve(newQ, newW, sess.k)
+	if err != nil {
+		return SessionState{}, err
+	}
+	sess.q, sess.w = newQ, newW
+	sess.iters++
+	if knn.SameIndexSet(newResults, sess.results) {
+		sess.converged = true
+	}
+	sess.results = newResults
+	sig := engine.ResultSignature(newResults)
+	if sess.seen[sig] {
+		sess.converged = true
+	}
+	sess.seen[sig] = true
+	if sess.iters >= sess.budget {
+		sess.converged = true
+	}
+	return sess.stateLocked(), nil
+}
+
+// CloseResult reports what Close did with the session.
+type CloseResult struct {
+	ID         uint64
+	Iterations int
+	// Inserted reports whether the session's converged OQPs changed the
+	// shared Bypass (an outcome within ε of the current prediction is
+	// skipped, §4.2; a session that never gave feedback is not inserted).
+	Inserted bool
+}
+
+// Close ends the session and — when the session actually refined its
+// parameters — inserts the converged OQPs into the shared Bypass, making
+// the outcome available to every future session. The session is removed
+// even when the insert fails.
+func (s *Service) Close(id uint64) (CloseResult, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return CloseResult{}, fmt.Errorf("service: session %d: %w", id, ErrSessionNotFound)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.closed = true
+	s.closed.Add(1)
+	out := CloseResult{ID: id, Iterations: sess.iters}
+	if sess.iters == 0 {
+		// No feedback was given: the final parameters are the prediction
+		// itself; re-inserting it teaches the tree nothing.
+		return out, nil
+	}
+	qp, err := s.codec.QueryPoint(sess.q0)
+	if err != nil {
+		return out, err
+	}
+	oqp, err := s.codec.EncodeOQP(sess.q0, sess.q, sess.w)
+	if err != nil {
+		return out, err
+	}
+	s.inserts.Add(1)
+	changed, err := s.byp.Insert(qp, oqp)
+	if err != nil {
+		return out, err
+	}
+	out.Inserted = changed
+	if changed {
+		s.stored.Add(1)
+	}
+	if changed && s.cache != nil {
+		// The tree changed: every cached prediction may now differ from a
+		// fresh one. Generation-bump-and-drop keeps the parity guarantee.
+		s.cache.Invalidate()
+	}
+	return out, nil
+}
+
+// Drain closes every in-flight session (inserting converged outcomes) and
+// returns how many sessions were closed and how many inserts changed the
+// Bypass. It is the graceful-shutdown path of cmd/fbserve.
+func (s *Service) Drain() (closedSessions, inserted int, err error) {
+	s.mu.RLock()
+	ids := make([]uint64, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	var firstErr error
+	for _, id := range ids {
+		res, cerr := s.Close(id)
+		if errors.Is(cerr, ErrSessionNotFound) {
+			continue // raced with a client Close; already gone
+		}
+		closedSessions++
+		if cerr != nil && firstErr == nil {
+			firstErr = cerr
+		}
+		if res.Inserted {
+			inserted++
+		}
+	}
+	return closedSessions, inserted, firstErr
+}
+
+// Stats is a point-in-time snapshot of the serving layer.
+type Stats struct {
+	ActiveSessions int   `json:"active_sessions"`
+	Opened         int64 `json:"opened"`
+	Rejected       int64 `json:"rejected"`
+	Closed         int64 `json:"closed"`
+	Feedbacks      int64 `json:"feedbacks"`
+	Predictions    int64 `json:"predictions"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheEntries   int   `json:"cache_entries"`
+	WarmStarts     int64 `json:"warm_starts"`
+	Inserts        int64 `json:"inserts"`
+	InsertsStored  int64 `json:"inserts_stored"`
+
+	Tree simplextree.Stats `json:"tree"`
+}
+
+// Stats snapshots the service counters and the shared tree's shape.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	active := len(s.sessions)
+	s.mu.RUnlock()
+	st := Stats{
+		ActiveSessions: active,
+		Opened:         s.opened.Load(),
+		Rejected:       s.rejected.Load(),
+		Closed:         s.closed.Load(),
+		Feedbacks:      s.feedbacks.Load(),
+		Predictions:    s.predictions.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		WarmStarts:     s.warmStarts.Load(),
+		Inserts:        s.inserts.Load(),
+		InsertsStored:  s.stored.Load(),
+		Tree:           s.byp.Stats(),
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.Len()
+	}
+	return st
+}

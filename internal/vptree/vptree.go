@@ -11,10 +11,24 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/distance"
 	"repro/internal/knn"
 )
+
+// ErrNegativeWeight is returned by SearchWeighted when the query metric
+// carries a negative weight: the √(min wᵢ)·L2 lower bound is meaningless
+// for a non-metric, so the search refuses it instead of silently falling
+// back to an unprunable traversal. (A zero minimum weight is valid: the
+// lower bound degenerates to zero, pruning is disabled, and the full
+// traversal remains exact.)
+var ErrNegativeWeight = errors.New("vptree: weighted search metric has a negative weight")
+
+// ErrTreeMetric is returned by SearchWeighted when the tree was not built
+// on the plain Euclidean metric, the only geometry the weighted lower
+// bound is admissible for.
+var ErrTreeMetric = errors.New("vptree: weighted search requires a tree built on the Euclidean metric")
 
 // Tree is a vantage-point tree over a fixed collection and metric.
 type Tree struct {
@@ -29,8 +43,11 @@ type Tree struct {
 	// reported result.
 	kern    distance.Kernel
 	hasKern bool
-	// stats
-	lastDistCalls int
+	// lastDistCalls is the metric-evaluation count of the most recently
+	// completed search, stored atomically so searches themselves are pure
+	// reads of the tree and can run in parallel. Each search accumulates
+	// into a stack-local counter and publishes it once at the end.
+	lastDistCalls atomic.Int64
 }
 
 type node struct {
@@ -121,10 +138,13 @@ func (t *Tree) Len() int { return len(t.data) }
 func (t *Tree) Metric() distance.Metric { return t.metric }
 
 // LastDistanceCalls reports the number of metric evaluations performed by
-// the most recent search — the cost measure index benchmarks use.
-func (t *Tree) LastDistanceCalls() int { return t.lastDistCalls }
+// the most recent completed search — the cost measure index benchmarks
+// use. Under concurrent searches it reports the count of whichever search
+// published last; it is a diagnostic, not a synchronized aggregate.
+func (t *Tree) LastDistanceCalls() int { return int(t.lastDistCalls.Load()) }
 
 // Search returns the k nearest neighbours of q under the tree's metric.
+// Searches never mutate the tree and run in parallel.
 func (t *Tree) Search(q []float64, k int) ([]knn.Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("vptree: k must be positive, got %d", k)
@@ -132,13 +152,14 @@ func (t *Tree) Search(q []float64, k int) ([]knn.Result, error) {
 	if len(q) != len(t.data[0]) {
 		return nil, fmt.Errorf("vptree: query has dimension %d, want %d", len(q), len(t.data[0]))
 	}
-	t.lastDistCalls = 0
+	calls := 0
+	defer func() { t.lastDistCalls.Store(int64(calls)) }()
 	top := knn.NewTopK(k)
 	if t.hasKern {
-		t.search2(t.root, q, top)
+		t.search2(t.root, q, top, &calls)
 		return sqrtResults(top), nil
 	}
-	t.search(t.root, q, top)
+	t.search(t.root, q, top, &calls)
 	return top.Results(), nil
 }
 
@@ -189,50 +210,56 @@ func (t *Tree) SearchWeighted(q []float64, k int, w *distance.WeightedEuclidean)
 	case distance.Euclidean:
 	case *distance.WeightedEuclidean:
 		if m.MinWeight() != 1 || m.MaxWeight() != 1 {
-			return nil, errors.New("vptree: weighted search requires a tree built on the Euclidean metric")
+			return nil, ErrTreeMetric
 		}
 	default:
-		return nil, errors.New("vptree: weighted search requires a tree built on the Euclidean metric")
+		return nil, ErrTreeMetric
+	}
+	if w.Dim() != len(t.data[0]) {
+		return nil, fmt.Errorf("vptree: weighted metric has dimension %d, want %d", w.Dim(), len(t.data[0]))
 	}
 	minW := w.MinWeight()
-	if minW <= 0 {
-		// Zero weights give a zero lower bound: pruning impossible, but a
-		// full traversal is still exact.
-		minW = 0
+	if minW < 0 {
+		// A negative weight is not a metric: √(min wᵢ) is undefined and
+		// the lower-bound pruning math below would be fed garbage.
+		return nil, fmt.Errorf("vptree: min weight %v: %w", minW, ErrNegativeWeight)
 	}
-	t.lastDistCalls = 0
+	// minW == 0 stays as is: the lower bound is zero, so the shell tests
+	// below never prune and the search degrades to an exact full traversal.
+	calls := 0
+	defer func() { t.lastDistCalls.Store(int64(calls)) }()
 	top := knn.NewTopK(k)
 	if t.hasKern {
 		if kw, ok := distance.KernelFor(w); ok {
-			t.searchWeighted2(t.root, q, top, kw, minW)
+			t.searchWeighted2(t.root, q, top, kw, minW, &calls)
 			return sqrtResults(top), nil
 		}
 	}
-	t.searchWeighted(t.root, q, top, w, math.Sqrt(minW))
+	t.searchWeighted(t.root, q, top, w, math.Sqrt(minW), &calls)
 	return top.Results(), nil
 }
 
 // search descends the tree under the tree's own metric, accumulating
 // results in top and pruning subtrees with the triangle inequality.
-func (t *Tree) search(n *node, q []float64, top *knn.TopK) {
+func (t *Tree) search(n *node, q []float64, top *knn.TopK, calls *int) {
 	if n == nil {
 		return
 	}
 	if n.leaf {
 		for _, i := range n.bucket {
-			t.lastDistCalls++
+			*calls++
 			top.Offer(i, t.metric.Distance(q, t.data[i]))
 		}
 		return
 	}
-	t.lastDistCalls++
+	*calls++
 	dvp := t.metric.Distance(q, t.data[n.vp])
 	top.Offer(n.vp, dvp)
 	first, second := n.inside, n.outside
 	if dvp >= n.radius {
 		first, second = n.outside, n.inside
 	}
-	t.search(first, q, top)
+	t.search(first, q, top, calls)
 	if tau, ok := top.Bound(); ok {
 		// The other side can only contain an improvement when the ball of
 		// radius tau around q crosses the splitting shell.
@@ -246,7 +273,7 @@ func (t *Tree) search(n *node, q []float64, top *knn.TopK) {
 			}
 		}
 	}
-	t.search(second, q, top)
+	t.search(second, q, top, calls)
 }
 
 // search2 is the squared-space descent used when the tree metric has a
@@ -254,7 +281,7 @@ func (t *Tree) search(n *node, q []float64, top *knn.TopK) {
 // early-abandon against the exact squared bound, and the shell test runs
 // square-free (pruneFar), so no square root is taken anywhere in the
 // descent.
-func (t *Tree) search2(n *node, q []float64, top *knn.TopK) {
+func (t *Tree) search2(n *node, q []float64, top *knn.TopK, calls *int) {
 	if n == nil {
 		return
 	}
@@ -264,7 +291,7 @@ func (t *Tree) search2(n *node, q []float64, top *knn.TopK) {
 	}
 	if n.leaf {
 		for _, i := range n.bucket {
-			t.lastDistCalls++
+			*calls++
 			if s, abandoned := t.kern.SquaredAbandon(q, t.data[i], bound2); !abandoned {
 				top.Offer(i, s)
 				if b, ok := top.Bound(); ok {
@@ -274,7 +301,7 @@ func (t *Tree) search2(n *node, q []float64, top *knn.TopK) {
 		}
 		return
 	}
-	t.lastDistCalls++
+	*calls++
 	dvp2 := t.kern.Squared(q, t.data[n.vp])
 	top.Offer(n.vp, dvp2)
 	first, second := n.inside, n.outside
@@ -282,7 +309,7 @@ func (t *Tree) search2(n *node, q []float64, top *knn.TopK) {
 	if far {
 		first, second = n.outside, n.inside
 	}
-	t.search2(first, q, top)
+	t.search2(first, q, top, calls)
 	if tau2, ok := top.Bound(); ok {
 		// The other side can only contain an improvement when the ball
 		// of squared radius tau2 around q crosses the splitting shell.
@@ -296,32 +323,32 @@ func (t *Tree) search2(n *node, q []float64, top *knn.TopK) {
 			}
 		}
 	}
-	t.search2(second, q, top)
+	t.search2(second, q, top, calls)
 }
 
 // searchWeighted mirrors search but evaluates candidates with the weighted
 // metric while pruning with tree-metric (Euclidean) geometry: the shell
 // test compares L2 distances against tau_w / √(min w), the largest L2
 // radius that could still contain a weighted improvement.
-func (t *Tree) searchWeighted(n *node, q []float64, top *knn.TopK, w *distance.WeightedEuclidean, sqrtMinW float64) {
+func (t *Tree) searchWeighted(n *node, q []float64, top *knn.TopK, w *distance.WeightedEuclidean, sqrtMinW float64, calls *int) {
 	if n == nil {
 		return
 	}
 	if n.leaf {
 		for _, i := range n.bucket {
-			t.lastDistCalls++
+			*calls++
 			top.Offer(i, w.Distance(q, t.data[i]))
 		}
 		return
 	}
-	t.lastDistCalls += 2
+	*calls += 2
 	dTree := t.metric.Distance(q, t.data[n.vp])
 	top.Offer(n.vp, w.Distance(q, t.data[n.vp]))
 	first, second := n.inside, n.outside
 	if dTree >= n.radius {
 		first, second = n.outside, n.inside
 	}
-	t.searchWeighted(first, q, top, w, sqrtMinW)
+	t.searchWeighted(first, q, top, w, sqrtMinW, calls)
 	if tau, ok := top.Bound(); ok && sqrtMinW > 0 {
 		l2tau := tau / sqrtMinW
 		if dTree >= n.radius {
@@ -334,7 +361,7 @@ func (t *Tree) searchWeighted(n *node, q []float64, top *knn.TopK, w *distance.W
 			}
 		}
 	}
-	t.searchWeighted(second, q, top, w, sqrtMinW)
+	t.searchWeighted(second, q, top, w, sqrtMinW, calls)
 }
 
 // searchWeighted2 is the squared-space weighted descent: candidates are
@@ -342,7 +369,7 @@ func (t *Tree) searchWeighted(n *node, q []float64, top *knn.TopK, w *distance.W
 // the exact squared bound), while shell pruning runs in the tree
 // metric's squared space against τ²/min(wᵢ) — the squared form of the
 // √(min wᵢ)·L2 lower bound — using the square-free comparison pruneFar.
-func (t *Tree) searchWeighted2(n *node, q []float64, top *knn.TopK, kw distance.Kernel, minW float64) {
+func (t *Tree) searchWeighted2(n *node, q []float64, top *knn.TopK, kw distance.Kernel, minW float64, calls *int) {
 	if n == nil {
 		return
 	}
@@ -352,7 +379,7 @@ func (t *Tree) searchWeighted2(n *node, q []float64, top *knn.TopK, kw distance.
 	}
 	if n.leaf {
 		for _, i := range n.bucket {
-			t.lastDistCalls++
+			*calls++
 			if s, abandoned := kw.SquaredAbandon(q, t.data[i], bound2); !abandoned {
 				top.Offer(i, s)
 				if b, ok := top.Bound(); ok {
@@ -362,7 +389,7 @@ func (t *Tree) searchWeighted2(n *node, q []float64, top *knn.TopK, kw distance.
 		}
 		return
 	}
-	t.lastDistCalls += 2
+	*calls += 2
 	dTree2 := t.kern.Squared(q, t.data[n.vp])
 	top.Offer(n.vp, kw.Squared(q, t.data[n.vp]))
 	first, second := n.inside, n.outside
@@ -370,7 +397,7 @@ func (t *Tree) searchWeighted2(n *node, q []float64, top *knn.TopK, kw distance.
 	if far {
 		first, second = n.outside, n.inside
 	}
-	t.searchWeighted2(first, q, top, kw, minW)
+	t.searchWeighted2(first, q, top, kw, minW, calls)
 	if tau2, ok := top.Bound(); ok && minW > 0 {
 		l2tau2 := tau2 / minW
 		if far {
@@ -383,7 +410,7 @@ func (t *Tree) searchWeighted2(n *node, q []float64, top *knn.TopK, kw distance.
 			}
 		}
 	}
-	t.searchWeighted2(second, q, top, kw, minW)
+	t.searchWeighted2(second, q, top, kw, minW, calls)
 }
 
 // RangeSearch returns every item within radius r of q under the tree's
@@ -395,9 +422,10 @@ func (t *Tree) RangeSearch(q []float64, r float64) ([]knn.Result, error) {
 	if r < 0 {
 		return nil, fmt.Errorf("vptree: negative radius %v", r)
 	}
-	t.lastDistCalls = 0
+	calls := 0
+	defer func() { t.lastDistCalls.Store(int64(calls)) }()
 	var out []knn.Result
-	t.rangeSearch(t.root, q, r, &out)
+	t.rangeSearch(t.root, q, r, &out, &calls)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Distance != out[j].Distance {
 			return out[i].Distance < out[j].Distance
@@ -407,20 +435,20 @@ func (t *Tree) RangeSearch(q []float64, r float64) ([]knn.Result, error) {
 	return out, nil
 }
 
-func (t *Tree) rangeSearch(n *node, q []float64, r float64, out *[]knn.Result) {
+func (t *Tree) rangeSearch(n *node, q []float64, r float64, out *[]knn.Result, calls *int) {
 	if n == nil {
 		return
 	}
 	if n.leaf {
 		for _, i := range n.bucket {
-			t.lastDistCalls++
+			*calls++
 			if d := t.metric.Distance(q, t.data[i]); d <= r {
 				*out = append(*out, knn.Result{Index: i, Distance: d})
 			}
 		}
 		return
 	}
-	t.lastDistCalls++
+	*calls++
 	dvp := t.metric.Distance(q, t.data[n.vp])
 	if dvp <= r {
 		*out = append(*out, knn.Result{Index: n.vp, Distance: dvp})
@@ -428,10 +456,10 @@ func (t *Tree) rangeSearch(n *node, q []float64, r float64, out *[]knn.Result) {
 	// The inside ball can contain matches when the query ball reaches
 	// inside the shell; symmetrically for the outside.
 	if dvp-r < n.radius {
-		t.rangeSearch(n.inside, q, r, out)
+		t.rangeSearch(n.inside, q, r, out, calls)
 	}
 	if dvp+r >= n.radius {
-		t.rangeSearch(n.outside, q, r, out)
+		t.rangeSearch(n.outside, q, r, out, calls)
 	}
 }
 

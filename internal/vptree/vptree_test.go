@@ -1,7 +1,10 @@
 package vptree
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/distance"
@@ -290,5 +293,162 @@ func TestRangeSearchErrors(t *testing.T) {
 	}
 	if len(rs) != 0 {
 		t.Errorf("expected no results, got %d", len(rs))
+	}
+}
+
+// TestSearchWeightedZeroWeightFullTraversal pins the zero-min-weight
+// behaviour the old clamp hid: pruning is impossible (the √(min wᵢ)·L2
+// lower bound is identically zero), but the unprunable traversal must
+// stay exact against the scan path.
+func TestSearchWeightedZeroWeightFullTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := randomData(rng, 400, 6)
+	tree, err := Build(data, distance.Euclidean{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := knn.NewScan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{0, 2, 0.5, 1, 3, 0} // two zero weights → minW = 0
+	wm, err := distance.NewWeightedEuclidean(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.MinWeight() != 0 {
+		t.Fatalf("MinWeight = %v, want 0", wm.MinWeight())
+	}
+	for qi := 0; qi < 20; qi++ {
+		q := data[qi*7]
+		got, err := tree.SearchWeighted(q, 10, wm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scan.Search(q, 10, wm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !knn.SameIndexSet(got, want) {
+			t.Fatalf("query %d: zero-weight weighted search diverges from scan", qi)
+		}
+		// With a zero lower bound nothing can be pruned: every item must
+		// have been evaluated (vantage points are counted twice, once per
+		// metric, so the count is at least the collection size).
+		if tree.LastDistanceCalls() < len(data) {
+			t.Fatalf("query %d: %d distance calls < collection size %d — pruned with a zero lower bound",
+				qi, tree.LastDistanceCalls(), len(data))
+		}
+	}
+}
+
+// TestSearchWeightedNegativeWeightRejected pins the other half of the old
+// clamp bug: a negative weight is not a metric and must surface as an
+// errors.Is-able validation error instead of silently degrading.
+func TestSearchWeightedNegativeWeightRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	data := randomData(rng, 100, 4)
+	tree, err := Build(data, distance.Euclidean{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := distance.NewWeightedEuclidean([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constructor rejects negative weights, so corrupt the metric the
+	// only way a caller can: through the exposed parameter slice.
+	wm.Params()[2] = -0.5
+	_, err = tree.SearchWeighted(data[0], 5, wm)
+	if !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("negative weight: error %v is not ErrNegativeWeight", err)
+	}
+}
+
+// TestSearchWeightedValidation covers the remaining SearchWeighted
+// guards: wrong tree metric (sentinel) and metric dimension mismatch.
+func TestSearchWeightedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	data := randomData(rng, 80, 3)
+	manhattan, err := Build(data, distance.Manhattan{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := distance.NewWeightedEuclidean([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := manhattan.SearchWeighted(data[0], 5, wm); !errors.Is(err, ErrTreeMetric) {
+		t.Errorf("Manhattan tree: error %v is not ErrTreeMetric", err)
+	}
+	euclid, err := Build(data, distance.Euclidean{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := distance.NewWeightedEuclidean([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := euclid.SearchWeighted(data[0], 5, short); err == nil {
+		t.Error("dimension-mismatched metric accepted")
+	}
+}
+
+// TestConcurrentSearches runs Search/SearchWeighted/RangeSearch from many
+// goroutines against one tree: since the per-search distance-call counter
+// became a published atomic, searches are pure reads and must be
+// race-clean (this test is meaningful under -race).
+func TestConcurrentSearches(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	data := randomData(rng, 600, 5)
+	tree, err := Build(data, distance.Euclidean{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := distance.NewWeightedEuclidean([]float64{2, 1, 0.5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := knn.NewScan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 24)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				q := data[(g*131+i*17)%len(data)]
+				got, err := tree.Search(q, 7)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				want, err := scan.Search(q, 7, distance.Euclidean{})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !knn.SameIndexSet(got, want) {
+					errCh <- fmt.Errorf("goroutine %d: concurrent Search diverges from scan", g)
+					return
+				}
+				if _, err := tree.SearchWeighted(q, 7, wm); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := tree.RangeSearch(q, 0.4); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
 	}
 }
