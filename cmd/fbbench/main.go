@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), or serve (closed-loop multi-session serving benchmark)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), or shard (sharded bypass plane sweep over S=1/2/4/8)")
 		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
 		queries  = flag.Int("queries", 700, "training queries to process")
 		k        = flag.Int("k", 15, "results per query (paper: 50)")
@@ -86,6 +86,12 @@ func main() {
 	}
 	if *figure == "serve" {
 		runServeBench(*scale, *k, *numEval, *seed, *epsilon)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *figure == "shard" {
+		runShardBench(*scale, *k, *numEval, *seed, *epsilon)
 		writeReport(*jsonPath)
 		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
 		return
@@ -167,6 +173,7 @@ type jsonReport struct {
 	KNN    map[string]knnBenchResult  `json:"knn,omitempty"`
 	Tree   map[string]treeBenchResult `json:"tree,omitempty"`
 	Serve  *experiments.ServeResult   `json:"serve,omitempty"`
+	Shard  *experiments.ShardResult   `json:"shard,omitempty"`
 }
 
 type reportMeta struct {
@@ -496,6 +503,44 @@ func runServeBench(scale float64, k, sessions int, seed int64, epsilon float64) 
 		st.Opened, st.Feedbacks, st.CacheHits, st.Predictions, st.Inserts, st.Tree.Points, st.Tree.Depth)
 	if report != nil {
 		report.Serve = &res
+	}
+}
+
+// runShardBench measures the sharded bypass plane: for S = 1/2/4/8 (each
+// a fresh module), durable insert throughput under concurrent writers,
+// the serve benchmark's train/bypass phases through the serving layer,
+// and the fraction of the prediction cache surviving a single-shard
+// insert. S = 1 is the unsharded baseline (comparable to -figure serve);
+// `sessions` rides the -eval flag.
+func runShardBench(scale float64, k, sessions int, seed int64, epsilon float64) {
+	cfg := experiments.DefaultShardConfig()
+	cfg.Seed = seed
+	cfg.Scale = scale
+	cfg.K = k
+	cfg.Epsilon = epsilon
+	if sessions > 0 {
+		cfg.Sessions = sessions
+	}
+	header(fmt.Sprintf("Sharded bypass plane (scale %.2f, k = %d, %d sessions/phase, %d writers, %d clients)",
+		scale, k, cfg.Sessions, cfg.Writers, cfg.Clients))
+	res, err := experiments.RunShard(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# collection: %d images (%d bins); insert bench: %d durable ε=0 inserts (WAL+tree) from %d goroutines\n",
+		res.Collection, res.Dim, cfg.InsertOps, cfg.Writers)
+	fmt.Printf("%-7s %12s %8s %12s %12s %12s %12s %10s %10s\n",
+		"shards", "inserts/s", "touched", "train s/s", "bypass s/s", "byp p50(us)", "byp p99(us)", "cache-hit", "retention")
+	for _, lvl := range res.Levels {
+		fmt.Printf("%-7d %12.0f %8d %12.1f %12.1f %12.0f %12.0f %9.1f%% %9.1f%%\n",
+			lvl.Shards, lvl.InsertsPerSec, lvl.ShardsTouched,
+			lvl.Train.SessionsPerSec, lvl.Bypass.SessionsPerSec,
+			lvl.Bypass.P50Micros, lvl.Bypass.P99Micros,
+			100*lvl.Bypass.CacheHitRate, 100*lvl.CacheRetention)
+	}
+	fmt.Println()
+	if report != nil {
+		report.Shard = &res
 	}
 }
 

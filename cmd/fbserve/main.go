@@ -23,6 +23,17 @@
 //
 //	fbserve -addr :8080 -scale 0.3 -k 10                  # in-memory
 //	fbserve -addr :8080 -dir /var/lib/fbserve -sync       # durable
+//	fbserve -addr :8080 -dir /var/lib/fbserve -shards 8   # sharded
+//
+// With -shards S > 1 the learned mapping is partitioned across S
+// independent Simplex Trees (internal/shardedbypass): inserts to
+// different shards no longer contend, an insert invalidates only its own
+// shard's cached predictions, and in durable mode each shard recovers
+// its own WAL in parallel at startup — requests touching a shard still
+// replaying get 503 until it is live. The shard count is baked into the
+// module directory's manifest; reopening with a different -shards is
+// refused. -shards 1 (the default) is the compatibility mode and keeps
+// the original single-tree directory layout.
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"repro/internal/imagegen"
 	"repro/internal/knn"
 	"repro/internal/service"
+	"repro/internal/shardedbypass"
 )
 
 func main() {
@@ -60,6 +72,7 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 1024, "in-flight session bound (further opens get 429)")
 		iterBudget  = flag.Int("iter-budget", engine.DefaultMaxIterations, "feedback rounds allowed per session")
 		cacheSize   = flag.Int("cache", 1024, "LRU prediction cache entries (negative disables)")
+		shards      = flag.Int("shards", 1, "partition the bypass across this many independent Simplex Trees (1 = single-tree compatibility mode)")
 	)
 	flag.Parse()
 
@@ -78,11 +91,48 @@ func main() {
 	}
 	cfg := core.Config{Epsilon: *epsilon, DefaultWeights: codec.DefaultWeights()}
 
+	if *shards < 1 {
+		log.Fatalf("fbserve: -shards must be >= 1, got %d", *shards)
+	}
 	var (
 		byp     service.Bypass
 		durable *core.DurableBypass
+		sharded *shardedbypass.Sharded
 	)
-	if *dir != "" {
+	switch {
+	case *shards > 1 && *dir != "":
+		// Durable sharded: shards recover their WALs in parallel while the
+		// server comes up; requests hitting a replaying shard get 503.
+		sharded, err = shardedbypass.OpenAsync(*dir, codec.D(), codec.P(), cfg, shardedbypass.Options{
+			Shards:  *shards,
+			Durable: core.DurableOptions{CompactEvery: *compactEach, Sync: *syncWAL},
+		})
+		if err != nil {
+			log.Fatalf("fbserve: opening sharded module: %v", err)
+		}
+		byp = sharded
+		go func() {
+			if err := sharded.WaitReady(); err != nil {
+				log.Fatalf("fbserve: shard recovery: %v", err)
+			}
+			log.Printf("sharded module at %s: %d shards live, %d points recovered, %d journaled inserts",
+				*dir, sharded.NumShards(), sharded.Stats().Points, sharded.Journaled())
+		}()
+	case *shards > 1:
+		sharded, err = shardedbypass.New(codec.D(), codec.P(), cfg, shardedbypass.Options{Shards: *shards})
+		if err != nil {
+			log.Fatalf("fbserve: %v", err)
+		}
+		byp = sharded
+	case *dir != "":
+		// The legacy single-tree path must not open (and silently shadow)
+		// a sharded module directory: its state lives under shard-*/, which
+		// core.OpenDurable would never read.
+		if m, ok, merr := shardedbypass.ReadManifest(*dir); merr != nil {
+			log.Fatalf("fbserve: reading manifest at %s: %v", *dir, merr)
+		} else if ok {
+			log.Fatalf("fbserve: module at %s is sharded (%d shards); pass -shards %d", *dir, m.Shards, m.Shards)
+		}
 		durable, err = core.OpenDurable(*dir, codec.D(), codec.P(), cfg, core.DurableOptions{
 			CompactEvery: *compactEach,
 			Sync:         *syncWAL,
@@ -93,7 +143,7 @@ func main() {
 		byp = durable
 		log.Printf("durable module at %s: %d points recovered, %d journaled inserts",
 			*dir, durable.Stats().Points, durable.Journaled())
-	} else {
+	default:
 		mem, err := core.New(codec.D(), codec.P(), cfg)
 		if err != nil {
 			log.Fatalf("fbserve: %v", err)
@@ -111,7 +161,13 @@ func main() {
 		log.Fatalf("fbserve: %v", err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(svc)}
+	// A typed-nil *Sharded must become an untyped-nil interface, or the
+	// handler would call methods on a nil pointer.
+	var health shardHealth
+	if sharded != nil {
+		health = sharded
+	}
+	srv := &http.Server{Addr: *addr, Handler: newMux(svc, health)}
 	go func() {
 		log.Printf("serving %d images on %s (feedback %s)", ds.Len(), *addr, eng.FeedbackName())
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -143,6 +199,15 @@ func main() {
 			log.Printf("fbserve: close: %v", err)
 		}
 		log.Printf("compacted WAL; %d points durable", durable.Stats().Points)
+	}
+	if sharded != nil && *dir != "" {
+		if err := sharded.Compact(); err != nil {
+			log.Printf("fbserve: compact: %v", err)
+		}
+		if err := sharded.Close(); err != nil {
+			log.Printf("fbserve: close: %v", err)
+		}
+		log.Printf("compacted %d shard WALs; %d points durable", sharded.NumShards(), sharded.Stats().Points)
 	}
 }
 
@@ -194,9 +259,20 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// shardHealth is the slice of the sharded bypass the health endpoint
+// needs: readiness, terminal recovery failures, and per-shard state.
+type shardHealth interface {
+	Ready() bool
+	Err() error
+	NumShards() int
+	ShardInfos() []shardedbypass.ShardInfo
+}
+
 // newMux wires the service into an http.Handler; split from main so the
 // end-to-end tests drive the exact production routes via httptest.
-func newMux(svc *service.Service) *http.ServeMux {
+// sharded is the partitioned bypass handle when serving one (nil
+// otherwise); it drives the replaying-aware health report.
+func newMux(svc *service.Service, sharded shardHealth) *http.ServeMux {
 	mux := http.NewServeMux()
 	ds := svc.Engine().Dataset()
 
@@ -222,6 +298,32 @@ func newMux(svc *service.Service) *http.ServeMux {
 	}
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if sharded != nil && !sharded.Ready() {
+			// A failed shard recovery is terminal — 500, not the retryable
+			// 503 of a replay in progress, so probes distinguish "warming
+			// up" from "broken".
+			if err := sharded.Err(); err != nil {
+				writeJSON(w, http.StatusInternalServerError, map[string]any{
+					"status": "failed",
+					"error":  err.Error(),
+				})
+				return
+			}
+			// Startup recovery in progress: report which shards are still
+			// replaying, with 503 so load balancers hold traffic.
+			replaying := []int{}
+			for _, info := range sharded.ShardInfos() {
+				if info.Replaying {
+					replaying = append(replaying, info.Shard)
+				}
+			}
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":    "replaying",
+				"shards":    sharded.NumShards(),
+				"replaying": replaying,
+			})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",
 			"sessions": svc.Stats().ActiveSessions,
@@ -328,6 +430,9 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, core.ErrOutOfDomain), errors.Is(err, service.ErrInvalidArgument):
 		return http.StatusBadRequest
+	case errors.Is(err, shardedbypass.ErrReplaying):
+		// Startup recovery of one shard: retryable, not a server fault.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

@@ -15,6 +15,8 @@ import (
 	"repro/internal/histogram"
 	"repro/internal/imagegen"
 	"repro/internal/service"
+	"repro/internal/shardedbypass"
+	"repro/internal/simplextree"
 )
 
 // newTestServer wires the production handler over a small collection and
@@ -44,7 +46,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *core.Dura
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(svc))
+	srv := httptest.NewServer(newMux(svc, nil))
 	t.Cleanup(srv.Close)
 	return srv, ds, durable
 }
@@ -299,5 +301,179 @@ func TestConcurrentHTTPSessions(t *testing.T) {
 	}
 	if stats.Opened != clients*3 || stats.ActiveSessions != 0 {
 		t.Errorf("stats after concurrent sessions: %+v", stats)
+	}
+}
+
+// newShardedTestServer is newTestServer over a durable 4-shard bypass.
+func newShardedTestServer(t *testing.T, shards int) (*httptest.Server, *dataset.Dataset, *shardedbypass.Sharded) {
+	t.Helper()
+	ds, err := dataset.Build(imagegen.IMSILike(5, 0.03), histogram.DefaultExtractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(ds, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewHistogramCodec(ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := shardedbypass.Open(t.TempDir(), codec.D(), codec.P(),
+		core.Config{Epsilon: 0.05, DefaultWeights: codec.DefaultWeights()},
+		shardedbypass.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sharded.Close() })
+	svc, err := service.New(eng, sharded, service.Options{DefaultK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(svc, sharded))
+	t.Cleanup(srv.Close)
+	return srv, ds, sharded
+}
+
+// TestShardedEndToEnd drives a full session against a 4-shard durable
+// bypass and checks /stats exposes the per-shard counter array.
+func TestShardedEndToEnd(t *testing.T) {
+	srv, ds, sharded := newShardedTestServer(t, 4)
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz on a ready sharded server: %d %+v", code, health)
+	}
+
+	item := 0
+	category := ds.Items[item].Category
+	var st stateJSON
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &item, K: 8}, &st); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	rounds := 0
+	for !st.Converged {
+		scores := make([]float64, len(st.Results))
+		for i, r := range st.Results {
+			if r.Category == category {
+				scores[i] = 1
+			}
+		}
+		if code := postJSON(t, srv.URL+"/feedback", feedbackRequest{Session: st.Session, Scores: scores}, &st); code != http.StatusOK {
+			t.Fatalf("feedback: status %d", code)
+		}
+		if rounds++; rounds > 100 {
+			t.Fatal("session never converged")
+		}
+	}
+	var closed closeResponse
+	if code := postJSON(t, srv.URL+"/close", closeRequest{Session: st.Session}, &closed); code != http.StatusOK {
+		t.Fatalf("close: status %d", code)
+	}
+
+	var stats service.Stats
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("/stats reports %d shards, want 4", len(stats.Shards))
+	}
+	if closed.Inserted {
+		var inserts, gens int64
+		for _, sh := range stats.Shards {
+			inserts += sh.Inserts
+			gens += int64(sh.CacheGen)
+			if sh.Inserts > 0 && sh.WALBytes == 0 {
+				t.Errorf("shard %d has inserts but no WAL bytes", sh.Shard)
+			}
+		}
+		if inserts == 0 {
+			t.Error("insert not visible in any shard counter")
+		}
+		if gens == 0 {
+			t.Error("no shard cache generation moved after an insert")
+		}
+	}
+	if sharded.Stats().Points == 0 && closed.Inserted {
+		t.Error("sharded bypass empty after an inserted session")
+	}
+}
+
+// fakeShardHealth stands in for a sharded bypass mid-recovery.
+type fakeShardHealth struct{ readyShards []bool }
+
+func (f *fakeShardHealth) Ready() bool {
+	for _, r := range f.readyShards {
+		if !r {
+			return false
+		}
+	}
+	return true
+}
+func (f *fakeShardHealth) Err() error     { return nil }
+func (f *fakeShardHealth) NumShards() int { return len(f.readyShards) }
+func (f *fakeShardHealth) ShardInfos() []shardedbypass.ShardInfo {
+	out := make([]shardedbypass.ShardInfo, len(f.readyShards))
+	for i, r := range f.readyShards {
+		out[i] = shardedbypass.ShardInfo{Shard: i, Replaying: !r}
+	}
+	return out
+}
+
+// replayingBypass satisfies service.Bypass but reports every shard-routed
+// operation as still replaying — the serving state during startup
+// recovery.
+type replayingBypass struct{ d, p int }
+
+func (b *replayingBypass) D() int { return b.d }
+func (b *replayingBypass) P() int { return b.p }
+func (b *replayingBypass) Predict(q []float64) (core.OQP, error) {
+	return core.OQP{}, fmt.Errorf("shard 2: %w", shardedbypass.ErrReplaying)
+}
+func (b *replayingBypass) Insert(q []float64, oqp core.OQP) (bool, error) {
+	return false, fmt.Errorf("shard 2: %w", shardedbypass.ErrReplaying)
+}
+func (b *replayingBypass) Stats() simplextree.Stats { return simplextree.Stats{} }
+
+// TestReplayingReturns503 pins the startup-recovery contract: while a
+// shard is replaying, /healthz reports 503 with the replaying shard ids
+// and a query routed to a replaying shard gets 503, not 500.
+func TestReplayingReturns503(t *testing.T) {
+	ds, err := dataset.Build(imagegen.IMSILike(5, 0.03), histogram.DefaultExtractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(ds, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewHistogramCodec(ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(eng, &replayingBypass{d: codec.D(), p: codec.P()}, service.Options{DefaultK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(svc, &fakeShardHealth{readyShards: []bool{true, false, true}}))
+	defer srv.Close()
+
+	var health struct {
+		Status    string `json:"status"`
+		Replaying []int  `json:"replaying"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during replay: status %d, want 503", code)
+	}
+	if health.Status != "replaying" || len(health.Replaying) != 1 || health.Replaying[0] != 1 {
+		t.Fatalf("healthz body: %+v", health)
+	}
+
+	item := 0
+	var errResp errorResponse
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &item, K: 5}, &errResp); code != http.StatusServiceUnavailable {
+		t.Fatalf("query against a replaying shard: status %d, want 503", code)
 	}
 }

@@ -13,8 +13,8 @@ import (
 
 // Durable file names inside the module directory.
 const (
-	snapshotFile = "tree.fbsx"
-	journalFile  = "tree.fbwl"
+	SnapshotFile = "tree.fbsx"
+	JournalFile  = "tree.fbwl"
 )
 
 // DurableOptions tunes the persistence behaviour of a DurableBypass.
@@ -70,8 +70,8 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	snapPath := filepath.Join(dir, snapshotFile)
-	walPath := filepath.Join(dir, journalFile)
+	snapPath := filepath.Join(dir, SnapshotFile)
+	walPath := filepath.Join(dir, JournalFile)
 
 	var b *Bypass
 	if _, err := os.Stat(snapPath); err == nil {
@@ -163,6 +163,15 @@ func (db *DurableBypass) Journaled() int {
 	return db.journaled
 }
 
+// WALSize reports the journal's current on-disk size in bytes — the
+// recovery debt the next compaction would clear. Serving layers export it
+// per shard so operators can see write pressure per partition.
+func (db *DurableBypass) WALSize() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.wal.Size()
+}
+
 // Compact snapshots the tree and truncates the journal, bounding future
 // recovery time. The snapshot is written to a temporary file, fsynced,
 // and atomically renamed before the journal is reset, so a crash at any
@@ -207,7 +216,7 @@ func (db *DurableBypass) compactLocked() error {
 	// The rename's directory entry must be durable before the journal is
 	// truncated: otherwise a power loss could persist the truncation but
 	// not the rename, leaving an old snapshot next to an empty journal.
-	if err := syncDir(filepath.Dir(db.snapPath)); err != nil {
+	if err := persist.SyncDir(filepath.Dir(db.snapPath)); err != nil {
 		return err
 	}
 	if err := db.wal.Reset(); err != nil {
@@ -215,19 +224,6 @@ func (db *DurableBypass) compactLocked() error {
 	}
 	db.journaled = 0
 	return nil
-}
-
-// syncDir fsyncs a directory so renames inside it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	if err := d.Sync(); err != nil {
-		d.Close()
-		return err
-	}
-	return d.Close()
 }
 
 // Close flushes and closes the journal. The module must not be used

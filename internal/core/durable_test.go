@@ -116,7 +116,7 @@ func TestDurableCompaction(t *testing.T) {
 	if j := db.Journaled(); j >= 10 {
 		t.Errorf("journaled = %d after auto-compaction, want < 10", j)
 	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFile)); err != nil {
 		t.Errorf("no snapshot after compaction: %v", err)
 	}
 	want := make([]OQP, len(qs))
@@ -177,7 +177,7 @@ func TestDurableReplayIdempotent(t *testing.T) {
 			}
 			// Simulate the torn compaction: write the snapshot but leave
 			// the journal untouched (as if the crash hit before WAL.Reset).
-			if err := saveSnapshotForTest(filepath.Join(dir, snapshotFile), db); err != nil {
+			if err := saveSnapshotForTest(filepath.Join(dir, SnapshotFile), db); err != nil {
 				t.Fatal(err)
 			}
 

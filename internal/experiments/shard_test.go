@@ -1,0 +1,75 @@
+package experiments
+
+import "testing"
+
+// TestRunShardSmall runs the sharded-plane sweep at toy scale and checks
+// the structural invariants: every level populated, the insert stream
+// spread across shards when S > 1, and cache retention behaving like the
+// design says — all-or-nothing at S = 1, partial survival at S > 1.
+func TestRunShardSmall(t *testing.T) {
+	cfg := ShardConfig{
+		Seed:        3,
+		Scale:       0.03,
+		K:           5,
+		Epsilon:     0.05,
+		Sessions:    12,
+		ShardCounts: []int{1, 4},
+		InsertOps:   64,
+		Writers:     4,
+		Clients:     2,
+	}
+	res, err := RunShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collection == 0 || res.Dim == 0 {
+		t.Fatalf("empty meta: %+v", res)
+	}
+	if len(res.Levels) != 2 {
+		t.Fatalf("got %d levels, want 2", len(res.Levels))
+	}
+	for _, lvl := range res.Levels {
+		if lvl.InsertsPerSec <= 0 {
+			t.Errorf("S=%d: non-positive insert throughput", lvl.Shards)
+		}
+		if lvl.Train.Sessions != cfg.Sessions || lvl.Bypass.Sessions != 2*cfg.Sessions {
+			t.Errorf("S=%d: phase sessions %d/%d", lvl.Shards, lvl.Train.Sessions, lvl.Bypass.Sessions)
+		}
+		if lvl.CacheEntriesBefore == 0 {
+			t.Errorf("S=%d: cache never warmed", lvl.Shards)
+		}
+		if lvl.CacheRetention < 0 || lvl.CacheRetention > 1 {
+			t.Errorf("S=%d: retention %v outside [0,1]", lvl.Shards, lvl.CacheRetention)
+		}
+	}
+	s1, s4 := res.Levels[0], res.Levels[1]
+	if s1.ShardsTouched != 1 {
+		t.Errorf("S=1 touched %d shards", s1.ShardsTouched)
+	}
+	if s4.ShardsTouched < 2 {
+		t.Errorf("S=4 insert stream touched %d shards, want ≥ 2", s4.ShardsTouched)
+	}
+	// S=1 is the pre-sharding all-or-nothing mode: one insert empties the
+	// cache (up to the inserting session's own entry being re-added and
+	// then dropped with its shard — retention must be ~0).
+	if s1.CacheRetention > 0.2 {
+		t.Errorf("S=1 retention %v, want ~0 (all-or-nothing invalidation)", s1.CacheRetention)
+	}
+	if s4.CacheRetention <= s1.CacheRetention {
+		t.Errorf("S=4 retention %v not above S=1 retention %v", s4.CacheRetention, s1.CacheRetention)
+	}
+}
+
+// TestRunShardValidation covers the config guards.
+func TestRunShardValidation(t *testing.T) {
+	bad := []ShardConfig{
+		{},
+		{Scale: 0.03, K: 5, Sessions: 4, InsertOps: 8, Writers: 2, Clients: 1, ShardCounts: []int{0}},
+		{Scale: 0.03, K: 0, Sessions: 4, InsertOps: 8, Writers: 2, Clients: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunShard(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

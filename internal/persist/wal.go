@@ -269,6 +269,10 @@ func (w *WAL) rollback(cause error) error {
 // plus appended since).
 func (w *WAL) Records() int { return w.records }
 
+// Size reports the log's on-disk size in bytes (header plus every valid
+// record) — the recovery debt a compaction would clear.
+func (w *WAL) Size() int64 { return w.off }
+
 // Sync flushes the log to stable storage.
 func (w *WAL) Sync() error { return w.f.Sync() }
 

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/histogram"
+	"repro/internal/imagegen"
+	"repro/internal/shardedbypass"
+)
+
+func oqpFor(x float64, n int) core.OQP {
+	oqp := core.OQP{Delta: make([]float64, n), Weights: make([]float64, n)}
+	for i := range oqp.Delta {
+		oqp.Delta[i] = x
+	}
+	return oqp
+}
+
+// TestCachePerShardInvalidation is the regression test for the
+// all-or-nothing invalidation the sharded plane removed: entries cached
+// for untouched shards must survive an Invalidate of another shard, and
+// only the invalidated shard's generation may move.
+func TestCachePerShardInvalidation(t *testing.T) {
+	const shards = 4
+	c := newPredictionCache(16, shards)
+	qs := make([][]float64, shards)
+	sigs := make([]uint64, shards)
+	for sh := 0; sh < shards; sh++ {
+		qs[sh] = []float64{float64(sh) * 0.1, 0.2, 0.3}
+		sigs[sh] = engine.QuerySignature(qs[sh])
+		c.Put(sh, c.Generation(sh), sigs[sh], qs[sh], oqpFor(float64(sh), 3))
+	}
+	if c.Len() != shards {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), shards)
+	}
+
+	c.Invalidate(1)
+
+	if c.Len() != shards-1 {
+		t.Fatalf("after Invalidate(1): %d entries, want %d", c.Len(), shards-1)
+	}
+	for sh := 0; sh < shards; sh++ {
+		oqp, ok := c.Get(sigs[sh], qs[sh])
+		if sh == 1 {
+			if ok {
+				t.Error("invalidated shard 1 still serves its entry")
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("shard %d entry dropped by an insert into shard 1", sh)
+			continue
+		}
+		if oqp.Delta[0] != float64(sh) {
+			t.Errorf("shard %d entry corrupted: %v", sh, oqp.Delta)
+		}
+	}
+	gens := c.Generations()
+	for sh, g := range gens {
+		want := uint64(0)
+		if sh == 1 {
+			want = 1
+		}
+		if g != want {
+			t.Errorf("shard %d generation %d, want %d", sh, g, want)
+		}
+	}
+
+	// A Put computed against the pre-invalidation generation is discarded;
+	// one at the current generation lands.
+	c.Put(1, 0, sigs[1], qs[1], oqpFor(1, 3))
+	if _, ok := c.Get(sigs[1], qs[1]); ok {
+		t.Error("stale-generation Put landed in the cache")
+	}
+	c.Put(1, c.Generation(1), sigs[1], qs[1], oqpFor(1, 3))
+	if _, ok := c.Get(sigs[1], qs[1]); !ok {
+		t.Error("current-generation Put did not land")
+	}
+}
+
+// newShardedTestService is newTestService over a partitioned in-memory
+// bypass.
+func newShardedTestService(t *testing.T, shards int, opts Options) (*Service, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.Build(imagegen.IMSILike(7, 0.03), histogram.DefaultExtractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(ds, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewHistogramCodec(ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byp, err := shardedbypass.New(codec.D(), codec.P(), core.Config{
+		Epsilon:        0.05,
+		DefaultWeights: codec.DefaultWeights(),
+	}, shardedbypass.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(eng, byp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, ds
+}
+
+// TestShardedServiceScopedInvalidation drives the whole serving stack
+// over a 4-shard bypass: predictions for many items fill the cache, one
+// session's insert lands in one shard, and every cached entry belonging
+// to the other shards must still be served as a cache hit afterwards.
+func TestShardedServiceScopedInvalidation(t *testing.T) {
+	const shards = 4
+	svc, ds := newShardedTestService(t, shards, Options{DefaultK: 5})
+	parts := svc.parts
+	if parts == nil || parts.NumShards() != shards {
+		t.Fatalf("service did not detect the partitioned bypass")
+	}
+
+	// Fill the cache: open+close (no feedback → no insert) across items
+	// covering at least two shards.
+	codec := svc.Codec()
+	items := []int{}
+	shardsSeen := map[int]bool{}
+	for i := 0; i < ds.Len() && len(items) < 12; i++ {
+		qp, err := codec.QueryPoint(ds.Items[i].Feature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, i)
+		shardsSeen[parts.ShardOf(qp)] = true
+	}
+	if len(shardsSeen) < 2 {
+		t.Skip("collection sample maps to one shard; partition degeneracy")
+	}
+	for _, i := range items {
+		st, err := svc.Open(ds.Items[i].Feature, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Close(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := svc.Stats().CacheEntries; got == 0 {
+		t.Fatal("cache not filled")
+	}
+
+	// Run one full feedback session until an insert changes some shard.
+	insertedShard := -1
+	for _, i := range items {
+		res := runSession(t, svc, ds, i, 5)
+		if res.Inserted {
+			qp, err := codec.QueryPoint(ds.Items[i].Feature)
+			if err != nil {
+				t.Fatal(err)
+			}
+			insertedShard = parts.ShardOf(qp)
+			break
+		}
+	}
+	if insertedShard < 0 {
+		t.Fatal("no session produced an insert")
+	}
+
+	// Every item cached for a different shard must still hit.
+	st := svc.Stats()
+	gens := st.Shards
+	if len(gens) != shards {
+		t.Fatalf("stats report %d shards, want %d", len(gens), shards)
+	}
+	for sh, g := range gens {
+		if sh == insertedShard {
+			if g.CacheGen == 0 {
+				t.Errorf("inserted shard %d generation did not move", sh)
+			}
+			continue
+		}
+		if g.CacheGen != 0 {
+			t.Errorf("untouched shard %d generation moved to %d", sh, g.CacheGen)
+		}
+	}
+	for _, i := range items {
+		qp, err := codec.QueryPoint(ds.Items[i].Feature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parts.ShardOf(qp) == insertedShard {
+			continue
+		}
+		before := svc.Stats().CacheHits
+		stOpen, err := svc.Open(ds.Items[i].Feature, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stOpen.CacheHit {
+			t.Errorf("item %d (shard %d): cache entry lost to an insert into shard %d",
+				i, parts.ShardOf(qp), insertedShard)
+		}
+		if svc.Stats().CacheHits != before+1 && stOpen.CacheHit {
+			t.Errorf("cache-hit counter inconsistent")
+		}
+		if _, err := svc.Close(stOpen.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestUnshardedSingleShardCache pins the compatibility mode at the
+// service layer: an unsharded Bypass behaves as one shard whose
+// invalidation drops everything (the pre-sharding semantics).
+func TestUnshardedSingleShardCache(t *testing.T) {
+	svc, ds := newTestService(t, Options{DefaultK: 5})
+	if svc.parts != nil {
+		t.Fatal("plain core.Bypass detected as partitioned")
+	}
+	for i := 0; i < 6; i++ {
+		st, err := svc.Open(ds.Items[i].Feature, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Close(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.Stats().CacheEntries == 0 {
+		t.Fatal("cache not filled")
+	}
+	// Find a session that inserts; afterwards the whole cache is empty.
+	for i := 0; i < ds.Len(); i++ {
+		if runSession(t, svc, ds, i, 5).Inserted {
+			if got := svc.Stats().CacheEntries; got != 0 {
+				t.Fatalf("unsharded insert left %d cache entries, want 0", got)
+			}
+			if len(svc.Stats().Shards) != 0 {
+				t.Error("unsharded stats report per-shard counters")
+			}
+			return
+		}
+	}
+	t.Fatal("no session produced an insert")
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/feedback"
 	"repro/internal/knn"
+	"repro/internal/shardedbypass"
 	"repro/internal/simplextree"
 	"repro/internal/vec"
 )
@@ -58,14 +59,33 @@ var ErrOverloaded = errors.New("service: too many in-flight sessions")
 // can classify them with errors.Is instead of string-matching.
 var ErrInvalidArgument = errors.New("service: invalid argument")
 
-// Bypass is the learned-mapping dependency of the service: both the
-// in-memory core.Bypass and the WAL-backed core.DurableBypass satisfy it.
+// Bypass is the learned-mapping dependency of the service: the in-memory
+// core.Bypass, the WAL-backed core.DurableBypass and the partitioned
+// shardedbypass.Sharded all satisfy it.
 type Bypass interface {
 	D() int
 	P() int
 	Predict(q []float64) (core.OQP, error)
 	Insert(q []float64, oqp core.OQP) (bool, error)
 	Stats() simplextree.Stats
+}
+
+// PartitionedBypass is the optional sharding surface of a Bypass
+// (implemented by shardedbypass.Sharded). When the service's Bypass
+// provides it, the prediction cache keeps one generation per shard and an
+// insert into shard k invalidates only shard k's cached predictions;
+// Stats additionally reports per-shard counters. A plain Bypass behaves
+// as a single shard.
+//
+// ShardOf must agree with the pinned partition function engine.ShardOf —
+// QuerySignature mod NumShards — which the whole plane routes by; the
+// service exploits the identity to derive an entry's shard from the
+// cache key it already computed.
+type PartitionedBypass interface {
+	Bypass
+	NumShards() int
+	ShardOf(q []float64) int
+	ShardInfos() []shardedbypass.ShardInfo
 }
 
 // Options tunes the serving layer.
@@ -105,6 +125,7 @@ func (o *Options) fill() {
 type Service struct {
 	eng   *engine.Engine
 	byp   Bypass
+	parts PartitionedBypass // byp's sharding surface; nil when unsharded
 	codec core.HistogramCodec
 	opts  Options
 	cache *predictionCache // nil when disabled
@@ -178,10 +199,24 @@ func New(eng *engine.Engine, byp Bypass, opts Options) (*Service, error) {
 		sessions: make(map[uint64]*session),
 		nextID:   1,
 	}
+	shards := 1
+	if parts, ok := byp.(PartitionedBypass); ok {
+		s.parts = parts
+		shards = parts.NumShards()
+	}
 	if opts.CacheSize > 0 {
-		s.cache = newPredictionCache(opts.CacheSize)
+		s.cache = newPredictionCache(opts.CacheSize, shards)
 	}
 	return s, nil
+}
+
+// shardOf maps a query point to its bypass shard (0 for an unsharded
+// Bypass) — the scope of cache invalidation for inserts at that point.
+func (s *Service) shardOf(qp []float64) int {
+	if s.parts == nil {
+		return 0
+	}
+	return s.parts.ShardOf(qp)
 }
 
 // Codec returns the histogram codec the service maps queries with.
@@ -221,9 +256,11 @@ func (sess *session) stateLocked() SessionState {
 	}
 }
 
-// predict answers the Mopt lookup through the LRU cache. The generation
-// fence makes a cached entry impossible to go stale: a Put races an
-// invalidation only in the discarded direction.
+// predict answers the Mopt lookup through the LRU cache. The per-shard
+// generation fence makes a cached entry impossible to go stale: a Put
+// races an invalidation of its own shard only in the discarded
+// direction, and inserts into other shards cannot touch this entry's
+// tree at all.
 func (s *Service) predict(qp []float64) (core.OQP, bool, error) {
 	s.predictions.Add(1)
 	if s.cache == nil {
@@ -235,12 +272,19 @@ func (s *Service) predict(qp []float64) (core.OQP, bool, error) {
 		s.cacheHits.Add(1)
 		return oqp, true, nil
 	}
-	gen := s.cache.Generation()
+	// The shard is the signature reduced mod S (the pinned partition
+	// function), so the cache key already in hand names it — no second
+	// pass over the query point.
+	shard := 0
+	if s.parts != nil {
+		shard = int(sig % uint64(s.parts.NumShards()))
+	}
+	gen := s.cache.Generation(shard)
 	oqp, err := s.byp.Predict(qp)
 	if err != nil {
 		return core.OQP{}, false, err
 	}
-	s.cache.Put(gen, sig, qp, oqp)
+	s.cache.Put(shard, gen, sig, qp, oqp)
 	return oqp, false, nil
 }
 
@@ -477,9 +521,11 @@ func (s *Service) Close(id uint64) (CloseResult, error) {
 		s.stored.Add(1)
 	}
 	if changed && s.cache != nil {
-		// The tree changed: every cached prediction may now differ from a
-		// fresh one. Generation-bump-and-drop keeps the parity guarantee.
-		s.cache.Invalidate()
+		// One shard's tree changed: cached predictions computed by that
+		// shard may now differ from fresh ones. Generation-bump-and-drop
+		// scoped to the shard keeps the parity guarantee without touching
+		// entries the insert cannot have affected.
+		s.cache.Invalidate(s.shardOf(qp))
 	}
 	return out, nil
 }
@@ -511,6 +557,15 @@ func (s *Service) Drain() (closedSessions, inserted int, err error) {
 	return closedSessions, inserted, firstErr
 }
 
+// ShardStat is one bypass shard's counters as the serving layer sees
+// them: the shard's own state (tree shape, accepted inserts, journal
+// depth, WAL bytes) plus the prediction cache's invalidation generation
+// for that shard.
+type ShardStat struct {
+	shardedbypass.ShardInfo
+	CacheGen uint64 `json:"cache_gen"`
+}
+
 // Stats is a point-in-time snapshot of the serving layer.
 type Stats struct {
 	ActiveSessions int   `json:"active_sessions"`
@@ -525,10 +580,14 @@ type Stats struct {
 	Inserts        int64 `json:"inserts"`
 	InsertsStored  int64 `json:"inserts_stored"`
 
-	Tree simplextree.Stats `json:"tree"`
+	// Tree aggregates every shard (the whole learned mapping); Shards
+	// breaks it down per partition when the Bypass is sharded.
+	Tree   simplextree.Stats `json:"tree"`
+	Shards []ShardStat       `json:"shards,omitempty"`
 }
 
-// Stats snapshots the service counters and the shared tree's shape.
+// Stats snapshots the service counters and the shared tree's shape,
+// including per-shard counters when the Bypass is partitioned.
 func (s *Service) Stats() Stats {
 	s.mu.RLock()
 	active := len(s.sessions)
@@ -548,6 +607,20 @@ func (s *Service) Stats() Stats {
 	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.Len()
+	}
+	if s.parts != nil {
+		infos := s.parts.ShardInfos()
+		var gens []uint64
+		if s.cache != nil {
+			gens = s.cache.Generations()
+		}
+		st.Shards = make([]ShardStat, len(infos))
+		for i, info := range infos {
+			st.Shards[i] = ShardStat{ShardInfo: info}
+			if i < len(gens) {
+				st.Shards[i].CacheGen = gens[i]
+			}
+		}
 	}
 	return st
 }

@@ -1,0 +1,543 @@
+// Package shardedbypass partitions the learned Mopt mapping across S
+// independent Simplex Trees so the write path of the serving layer scales
+// with partitions instead of serializing on one tree.
+//
+// The single-tree core.Bypass is the right shape for one interactive user
+// — the paper's setting — but as a shared serving substrate every Close
+// insert takes the one tree's exclusive lock and (through the serving
+// layer's generational cache) invalidates every cached prediction in the
+// process. Sharded splits the query domain by the pinned partition
+// function engine.ShardOf (FNV-1a query signature mod S): each shard is a
+// full Bypass — its own RWMutex, its own snapshot + WAL pair, its own
+// compaction schedule — so inserts to different shards never contend and
+// an insert invalidates only its own shard's cached predictions.
+//
+// Durable layout: a module directory holds a manifest (persist.Manifest,
+// written once before any shard state exists) and one subdirectory per
+// shard (shard-000/, shard-001/, ...), each an ordinary core.DurableBypass
+// directory. Recovery opens every shard in parallel and is deterministic
+// per shard because each shard's WAL holds exactly that shard's accepted
+// inserts in application order; cross-shard ordering is not recorded and
+// not needed — the partition function makes shards independent learners.
+// A crash mid-compaction of shard k is shard k's problem alone and is
+// healed by core.DurableBypass's atomic-rename recovery inside that
+// shard's directory. The manifest pins S, D and N: opening with a
+// different geometry is refused, so resharding is an explicit migration
+// (drain every shard's WAL through compaction, then re-insert every
+// stored point under the new partition function), never an accident.
+//
+// S = 1 is the compatibility mode: one shard, the identity partition, and
+// behavior bitwise-identical to core.DurableBypass — same ε decisions,
+// same predictions, same WAL bytes (pinned by TestSingleShardParity).
+package shardedbypass
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/simplextree"
+)
+
+// ManifestFile is the manifest's name inside a sharded module directory.
+const ManifestFile = "MANIFEST"
+
+// MaxShards bounds the partition count; beyond this the per-shard
+// overhead (file handles, locks, directories) stops buying anything.
+const MaxShards = 1024
+
+// ErrReplaying is wrapped by every operation routed to a shard whose
+// recovery (snapshot load + WAL replay) has not finished yet. It is a
+// retryable condition, not a failure: serving layers should map it to
+// 503, and WaitReady blocks until it can no longer occur.
+var ErrReplaying = errors.New("shardedbypass: shard is replaying")
+
+// Options tunes a sharded bypass.
+type Options struct {
+	// Shards is the partition count S; 1 (the compatibility mode) when
+	// zero. When opening an existing durable module, Shards must match
+	// the manifest (or be zero to adopt it).
+	Shards int
+	// Durable tunes each shard's WAL behaviour (durable mode only). Note
+	// CompactEvery is per shard: S shards compact independently, each
+	// after its own CompactEvery journaled inserts.
+	Durable core.DurableOptions
+}
+
+// shard is one partition: an independent Bypass plus its durability and
+// counters. byp/durable/err are written exactly once, before ready is
+// closed; readers must observe ready first.
+type shard struct {
+	id      int
+	ready   chan struct{}
+	byp     *core.Bypass        // always set once ready (points into durable when durable)
+	durable *core.DurableBypass // nil in memory mode
+	err     error               // recovery failure, set before ready closes
+	inserts atomic.Int64        // accepted (tree-changing) inserts since open
+}
+
+// Sharded is an S-way partitioned bypass. It satisfies the serving
+// layer's Bypass interface (D/P/Predict/Insert/Stats), routing every call
+// by engine.ShardOf, and adds the partition-aware surface the serving
+// layer's per-shard cache generations build on (NumShards, ShardOf,
+// ShardInfos).
+type Sharded struct {
+	d, p   int
+	dir    string // "" in memory mode
+	shards []*shard
+}
+
+// ShardInfo is one shard's point-in-time counters, exported by serving
+// layers (fbserve /stats).
+type ShardInfo struct {
+	Shard     int    `json:"shard"`
+	Replaying bool   `json:"replaying,omitempty"`
+	Error     string `json:"error,omitempty"` // recovery failure; terminal, unlike Replaying
+	Points    int    `json:"points"`
+	Depth     int    `json:"depth"`
+	Inserts   int64  `json:"inserts"`
+	Journaled int    `json:"journaled,omitempty"`
+	WALBytes  int64  `json:"wal_bytes,omitempty"`
+}
+
+// shardDir names shard i's subdirectory: shard-000, shard-001, ...
+// Three digits are a display convention, not a limit (shard-1023 is fine).
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+func validateOptions(d, p int, opts Options) (int, error) {
+	if d <= 0 || p < 0 {
+		return 0, fmt.Errorf("shardedbypass: invalid dimensions D=%d, P=%d", d, p)
+	}
+	s := opts.Shards
+	if s == 0 {
+		s = 1
+	}
+	if s < 0 || s > MaxShards {
+		return 0, fmt.Errorf("shardedbypass: shard count %d outside [1, %d]", opts.Shards, MaxShards)
+	}
+	return s, nil
+}
+
+// New creates an in-memory sharded bypass (no WAL, no directory): S
+// independent core.Bypass partitions behind one routing front. Every
+// shard is ready immediately.
+func New(d, p int, cfg core.Config, opts Options) (*Sharded, error) {
+	s, err := validateOptions(d, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Sharded{d: d, p: p, shards: make([]*shard, s)}
+	for i := range sh.shards {
+		b, err := core.New(d, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ready := make(chan struct{})
+		close(ready)
+		sh.shards[i] = &shard{id: i, ready: ready, byp: b}
+	}
+	return sh, nil
+}
+
+// Open opens (or initializes) a durable sharded module rooted at dir,
+// recovering every shard in parallel, and blocks until all shards are
+// ready. See OpenAsync for the layout and recovery contract.
+func Open(dir string, d, p int, cfg core.Config, opts Options) (*Sharded, error) {
+	sh, err := OpenAsync(dir, d, p, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.WaitReady(); err != nil {
+		sh.Close()
+		return nil, err
+	}
+	return sh, nil
+}
+
+// OpenAsync opens a durable sharded module and returns as soon as the
+// manifest is settled, with every shard recovering (snapshot load + WAL
+// replay) in its own goroutine. Operations routed to a shard still
+// replaying fail with an error wrapping ErrReplaying; WaitReady blocks
+// until every shard is live (or reports the first recovery failure).
+//
+// On first open the manifest is written before any shard directory is
+// created, so a crash between manifest and shard creation recovers as S
+// empty shards. On later opens the manifest is the source of truth:
+// opts.Shards must match it (zero adopts it), and a geometry mismatch is
+// an error, never a silent reshard.
+func OpenAsync(dir string, d, p int, cfg core.Config, opts Options) (*Sharded, error) {
+	s, err := validateOptions(d, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	manifestPath := filepath.Join(dir, ManifestFile)
+	m, err := persist.LoadManifest(manifestPath)
+	switch {
+	case err == nil:
+		if opts.Shards != 0 && m.Shards != opts.Shards {
+			return nil, fmt.Errorf("shardedbypass: module at %s has %d shards, asked for %d (resharding is an explicit migration)", dir, m.Shards, opts.Shards)
+		}
+		if m.Dim != d || m.OQPDim != d+p {
+			return nil, fmt.Errorf("shardedbypass: module at %s is for D=%d N=%d, want D=%d N=%d", dir, m.Dim, m.OQPDim, d, d+p)
+		}
+		s = m.Shards
+	case errors.Is(err, os.ErrNotExist):
+		// No manifest: only a directory with no module state at all may be
+		// initialized. A legacy single-tree module (root-level snapshot or
+		// journal, the pre-sharding fbserve layout) must not be silently
+		// shadowed by S fresh empty shards — sharding it is a migration.
+		for _, name := range []string{core.SnapshotFile, core.JournalFile} {
+			if _, serr := os.Stat(filepath.Join(dir, name)); serr == nil {
+				return nil, fmt.Errorf("shardedbypass: %s holds a legacy single-tree module (%s present, no manifest); sharding an existing module is an explicit migration", dir, name)
+			}
+		}
+		m = persist.Manifest{Shards: s, Dim: d, OQPDim: d + p}
+		if err := persist.SaveManifest(manifestPath, m); err != nil {
+			return nil, fmt.Errorf("shardedbypass: writing manifest: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("shardedbypass: reading manifest: %w", err)
+	}
+
+	sh := &Sharded{d: d, p: p, dir: dir, shards: make([]*shard, s)}
+	for i := range sh.shards {
+		sh.shards[i] = &shard{id: i, ready: make(chan struct{})}
+	}
+	for _, p0 := range sh.shards {
+		go func(p0 *shard) {
+			defer close(p0.ready)
+			sd := shardDir(dir, p0.id)
+			db, err := core.OpenDurable(sd, d, p, cfg, opts.Durable)
+			if err != nil {
+				p0.err = fmt.Errorf("shardedbypass: shard %d: %w", p0.id, err)
+				return
+			}
+			// The shard's directory entries (shard-NNN/ in the module dir,
+			// tree.fbwl inside it) must be durable before the shard serves:
+			// with Options.Durable.Sync an acknowledged insert fsyncs only
+			// the WAL's *contents*, and a power loss that erased the
+			// never-synced directory entry would make recovery read the
+			// missing directory as an empty shard — silently dropping the
+			// acked insert. No insert can be acknowledged before ready
+			// closes, so syncing here closes the window.
+			if err := persist.SyncDir(sd); err != nil {
+				db.Close()
+				p0.err = fmt.Errorf("shardedbypass: shard %d: syncing shard directory: %w", p0.id, err)
+				return
+			}
+			if err := persist.SyncDir(dir); err != nil {
+				db.Close()
+				p0.err = fmt.Errorf("shardedbypass: shard %d: syncing module directory: %w", p0.id, err)
+				return
+			}
+			p0.durable = db
+			p0.byp = db.Bypass
+		}(p0)
+	}
+	return sh, nil
+}
+
+// ReadManifest reports the sharded-module manifest at dir, with ok false
+// when dir is not a sharded module directory (no manifest). Serving
+// layers use it to refuse opening a sharded directory through the legacy
+// single-tree path.
+func ReadManifest(dir string) (persist.Manifest, bool, error) {
+	m, err := persist.LoadManifest(filepath.Join(dir, ManifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return persist.Manifest{}, false, nil
+	}
+	if err != nil {
+		return persist.Manifest{}, false, err
+	}
+	return m, true, nil
+}
+
+// D returns the query-domain dimensionality.
+func (s *Sharded) D() int { return s.d }
+
+// P returns the number of distance parameters.
+func (s *Sharded) P() int { return s.p }
+
+// NumShards returns the partition count S.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index serving query point q — the pinned
+// partition function engine.ShardOf.
+func (s *Sharded) ShardOf(q []float64) int { return engine.ShardOf(q, len(s.shards)) }
+
+// get returns shard i if it is live, or an ErrReplaying / recovery error.
+func (s *Sharded) get(i int) (*shard, error) {
+	p := s.shards[i]
+	select {
+	case <-p.ready:
+		if p.err != nil {
+			return nil, p.err
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("shardedbypass: shard %d: %w", i, ErrReplaying)
+	}
+}
+
+// Ready reports whether every shard is live — recovery finished with no
+// error. Use Err to tell a failed recovery apart from one still running.
+func (s *Sharded) Ready() bool {
+	for _, p := range s.shards {
+		select {
+		case <-p.ready:
+			if p.err != nil {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns the first shard's recovery failure without blocking: nil
+// while shards are still replaying and when every settled shard
+// recovered cleanly.
+func (s *Sharded) Err() error {
+	for _, p := range s.shards {
+		select {
+		case <-p.ready:
+			if p.err != nil {
+				return p.err
+			}
+		default:
+		}
+	}
+	return nil
+}
+
+// WaitReady blocks until every shard finished recovering and returns the
+// first (lowest-shard-index) recovery failure, if any.
+func (s *Sharded) WaitReady() error {
+	for _, p := range s.shards {
+		<-p.ready
+	}
+	for _, p := range s.shards {
+		if p.err != nil {
+			return p.err
+		}
+	}
+	return nil
+}
+
+// Predict returns the OQPs for query point q from q's shard. Reads on
+// different shards (and on the same shard) run in parallel; only an
+// insert into the same shard contends.
+func (s *Sharded) Predict(q []float64) (core.OQP, error) {
+	p, err := s.get(s.ShardOf(q))
+	if err != nil {
+		return core.OQP{}, err
+	}
+	return p.byp.Predict(q)
+}
+
+// insert applies one insert to a live shard through its durable write
+// path when present.
+func (p *shard) insert(q []float64, oqp core.OQP) (bool, error) {
+	var (
+		changed bool
+		err     error
+	)
+	if p.durable != nil {
+		changed, err = p.durable.Insert(q, oqp)
+	} else {
+		changed, err = p.byp.Insert(q, oqp)
+	}
+	if changed {
+		p.inserts.Add(1)
+	}
+	return changed, err
+}
+
+// Insert stores a converged feedback outcome in q's shard, taking only
+// that shard's exclusive lock (and journaling to that shard's WAL in
+// durable mode).
+func (s *Sharded) Insert(q []float64, oqp core.OQP) (bool, error) {
+	p, err := s.get(s.ShardOf(q))
+	if err != nil {
+		return false, err
+	}
+	return p.insert(q, oqp)
+}
+
+// InsertBatch stores many outcomes, grouped by shard: within a shard,
+// pairs apply in their original relative order with single-Insert ε
+// semantics; across shards there is no ordering (shards are independent
+// learners). It returns the number of pairs that changed some shard; on
+// the first error it stops with earlier groups (and the failing shard's
+// earlier pairs) applied.
+func (s *Sharded) InsertBatch(qs [][]float64, oqps []core.OQP) (int, error) {
+	if len(qs) != len(oqps) {
+		return 0, fmt.Errorf("shardedbypass: batch has %d points but %d OQPs", len(qs), len(oqps))
+	}
+	if len(s.shards) == 1 {
+		p, err := s.get(0)
+		if err != nil {
+			return 0, err
+		}
+		if p.durable != nil {
+			stored, err := p.durable.InsertBatch(qs, oqps)
+			p.inserts.Add(int64(stored))
+			return stored, err
+		}
+		stored, err := p.byp.InsertBatch(qs, oqps)
+		p.inserts.Add(int64(stored))
+		return stored, err
+	}
+	byShard := make(map[int][]int)
+	for i, q := range qs {
+		sh := s.ShardOf(q)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	stored := 0
+	for sh := 0; sh < len(s.shards); sh++ {
+		idxs := byShard[sh]
+		if len(idxs) == 0 {
+			continue
+		}
+		p, err := s.get(sh)
+		if err != nil {
+			return stored, err
+		}
+		for _, i := range idxs {
+			changed, err := p.insert(qs[i], oqps[i])
+			if changed {
+				stored++
+			}
+			if err != nil {
+				return stored, err
+			}
+		}
+	}
+	return stored, nil
+}
+
+// Stats aggregates the shape of every live shard's tree: Points, Leaves,
+// Nodes and DistinctVertices sum; Depth is the maximum; AvgLeafDepth is
+// the leaf-weighted mean. Shards still replaying contribute nothing (the
+// snapshot is what is servable right now).
+func (s *Sharded) Stats() simplextree.Stats {
+	agg := simplextree.Stats{Dim: s.d, OQPDim: s.d + s.p}
+	var leafDepthSum float64
+	for i := range s.shards {
+		p, err := s.get(i)
+		if err != nil {
+			continue
+		}
+		st := p.byp.Stats()
+		agg.Points += st.Points
+		agg.Leaves += st.Leaves
+		agg.Nodes += st.Nodes
+		agg.DistinctVertices += st.DistinctVertices
+		if st.Depth > agg.Depth {
+			agg.Depth = st.Depth
+		}
+		leafDepthSum += st.AvgLeafDepth * float64(st.Leaves)
+	}
+	if agg.Leaves > 0 {
+		agg.AvgLeafDepth = leafDepthSum / float64(agg.Leaves)
+	}
+	return agg
+}
+
+// ShardInfos snapshots every shard's counters (per-shard tree shape,
+// accepted inserts, journal depth and WAL bytes); a shard still
+// replaying is marked Replaying with zero counters, one whose recovery
+// failed carries the error.
+func (s *Sharded) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(s.shards))
+	for i, p := range s.shards {
+		out[i] = ShardInfo{Shard: i}
+		select {
+		case <-p.ready:
+		default:
+			out[i].Replaying = true
+			continue
+		}
+		if p.err != nil {
+			out[i].Error = p.err.Error()
+			continue
+		}
+		st := p.byp.Stats()
+		out[i].Points = st.Points
+		out[i].Depth = st.Depth
+		out[i].Inserts = p.inserts.Load()
+		if p.durable != nil {
+			out[i].Journaled = p.durable.Journaled()
+			out[i].WALBytes = p.durable.WALSize()
+		}
+	}
+	return out
+}
+
+// Journaled sums the journaled-insert counts of every live shard
+// (durable mode).
+func (s *Sharded) Journaled() int {
+	total := 0
+	for i := range s.shards {
+		if p, err := s.get(i); err == nil && p.durable != nil {
+			total += p.durable.Journaled()
+		}
+	}
+	return total
+}
+
+// Compact snapshots every shard's tree and truncates its journal — the
+// all-shard compaction of a graceful shutdown. Shards compact in
+// parallel; the first error is returned after every shard finished (a
+// failed compaction of shard k must not abort shard j's).
+func (s *Sharded) Compact() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		p, err := s.get(i)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if p.durable == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *shard) {
+			defer wg.Done()
+			if err := p.durable.Compact(); err != nil {
+				errs[i] = fmt.Errorf("shardedbypass: compacting shard %d: %w", i, err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close waits for every shard's recovery to settle and closes each
+// shard's journal. The module must not be used afterwards; reopen with
+// Open.
+func (s *Sharded) Close() error {
+	var errs []error
+	for _, p := range s.shards {
+		<-p.ready
+		if p.durable != nil {
+			if err := p.durable.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("shardedbypass: closing shard %d: %w", p.id, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
