@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), or shard (sharded bypass plane sweep over S=1/2/4/8)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), or store (heap vs mmap feature-store backends)")
 		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
 		queries  = flag.Int("queries", 700, "training queries to process")
 		k        = flag.Int("k", 15, "results per query (paper: 50)")
@@ -92,6 +92,12 @@ func main() {
 	}
 	if *figure == "shard" {
 		runShardBench(*scale, *k, *numEval, *seed, *epsilon)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *figure == "store" {
+		runStoreBench(*scale, *k, *numEval, *seed, *epsilon)
 		writeReport(*jsonPath)
 		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
 		return
@@ -174,6 +180,7 @@ type jsonReport struct {
 	Tree   map[string]treeBenchResult `json:"tree,omitempty"`
 	Serve  *experiments.ServeResult   `json:"serve,omitempty"`
 	Shard  *experiments.ShardResult   `json:"shard,omitempty"`
+	Store  *experiments.StoreResult   `json:"store,omitempty"`
 }
 
 type reportMeta struct {
@@ -254,7 +261,7 @@ func runKNNBench(scale float64, k, numQueries int, seed int64) {
 	if err != nil {
 		fail(err)
 	}
-	scan, err := knn.NewScanMatrix(ds.Matrix())
+	scan, err := knn.NewScanBackend(ds.Matrix())
 	if err != nil {
 		fail(err)
 	}
@@ -541,6 +548,39 @@ func runShardBench(scale float64, k, sessions int, seed int64, epsilon float64) 
 	fmt.Println()
 	if report != nil {
 		report.Shard = &res
+	}
+}
+
+// runStoreBench measures the multi-backend feature store: the same
+// collection served heap-resident and mmap-resident (FBMX file) through
+// the scan kernels, the tiled batch path, and the serve protocol.
+// `sessions` rides the -eval flag.
+func runStoreBench(scale float64, k, sessions int, seed int64, epsilon float64) {
+	cfg := experiments.DefaultStoreConfig()
+	cfg.Seed = seed
+	cfg.Scale = scale
+	cfg.K = k
+	cfg.Epsilon = epsilon
+	if sessions > 0 {
+		cfg.Sessions = sessions
+	}
+	header(fmt.Sprintf("Multi-backend store: heap vs mmap (scale %.2f, k = %d, %d sessions/phase, %d clients)",
+		scale, k, cfg.Sessions, cfg.Clients))
+	res, err := experiments.RunStore(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# collection: %d images (%d bins), FBMX file %d KiB\n", res.Collection, res.Dim, res.FileBytes/1024)
+	fmt.Printf("%-8s %12s %12s %12s %12s %12s %12s %12s\n",
+		"backend", "cold(us)", "warm(us)", "batch(us/q)", "train s/s", "bypass s/s", "byp p50(us)", "byp p99(us)")
+	for _, b := range res.Backends {
+		fmt.Printf("%-8s %12.0f %12.1f %12.1f %12.1f %12.1f %12.0f %12.0f\n",
+			b.Backend, b.ColdScanMicros, b.WarmScanMicros, b.BatchMicrosPerQuery,
+			b.Train.SessionsPerSec, b.Bypass.SessionsPerSec, b.Bypass.P50Micros, b.Bypass.P99Micros)
+	}
+	fmt.Printf("# mmap/heap warm tiled-batch ratio: %.3fx (acceptance bound 1.15x)\n\n", res.WarmRatio)
+	if report != nil {
+		report.Store = &res
 	}
 }
 

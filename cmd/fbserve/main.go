@@ -1,39 +1,66 @@
 // Command fbserve is the FeedbackBypass network service: a long-lived
-// HTTP/JSON server placing the learned Mopt beside an interactive
-// retrieval engine (Figure 4 of the paper) and serving many concurrent
-// user sessions through internal/service.
+// HTTP/JSON server placing the learned Mopt beside interactive
+// retrieval engines (Figure 4 of the paper) and serving many concurrent
+// user sessions — over one or several named collections — through
+// internal/service.
 //
-// Endpoints:
+// Collections. One process serves any number of named collections, each
+// with its own retrieval engine, bypass (and durable directory), and
+// prediction cache. -collection name=spec is repeatable; a spec is
+// either
 //
-//	GET  /healthz   liveness + in-flight session count
-//	GET  /stats     service counters, cache occupancy, tree shape
-//	POST /query     open a session: {"item": 3, "k": 5} or
-//	                {"feature": [...], "k": 5} → first results + session id
-//	GET  /session   ?id=N — current session state without advancing it
-//	POST /feedback  {"session": N, "scores": [1,0,...]} → refined results
-//	POST /close     {"session": N} → converged OQPs inserted into the bypass
+//	synth:scale=0.3,seed=7   a generated in-heap collection, or
+//	/data/photos.fbmx        an FBMX collection file (also fbmx:path),
+//	                         opened read-only via mmap so the feature
+//	                         slab lives in the page cache, not the heap
 //
-// Results carry each item's category and theme so a client (or a human
-// with curl) can play the relevance oracle. On SIGINT/SIGTERM the server
-// stops accepting connections, drains every in-flight session (inserting
-// converged outcomes), and — when running durably (-dir) — compacts the
-// write-ahead log before exiting.
+// With no -collection flags the server runs one collection named
+// "default" built from -scale/-seed, exactly the pre-multi-collection
+// behaviour.
+//
+// Endpoints (per collection under /c/<name>/..., with the bare legacy
+// paths routed to the default collection):
+//
+//	GET  /healthz             liveness across all collections
+//	GET  /stats               per-collection counters, cache occupancy, tree shape
+//	GET  /c/N/healthz         one collection's liveness
+//	GET  /c/N/stats           one collection's counters
+//	POST /c/N/query           open a session: {"item": 3, "k": 5} or
+//	                          {"feature": [...], "k": 5} → first results + session id
+//	GET  /c/N/session?id=S    current session state without advancing it
+//	POST /c/N/feedback        {"session": S, "scores": [1,0,...]} → refined results
+//	POST /c/N/close           {"session": S} → converged OQPs inserted into the bypass
+//
+// Session ids are scoped to their collection. An unknown collection
+// name is 404. Results carry each item's category and theme so a client
+// (or a human with curl) can play the relevance oracle (FBMX-backed
+// collections carry empty labels; their sessions are scored by the
+// client). On SIGINT/SIGTERM the server stops accepting connections,
+// drains every collection's in-flight sessions (inserting converged
+// outcomes), and — for durable collections — compacts the write-ahead
+// logs before exiting.
 //
 // Usage:
 //
 //	fbserve -addr :8080 -scale 0.3 -k 10                  # in-memory
 //	fbserve -addr :8080 -dir /var/lib/fbserve -sync       # durable
 //	fbserve -addr :8080 -dir /var/lib/fbserve -shards 8   # sharded
+//	fbserve -addr :8080 \
+//	    -collection birds=synth:scale=0.2,seed=7 \
+//	    -collection photos=/data/photos.fbmx \
+//	    -dir /var/lib/fbserve                             # multi-collection
 //
-// With -shards S > 1 the learned mapping is partitioned across S
-// independent Simplex Trees (internal/shardedbypass): inserts to
-// different shards no longer contend, an insert invalidates only its own
-// shard's cached predictions, and in durable mode each shard recovers
-// its own WAL in parallel at startup — requests touching a shard still
-// replaying get 503 until it is live. The shard count is baked into the
-// module directory's manifest; reopening with a different -shards is
-// refused. -shards 1 (the default) is the compatibility mode and keeps
-// the original single-tree directory layout.
+// With several collections and -dir, each collection's durable state
+// lives under <dir>/<name>/ (a single collection keeps the whole dir,
+// preserving existing layouts). -shards S > 1 partitions every
+// collection's bypass across S independent Simplex Trees (see
+// internal/shardedbypass); the shard count is baked into each module
+// directory's manifest, so reopening with a different -shards is
+// refused.
+//
+// -export-fbmx name=path builds the named collection, writes its
+// feature matrix to path as an FBMX file (atomically), and exits — the
+// way to turn a synthetic collection into an mmap-servable file.
 package main
 
 import (
@@ -46,6 +73,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,7 +87,66 @@ import (
 	"repro/internal/knn"
 	"repro/internal/service"
 	"repro/internal/shardedbypass"
+	"repro/internal/store"
 )
+
+// errUnknownCollection is the sentinel behind the 404 for routes naming
+// a collection this process does not serve.
+var errUnknownCollection = errors.New("fbserve: unknown collection")
+
+// serveConfig carries the flag values every collection build needs.
+type serveConfig struct {
+	scale       float64
+	seed        int64
+	k           int
+	epsilon     float64
+	dir         string
+	syncWAL     bool
+	compactEach int
+	maxSessions int
+	iterBudget  int
+	cacheSize   int
+	shards      int
+	multi       bool // more than one collection: durable state nests under dir/<name>/
+}
+
+// collection is one named collection's full serving stack: dataset over
+// its backend, retrieval engine, bypass (with optional durable/sharded
+// handles for shutdown), and its own service — sessions, prediction
+// cache and admission control are all per collection.
+type collection struct {
+	name    string
+	backend string // "heap" or "mmap"
+	source  string // the spec it was built from
+	ds      *dataset.Dataset
+	svc     *service.Service
+	health  shardHealth            // non-nil when the bypass is sharded
+	durable *core.DurableBypass    // shutdown handle (nil unless durable unsharded)
+	sharded *shardedbypass.Sharded // shutdown handle (nil unless sharded)
+	mm      *store.MmapMatrix      // close handle (nil unless FBMX-backed)
+}
+
+// collectionSpecs accumulates repeated -collection flags in order.
+type collectionSpecs []struct{ name, spec string }
+
+func (cs *collectionSpecs) add(value string) error {
+	name, spec, ok := strings.Cut(value, "=")
+	if !ok || name == "" || spec == "" {
+		return fmt.Errorf("want name=spec, got %q", value)
+	}
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+			return fmt.Errorf("collection name %q: only [a-zA-Z0-9_-] allowed", name)
+		}
+	}
+	for _, c := range *cs {
+		if c.name == name {
+			return fmt.Errorf("duplicate collection %q", name)
+		}
+	}
+	*cs = append(*cs, struct{ name, spec string }{name, spec})
+	return nil
+}
 
 func main() {
 	var (
@@ -69,114 +158,86 @@ func main() {
 		dir         = flag.String("dir", "", "durable module directory (WAL + snapshots); empty = in-memory")
 		syncWAL     = flag.Bool("sync", false, "fsync the WAL on every accepted insert (durable mode)")
 		compactEach = flag.Int("compact-every", 512, "compact the WAL after this many journaled inserts (durable mode)")
-		maxSessions = flag.Int("max-sessions", 1024, "in-flight session bound (further opens get 429)")
+		maxSessions = flag.Int("max-sessions", 1024, "in-flight session bound per collection (further opens get 429)")
 		iterBudget  = flag.Int("iter-budget", engine.DefaultMaxIterations, "feedback rounds allowed per session")
-		cacheSize   = flag.Int("cache", 1024, "LRU prediction cache entries (negative disables)")
-		shards      = flag.Int("shards", 1, "partition the bypass across this many independent Simplex Trees (1 = single-tree compatibility mode)")
+		cacheSize   = flag.Int("cache", 1024, "LRU prediction cache entries per collection (negative disables)")
+		shards      = flag.Int("shards", 1, "partition each bypass across this many independent Simplex Trees (1 = single-tree compatibility mode)")
+		exportFBMX  = flag.String("export-fbmx", "", "name=path: write the named collection's feature matrix as an FBMX file and exit")
 	)
+	var specs collectionSpecs
+	flag.Func("collection", "serve a named collection: name=synth:scale=F,seed=N or name=path.fbmx (repeatable)", specs.add)
 	flag.Parse()
-
-	log.Printf("building collection (scale %.2f, seed %d) ...", *scale, *seed)
-	ds, err := dataset.Build(imagegen.IMSILike(*seed, *scale), histogram.DefaultExtractor)
-	if err != nil {
-		log.Fatalf("fbserve: %v", err)
-	}
-	eng, err := engine.New(ds, engine.Options{})
-	if err != nil {
-		log.Fatalf("fbserve: %v", err)
-	}
-	codec, err := core.NewHistogramCodec(ds.Dim)
-	if err != nil {
-		log.Fatalf("fbserve: %v", err)
-	}
-	cfg := core.Config{Epsilon: *epsilon, DefaultWeights: codec.DefaultWeights()}
 
 	if *shards < 1 {
 		log.Fatalf("fbserve: -shards must be >= 1, got %d", *shards)
 	}
-	var (
-		byp     service.Bypass
-		durable *core.DurableBypass
-		sharded *shardedbypass.Sharded
-	)
-	switch {
-	case *shards > 1 && *dir != "":
-		// Durable sharded: shards recover their WALs in parallel while the
-		// server comes up; requests hitting a replaying shard get 503.
-		sharded, err = shardedbypass.OpenAsync(*dir, codec.D(), codec.P(), cfg, shardedbypass.Options{
-			Shards:  *shards,
-			Durable: core.DurableOptions{CompactEvery: *compactEach, Sync: *syncWAL},
-		})
-		if err != nil {
-			log.Fatalf("fbserve: opening sharded module: %v", err)
+	if len(specs) == 0 {
+		if err := specs.add(fmt.Sprintf("default=synth:scale=%g,seed=%d", *scale, *seed)); err != nil {
+			log.Fatalf("fbserve: %v", err)
 		}
-		byp = sharded
-		go func() {
-			if err := sharded.WaitReady(); err != nil {
-				log.Fatalf("fbserve: shard recovery: %v", err)
+	}
+	cfg := serveConfig{
+		scale: *scale, seed: *seed, k: *k, epsilon: *epsilon,
+		dir: *dir, syncWAL: *syncWAL, compactEach: *compactEach,
+		maxSessions: *maxSessions, iterBudget: *iterBudget, cacheSize: *cacheSize,
+		shards: *shards, multi: len(specs) > 1,
+	}
+
+	if *exportFBMX != "" {
+		// Export needs only the named collection's dataset — don't pay
+		// for (or open durable state of) any other configured collection.
+		name, path, ok := strings.Cut(*exportFBMX, "=")
+		var spec string
+		for _, s := range specs {
+			if s.name == name {
+				spec = s.spec
 			}
-			log.Printf("sharded module at %s: %d shards live, %d points recovered, %d journaled inserts",
-				*dir, sharded.NumShards(), sharded.Stats().Points, sharded.Journaled())
-		}()
-	case *shards > 1:
-		sharded, err = shardedbypass.New(codec.D(), codec.P(), cfg, shardedbypass.Options{Shards: *shards})
+		}
+		if !ok || path == "" || spec == "" {
+			log.Fatalf("fbserve: -export-fbmx %q: want name=path with a configured collection", *exportFBMX)
+		}
+		ds, _, mm, err := buildDataset(spec, cfg)
 		if err != nil {
-			log.Fatalf("fbserve: %v", err)
+			log.Fatalf("fbserve: collection %s: %v", name, err)
 		}
-		byp = sharded
-	case *dir != "":
-		// The legacy single-tree path must not open (and silently shadow)
-		// a sharded module directory: its state lives under shard-*/, which
-		// core.OpenDurable would never read.
-		if m, ok, merr := shardedbypass.ReadManifest(*dir); merr != nil {
-			log.Fatalf("fbserve: reading manifest at %s: %v", *dir, merr)
-		} else if ok {
-			log.Fatalf("fbserve: module at %s is sharded (%d shards); pass -shards %d", *dir, m.Shards, m.Shards)
+		if err := store.WriteFBMX(path, ds.Matrix()); err != nil {
+			log.Fatalf("fbserve: exporting %s: %v", name, err)
 		}
-		durable, err = core.OpenDurable(*dir, codec.D(), codec.P(), cfg, core.DurableOptions{
-			CompactEvery: *compactEach,
-			Sync:         *syncWAL,
-		})
-		if err != nil {
-			log.Fatalf("fbserve: opening durable module: %v", err)
+		if mm != nil {
+			mm.Close()
 		}
-		byp = durable
-		log.Printf("durable module at %s: %d points recovered, %d journaled inserts",
-			*dir, durable.Stats().Points, durable.Journaled())
-	default:
-		mem, err := core.New(codec.D(), codec.P(), cfg)
-		if err != nil {
-			log.Fatalf("fbserve: %v", err)
-		}
-		byp = mem
+		log.Printf("exported collection %s (%d items, %d bins) to %s", name, ds.Len(), ds.Dim, path)
+		return
 	}
 
-	svc, err := service.New(eng, byp, service.Options{
-		MaxSessions:     *maxSessions,
-		IterationBudget: *iterBudget,
-		CacheSize:       *cacheSize,
-		DefaultK:        *k,
-	})
-	if err != nil {
-		log.Fatalf("fbserve: %v", err)
+	colls := make(map[string]*collection, len(specs))
+	order := make([]string, 0, len(specs))
+	for _, s := range specs {
+		c, err := buildCollection(s.name, s.spec, cfg)
+		if err != nil {
+			log.Fatalf("fbserve: collection %s: %v", s.name, err)
+		}
+		colls[s.name] = c
+		order = append(order, s.name)
+		log.Printf("collection %s: %d items (%d bins) from %s backend (%s)", c.name, c.ds.Len(), c.ds.Dim, c.backend, c.source)
 	}
 
-	// A typed-nil *Sharded must become an untyped-nil interface, or the
-	// handler would call methods on a nil pointer.
-	var health shardHealth
-	if sharded != nil {
-		health = sharded
-	}
-	srv := &http.Server{Addr: *addr, Handler: newMux(svc, health)}
+	defaultName := resolveDefault(colls)
+	srv := &http.Server{Addr: *addr, Handler: newMux(colls, defaultName)}
 	go func() {
-		log.Printf("serving %d images on %s (feedback %s)", ds.Len(), *addr, eng.FeedbackName())
+		total := 0
+		for _, c := range colls {
+			total += c.ds.Len()
+		}
+		log.Printf("serving %d collections (%d items total) on %s", len(colls), total, *addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("fbserve: %v", err)
 		}
 	}()
 
-	// Graceful shutdown: stop accepting, drain sessions (inserting their
-	// converged outcomes), then make the learned state durable.
+	// Graceful shutdown: stop accepting, drain every collection's
+	// sessions (inserting their converged outcomes), then make each
+	// collection's learned state durable and release its backend.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
@@ -186,29 +247,231 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("fbserve: shutdown: %v", err)
 	}
-	closed, inserted, err := svc.Drain()
+	for _, name := range order {
+		c := colls[name]
+		closed, inserted, err := c.svc.Drain()
+		if err != nil {
+			log.Printf("fbserve: %s: drain: %v", name, err)
+		}
+		log.Printf("%s: drained %d sessions (%d outcomes inserted)", name, closed, inserted)
+		if c.durable != nil {
+			if err := c.durable.Compact(); err != nil {
+				log.Printf("fbserve: %s: compact: %v", name, err)
+			}
+			if err := c.durable.Close(); err != nil {
+				log.Printf("fbserve: %s: close: %v", name, err)
+			}
+			log.Printf("%s: compacted WAL; %d points durable", name, c.durable.Stats().Points)
+		}
+		if c.sharded != nil && cfg.dir != "" {
+			if err := c.sharded.Compact(); err != nil {
+				log.Printf("fbserve: %s: compact: %v", name, err)
+			}
+			if err := c.sharded.Close(); err != nil {
+				log.Printf("fbserve: %s: close: %v", name, err)
+			}
+			log.Printf("%s: compacted %d shard WALs; %d points durable", name, c.sharded.NumShards(), c.sharded.Stats().Points)
+		}
+		if c.mm != nil {
+			if err := c.mm.Close(); err != nil {
+				log.Printf("fbserve: %s: unmapping collection: %v", name, err)
+			}
+		}
+	}
+}
+
+// moduleStateAt reports whether dir holds durable bypass state — a
+// single-tree snapshot/WAL pair or a sharded module manifest — used to
+// refuse layout changes that would silently shadow learned state.
+func moduleStateAt(dir string) bool {
+	for _, f := range []string{core.SnapshotFile, core.JournalFile, shardedbypass.ManifestFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveDefault picks the collection the bare legacy routes serve: the
+// one named "default" when present, else the only collection, else none.
+func resolveDefault(colls map[string]*collection) string {
+	if _, ok := colls["default"]; ok {
+		return "default"
+	}
+	if len(colls) == 1 {
+		for name := range colls {
+			return name
+		}
+	}
+	return ""
+}
+
+// buildDataset resolves a collection spec into a dataset over the
+// appropriate backend.
+func buildDataset(spec string, cfg serveConfig) (*dataset.Dataset, string, *store.MmapMatrix, error) {
+	if params, ok := strings.CutPrefix(spec, "synth:"); ok {
+		scale, seed := cfg.scale, cfg.seed
+		if params != "" {
+			for _, kv := range strings.Split(params, ",") {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, "", nil, fmt.Errorf("synth spec: want key=value, got %q", kv)
+				}
+				var err error
+				switch key {
+				case "scale":
+					scale, err = strconv.ParseFloat(val, 64)
+				case "seed":
+					seed, err = strconv.ParseInt(val, 10, 64)
+				default:
+					err = fmt.Errorf("unknown synth parameter %q", key)
+				}
+				if err != nil {
+					return nil, "", nil, fmt.Errorf("synth spec %q: %w", kv, err)
+				}
+			}
+		}
+		ds, err := dataset.Build(imagegen.IMSILike(seed, scale), histogram.DefaultExtractor)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return ds, "heap", nil, nil
+	}
+	path := strings.TrimPrefix(spec, "fbmx:")
+	if !strings.HasPrefix(spec, "fbmx:") && !strings.HasSuffix(path, ".fbmx") {
+		return nil, "", nil, fmt.Errorf("spec %q: want synth:..., fbmx:path, or a .fbmx file path", spec)
+	}
+	mm, err := store.OpenMmap(path)
 	if err != nil {
-		log.Printf("fbserve: drain: %v", err)
+		return nil, "", nil, err
 	}
-	log.Printf("drained %d sessions (%d outcomes inserted)", closed, inserted)
-	if durable != nil {
-		if err := durable.Compact(); err != nil {
-			log.Printf("fbserve: compact: %v", err)
-		}
-		if err := durable.Close(); err != nil {
-			log.Printf("fbserve: close: %v", err)
-		}
-		log.Printf("compacted WAL; %d points durable", durable.Stats().Points)
+	// A long-lived server pays the one-time page walk to know the
+	// collection it announces is intact (see DESIGN.md on FBMX checksums).
+	if err := mm.Verify(); err != nil {
+		mm.Close()
+		return nil, "", nil, err
 	}
-	if sharded != nil && *dir != "" {
-		if err := sharded.Compact(); err != nil {
-			log.Printf("fbserve: compact: %v", err)
-		}
-		if err := sharded.Close(); err != nil {
-			log.Printf("fbserve: close: %v", err)
-		}
-		log.Printf("compacted %d shard WALs; %d points durable", sharded.NumShards(), sharded.Stats().Points)
+	ds, err := dataset.FromBackend(mm, nil, nil)
+	if err != nil {
+		mm.Close()
+		return nil, "", nil, err
 	}
+	return ds, "mmap", mm, nil
+}
+
+// buildCollection assembles one collection's serving stack.
+func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
+	ds, backend, mm, err := buildDataset(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*collection, error) {
+		if mm != nil {
+			mm.Close()
+		}
+		return nil, err
+	}
+	eng, err := engine.New(ds, engine.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	codec, err := core.NewHistogramCodec(ds.Dim)
+	if err != nil {
+		return fail(err)
+	}
+	treeCfg := core.Config{Epsilon: cfg.epsilon, DefaultWeights: codec.DefaultWeights()}
+
+	dir := cfg.dir
+	if dir != "" && cfg.multi {
+		// Nested layout. Refuse to shadow a single-collection module
+		// sitting at the directory root: its learned state would be
+		// silently unread under dir/<name>/.
+		if moduleStateAt(cfg.dir) {
+			return fail(fmt.Errorf("module state at %s uses the single-collection layout; move it to %s before serving multiple collections",
+				cfg.dir, filepath.Join(cfg.dir, "<name>")))
+		}
+		dir = filepath.Join(cfg.dir, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fail(err)
+		}
+	} else if dir != "" {
+		// Flat layout. Refuse to shadow a nested module left by a
+		// previous multi-collection run of this collection name.
+		if nested := filepath.Join(dir, name); moduleStateAt(nested) {
+			return fail(fmt.Errorf("module state at %s uses the multi-collection layout; move it to %s (or keep serving multiple collections)",
+				nested, dir))
+		}
+	}
+
+	c := &collection{name: name, backend: backend, source: spec, ds: ds, mm: mm}
+	var byp service.Bypass
+	switch {
+	case cfg.shards > 1 && dir != "":
+		// Durable sharded: shards recover their WALs in parallel while
+		// the server comes up; requests hitting a replaying shard get 503.
+		c.sharded, err = shardedbypass.OpenAsync(dir, codec.D(), codec.P(), treeCfg, shardedbypass.Options{
+			Shards:  cfg.shards,
+			Durable: core.DurableOptions{CompactEvery: cfg.compactEach, Sync: cfg.syncWAL},
+		})
+		if err != nil {
+			return fail(fmt.Errorf("opening sharded module: %w", err))
+		}
+		byp, c.health = c.sharded, c.sharded
+		go func(name string, sharded *shardedbypass.Sharded, dir string) {
+			if err := sharded.WaitReady(); err != nil {
+				// Terminal for this collection only: its healthz reports
+				// "failed" (500) and shard-routed requests keep erroring,
+				// while every other collection serves on. Killing the
+				// process here would take healthy collections down with it.
+				log.Printf("fbserve: %s: shard recovery failed (collection unavailable): %v", name, err)
+				return
+			}
+			log.Printf("%s: sharded module at %s: %d shards live, %d points recovered, %d journaled inserts",
+				name, dir, sharded.NumShards(), sharded.Stats().Points, sharded.Journaled())
+		}(name, c.sharded, dir)
+	case cfg.shards > 1:
+		c.sharded, err = shardedbypass.New(codec.D(), codec.P(), treeCfg, shardedbypass.Options{Shards: cfg.shards})
+		if err != nil {
+			return fail(err)
+		}
+		byp, c.health = c.sharded, c.sharded
+	case dir != "":
+		// The legacy single-tree path must not open (and silently shadow)
+		// a sharded module directory: its state lives under shard-*/,
+		// which core.OpenDurable would never read.
+		if m, ok, merr := shardedbypass.ReadManifest(dir); merr != nil {
+			return fail(fmt.Errorf("reading manifest at %s: %w", dir, merr))
+		} else if ok {
+			return fail(fmt.Errorf("module at %s is sharded (%d shards); pass -shards %d", dir, m.Shards, m.Shards))
+		}
+		c.durable, err = core.OpenDurable(dir, codec.D(), codec.P(), treeCfg, core.DurableOptions{
+			CompactEvery: cfg.compactEach,
+			Sync:         cfg.syncWAL,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("opening durable module: %w", err))
+		}
+		byp = c.durable
+		log.Printf("%s: durable module at %s: %d points recovered, %d journaled inserts",
+			name, dir, c.durable.Stats().Points, c.durable.Journaled())
+	default:
+		mem, err := core.New(codec.D(), codec.P(), treeCfg)
+		if err != nil {
+			return fail(err)
+		}
+		byp = mem
+	}
+
+	c.svc, err = service.New(eng, byp, service.Options{
+		MaxSessions:     cfg.maxSessions,
+		IterationBudget: cfg.iterBudget,
+		CacheSize:       cfg.cacheSize,
+		DefaultK:        cfg.k,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return c, nil
 }
 
 // resultJSON is one retrieved item, annotated with the oracle's category
@@ -222,6 +485,7 @@ type resultJSON struct {
 
 // stateJSON is the wire form of a session snapshot.
 type stateJSON struct {
+	Collection string       `json:"collection"`
 	Session    uint64       `json:"session"`
 	K          int          `json:"k"`
 	Results    []resultJSON `json:"results"`
@@ -250,6 +514,7 @@ type closeRequest struct {
 }
 
 type closeResponse struct {
+	Collection string `json:"collection"`
 	Session    uint64 `json:"session"`
 	Iterations int    `json:"iterations"`
 	Inserted   bool   `json:"inserted"`
@@ -257,6 +522,28 @@ type closeResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// collectionInfo identifies a collection and its retrieval substrate in
+// stats responses.
+type collectionInfo struct {
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	Items   int    `json:"items"`
+	Dim     int    `json:"dim"`
+}
+
+// collectionStats is one collection's /stats block: the serving-layer
+// counters plus the collection's identity, so isolation between
+// collections is observable (each has its own sessions, cache and tree).
+type collectionStats struct {
+	Collection collectionInfo `json:"collection"`
+	service.Stats
+}
+
+// statsResponse is the global /stats shape: one block per collection.
+type statsResponse struct {
+	Collections map[string]collectionStats `json:"collections"`
 }
 
 // shardHealth is the slice of the sharded bypass the health endpoint
@@ -268,167 +555,263 @@ type shardHealth interface {
 	ShardInfos() []shardedbypass.ShardInfo
 }
 
-// newMux wires the service into an http.Handler; split from main so the
-// end-to-end tests drive the exact production routes via httptest.
-// sharded is the partitioned bypass handle when serving one (nil
-// otherwise); it drives the replaying-aware health report.
-func newMux(svc *service.Service, sharded shardHealth) *http.ServeMux {
+// statsFor assembles one collection's stats block.
+func statsFor(c *collection) collectionStats {
+	return collectionStats{
+		Collection: collectionInfo{Name: c.name, Backend: c.backend, Items: c.ds.Len(), Dim: c.ds.Dim},
+		Stats:      c.svc.Stats(),
+	}
+}
+
+// newMux wires every collection into one http.Handler; split from main
+// so the end-to-end tests drive the exact production routes via
+// httptest. Per-collection routes live under /c/<name>/; the bare
+// legacy routes serve defaultName (usually "default") when it is
+// non-empty.
+func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 	mux := http.NewServeMux()
-	ds := svc.Engine().Dataset()
 
-	annotate := func(results []knn.Result) []resultJSON {
-		out := make([]resultJSON, len(results))
-		for i, r := range results {
-			item := ds.Items[r.Index]
-			out[i] = resultJSON{Index: r.Index, Distance: r.Distance, Category: item.Category, Theme: item.Theme}
-		}
-		return out
-	}
-	stateResponse := func(st service.SessionState) stateJSON {
-		return stateJSON{
-			Session:    st.ID,
-			K:          st.K,
-			Results:    annotate(st.Results),
-			Iterations: st.Iterations,
-			BudgetLeft: st.BudgetLeft,
-			Converged:  st.Converged,
-			CacheHit:   st.CacheHit,
-			Warm:       st.Warm,
-		}
-	}
-
+	// Global liveness: a failed shard recovery anywhere is terminal
+	// (500); any replaying shard holds traffic (503); otherwise ok with
+	// the total in-flight session count.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if sharded != nil && !sharded.Ready() {
-			// A failed shard recovery is terminal — 500, not the retryable
-			// 503 of a replay in progress, so probes distinguish "warming
-			// up" from "broken".
-			if err := sharded.Err(); err != nil {
-				writeJSON(w, http.StatusInternalServerError, map[string]any{
-					"status": "failed",
-					"error":  err.Error(),
-				})
+		sessions := 0
+		replaying := map[string][]int{}
+		for name, c := range colls {
+			st, code := collectionHealth(c)
+			switch code {
+			case http.StatusInternalServerError:
+				writeJSON(w, code, map[string]any{"status": "failed", "collection": name, "error": st["error"]})
 				return
+			case http.StatusServiceUnavailable:
+				replaying[name] = st["replaying"].([]int)
+			default:
+				sessions += st["sessions"].(int)
 			}
-			// Startup recovery in progress: report which shards are still
-			// replaying, with 503 so load balancers hold traffic.
-			replaying := []int{}
-			for _, info := range sharded.ShardInfos() {
-				if info.Replaying {
-					replaying = append(replaying, info.Shard)
-				}
-			}
+		}
+		if len(replaying) > 0 {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"status":    "replaying",
-				"shards":    sharded.NumShards(),
 				"replaying": replaying,
 			})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
-			"sessions": svc.Stats().ActiveSessions,
+			"status":      "ok",
+			"collections": len(colls),
+			"sessions":    sessions,
 		})
 	})
 
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
+		out := statsResponse{Collections: make(map[string]collectionStats, len(colls))}
+		for name, c := range colls {
+			out.Collections[name] = statsFor(c)
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+	// Per-collection routes: /c/<name>/<op>.
+	mux.HandleFunc("/c/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/c/")
+		name, op, _ := strings.Cut(rest, "/")
+		c := colls[name]
+		if c == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", errUnknownCollection, name))
 			return
 		}
-		var req queryRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-			return
-		}
-		feature := req.Feature
-		if req.Item != nil {
-			if *req.Item < 0 || *req.Item >= ds.Len() {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("item %d out of range [0, %d)", *req.Item, ds.Len()))
+		serveCollection(c, op, w, r)
+	})
+
+	// Legacy routes → the default collection.
+	for _, op := range []string{"query", "session", "feedback", "close"} {
+		op := op
+		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
+			c := colls[defaultName]
+			if c == nil {
+				writeError(w, http.StatusNotFound,
+					fmt.Errorf("%w: no default collection; use /c/<name>/%s", errUnknownCollection, op))
 				return
 			}
-			feature = ds.Items[*req.Item].Feature
-		}
-		if feature == nil {
-			writeError(w, http.StatusBadRequest, errors.New("need item or feature"))
-			return
-		}
-		st, err := svc.Open(feature, req.K)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, stateResponse(st))
-	})
-
-	mux.HandleFunc("/session", func(w http.ResponseWriter, r *http.Request) {
-		var id uint64
-		if _, err := fmt.Sscan(r.URL.Query().Get("id"), &id); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id: %w", err))
-			return
-		}
-		st, err := svc.Query(id)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, stateResponse(st))
-	})
-
-	mux.HandleFunc("/feedback", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
-			return
-		}
-		var req feedbackRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-			return
-		}
-		st, err := svc.Feedback(req.Session, req.Scores)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, stateResponse(st))
-	})
-
-	mux.HandleFunc("/close", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
-			return
-		}
-		var req closeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-			return
-		}
-		res, err := svc.Close(req.Session)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, http.StatusOK, closeResponse{
-			Session:    res.ID,
-			Iterations: res.Iterations,
-			Inserted:   res.Inserted,
+			serveCollection(c, op, w, r)
 		})
-	})
-
+	}
 	return mux
+}
+
+// collectionHealth reports one collection's liveness as (body, status).
+func collectionHealth(c *collection) (map[string]any, int) {
+	if c.health != nil && !c.health.Ready() {
+		// A failed shard recovery is terminal — 500, not the retryable
+		// 503 of a replay in progress, so probes distinguish "warming
+		// up" from "broken".
+		if err := c.health.Err(); err != nil {
+			return map[string]any{"status": "failed", "error": err.Error()}, http.StatusInternalServerError
+		}
+		replaying := []int{}
+		for _, info := range c.health.ShardInfos() {
+			if info.Replaying {
+				replaying = append(replaying, info.Shard)
+			}
+		}
+		return map[string]any{
+			"status":    "replaying",
+			"shards":    c.health.NumShards(),
+			"replaying": replaying,
+		}, http.StatusServiceUnavailable
+	}
+	return map[string]any{"status": "ok", "sessions": c.svc.Stats().ActiveSessions}, http.StatusOK
+}
+
+// serveCollection dispatches one collection-scoped operation.
+func serveCollection(c *collection, op string, w http.ResponseWriter, r *http.Request) {
+	switch op {
+	case "healthz":
+		body, code := collectionHealth(c)
+		body["collection"] = c.name
+		writeJSON(w, code, body)
+	case "stats":
+		writeJSON(w, http.StatusOK, statsFor(c))
+	case "query":
+		c.handleQuery(w, r)
+	case "session":
+		c.handleSession(w, r)
+	case "feedback":
+		c.handleFeedback(w, r)
+	case "close":
+		c.handleClose(w, r)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q for collection %s", op, c.name))
+	}
+}
+
+// annotate decorates raw results with the oracle's labels.
+func (c *collection) annotate(results []knn.Result) []resultJSON {
+	out := make([]resultJSON, len(results))
+	for i, r := range results {
+		item := c.ds.Items[r.Index]
+		out[i] = resultJSON{Index: r.Index, Distance: r.Distance, Category: item.Category, Theme: item.Theme}
+	}
+	return out
+}
+
+func (c *collection) stateResponse(st service.SessionState) stateJSON {
+	return stateJSON{
+		Collection: c.name,
+		Session:    st.ID,
+		K:          st.K,
+		Results:    c.annotate(st.Results),
+		Iterations: st.Iterations,
+		BudgetLeft: st.BudgetLeft,
+		Converged:  st.Converged,
+		CacheHit:   st.CacheHit,
+		Warm:       st.Warm,
+	}
+}
+
+func (c *collection) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	feature := req.Feature
+	if req.Item != nil {
+		// The checked accessor turns an out-of-range item id into an
+		// errors.Is-able store.ErrOutOfRange → 400, never a panic.
+		f, err := c.ds.Feature(*req.Item)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		feature = f
+	}
+	if feature == nil {
+		writeError(w, http.StatusBadRequest, errors.New("need item or feature"))
+		return
+	}
+	st, err := c.svc.Open(feature, req.K)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.stateResponse(st))
+}
+
+func (c *collection) handleSession(w http.ResponseWriter, r *http.Request) {
+	var id uint64
+	if _, err := fmt.Sscan(r.URL.Query().Get("id"), &id); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id: %w", err))
+		return
+	}
+	st, err := c.svc.Query(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.stateResponse(st))
+}
+
+func (c *collection) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	st, err := c.svc.Feedback(req.Session, req.Scores)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.stateResponse(st))
+}
+
+func (c *collection) handleClose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req closeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	res, err := c.svc.Close(req.Session)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, closeResponse{
+		Collection: c.name,
+		Session:    res.ID,
+		Iterations: res.Iterations,
+		Inserted:   res.Inserted,
+	})
 }
 
 // statusFor maps the service's errors.Is-able sentinels onto HTTP codes.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, errUnknownCollection):
+		return http.StatusNotFound
 	case errors.Is(err, service.ErrSessionNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, service.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, core.ErrOutOfDomain), errors.Is(err, service.ErrInvalidArgument):
+		return http.StatusBadRequest
+	case errors.Is(err, store.ErrOutOfRange):
+		// A bounds failure on the serving path is a client-supplied bad
+		// index, classified by the store's sentinel instead of reaching
+		// the handler as a slice panic.
 		return http.StatusBadRequest
 	case errors.Is(err, shardedbypass.ErrReplaying):
 		// Startup recovery of one shard: retryable, not a server fault.

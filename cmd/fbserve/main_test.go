@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -17,13 +20,15 @@ import (
 	"repro/internal/service"
 	"repro/internal/shardedbypass"
 	"repro/internal/simplextree"
+	"repro/internal/store"
 )
 
-// newTestServer wires the production handler over a small collection and
-// a durable bypass rooted in a temp dir — the same composition main does.
-func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *core.DurableBypass) {
+// newTestCollection wires one named collection's serving stack over a
+// small synthetic dataset and a durable bypass rooted in a temp dir —
+// the same composition buildCollection does.
+func newTestCollection(t *testing.T, name string, seed int64) (*collection, *core.DurableBypass) {
 	t.Helper()
-	ds, err := dataset.Build(imagegen.IMSILike(5, 0.03), histogram.DefaultExtractor)
+	ds, err := dataset.Build(imagegen.IMSILike(seed, 0.03), histogram.DefaultExtractor)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,9 +51,17 @@ func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *core.Dura
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(svc, nil))
+	return &collection{name: name, backend: "heap", source: "synth:test", ds: ds, svc: svc, durable: durable}, durable
+}
+
+// newTestServer wires the production handler over a single default
+// collection — the legacy single-collection composition.
+func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *core.DurableBypass) {
+	t.Helper()
+	c, durable := newTestCollection(t, "default", 5)
+	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default"))
 	t.Cleanup(srv.Close)
-	return srv, ds, durable
+	return srv, c.ds, durable
 }
 
 func postJSON(t *testing.T, url string, body any, out any) int {
@@ -159,12 +172,19 @@ func TestEndToEndSession(t *testing.T) {
 		}
 	}
 
-	var stats service.Stats
+	var stats statsResponse
 	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats: status %d", code)
 	}
-	if stats.Opened != 1 || stats.Closed != 1 || stats.ActiveSessions != 0 {
-		t.Errorf("stats after one session: %+v", stats)
+	def, ok := stats.Collections["default"]
+	if !ok {
+		t.Fatalf("stats missing default collection: %+v", stats)
+	}
+	if def.Opened != 1 || def.Closed != 1 || def.ActiveSessions != 0 {
+		t.Errorf("stats after one session: %+v", def)
+	}
+	if def.Collection.Backend != "heap" || def.Collection.Items != ds.Len() {
+		t.Errorf("collection info: %+v", def.Collection)
 	}
 }
 
@@ -295,12 +315,12 @@ func TestConcurrentHTTPSessions(t *testing.T) {
 	for err := range errCh {
 		t.Fatal(err)
 	}
-	var stats service.Stats
+	var stats statsResponse
 	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats: status %d", code)
 	}
-	if stats.Opened != clients*3 || stats.ActiveSessions != 0 {
-		t.Errorf("stats after concurrent sessions: %+v", stats)
+	if def := stats.Collections["default"]; def.Opened != clients*3 || def.ActiveSessions != 0 {
+		t.Errorf("stats after concurrent sessions: %+v", def)
 	}
 }
 
@@ -330,7 +350,8 @@ func newShardedTestServer(t *testing.T, shards int) (*httptest.Server, *dataset.
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(svc, sharded))
+	c := &collection{name: "default", backend: "heap", ds: ds, svc: svc, sharded: sharded, health: sharded}
+	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default"))
 	t.Cleanup(srv.Close)
 	return srv, ds, sharded
 }
@@ -373,10 +394,11 @@ func TestShardedEndToEnd(t *testing.T) {
 		t.Fatalf("close: status %d", code)
 	}
 
-	var stats service.Stats
-	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
+	var statsResp statsResponse
+	if code := getJSON(t, srv.URL+"/stats", &statsResp); code != http.StatusOK {
 		t.Fatalf("stats: status %d", code)
 	}
+	stats := statsResp.Collections["default"]
 	if len(stats.Shards) != 4 {
 		t.Fatalf("/stats reports %d shards, want 4", len(stats.Shards))
 	}
@@ -457,23 +479,335 @@ func TestReplayingReturns503(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(svc, &fakeShardHealth{readyShards: []bool{true, false, true}}))
+	c := &collection{name: "default", backend: "heap", ds: ds, svc: svc,
+		health: &fakeShardHealth{readyShards: []bool{true, false, true}}}
+	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default"))
 	defer srv.Close()
 
 	var health struct {
-		Status    string `json:"status"`
-		Replaying []int  `json:"replaying"`
+		Status    string           `json:"status"`
+		Replaying map[string][]int `json:"replaying"`
 	}
 	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusServiceUnavailable {
 		t.Fatalf("healthz during replay: status %d, want 503", code)
 	}
-	if health.Status != "replaying" || len(health.Replaying) != 1 || health.Replaying[0] != 1 {
+	if health.Status != "replaying" || len(health.Replaying["default"]) != 1 || health.Replaying["default"][0] != 1 {
 		t.Fatalf("healthz body: %+v", health)
+	}
+	// The collection-scoped healthz reports the same replay as a plain
+	// shard list.
+	var scoped struct {
+		Status    string `json:"status"`
+		Replaying []int  `json:"replaying"`
+	}
+	if code := getJSON(t, srv.URL+"/c/default/healthz", &scoped); code != http.StatusServiceUnavailable {
+		t.Fatalf("scoped healthz during replay: status %d, want 503", code)
+	}
+	if scoped.Status != "replaying" || len(scoped.Replaying) != 1 || scoped.Replaying[0] != 1 {
+		t.Fatalf("scoped healthz body: %+v", scoped)
 	}
 
 	item := 0
 	var errResp errorResponse
 	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &item, K: 5}, &errResp); code != http.StatusServiceUnavailable {
 		t.Fatalf("query against a replaying shard: status %d, want 503", code)
+	}
+}
+
+// TestStatusForMapping is the table-driven sentinel→status pin: every
+// errors.Is-able failure class the serving path can produce must map to
+// its HTTP status, wrapped or bare, including the multi-collection 404
+// and the store bounds sentinel.
+func TestStatusForMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"unknown-collection", errUnknownCollection, http.StatusNotFound},
+		{"unknown-collection-wrapped", fmt.Errorf("%w %q", errUnknownCollection, "nope"), http.StatusNotFound},
+		{"session-not-found", service.ErrSessionNotFound, http.StatusNotFound},
+		{"session-not-found-wrapped", fmt.Errorf("service: session 7: %w", service.ErrSessionNotFound), http.StatusNotFound},
+		{"overloaded", service.ErrOverloaded, http.StatusTooManyRequests},
+		{"out-of-domain", core.ErrOutOfDomain, http.StatusBadRequest},
+		{"out-of-domain-wrapped", fmt.Errorf("predict: %w", core.ErrOutOfDomain), http.StatusBadRequest},
+		{"invalid-argument", service.ErrInvalidArgument, http.StatusBadRequest},
+		{"store-bounds", store.ErrOutOfRange, http.StatusBadRequest},
+		{"store-bounds-wrapped", fmt.Errorf("dataset: %w: row 9 of 3", store.ErrOutOfRange), http.StatusBadRequest},
+		{"shard-replaying", shardedbypass.ErrReplaying, http.StatusServiceUnavailable},
+		{"shard-replaying-wrapped", fmt.Errorf("shard 2: %w", shardedbypass.ErrReplaying), http.StatusServiceUnavailable},
+		{"unclassified", errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("%s: statusFor(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// newMmapTestCollection writes ds's features to a temp FBMX file and
+// builds an mmap-backed collection over it, labels dropped — the
+// -collection name=path.fbmx composition.
+func newMmapTestCollection(t *testing.T, name string, ds *dataset.Dataset) *collection {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".fbmx")
+	if err := store.WriteFBMX(path, ds.Matrix()); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := store.OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mm.Close() })
+	if err := mm.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	mds, err := dataset.FromBackend(mm, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(mds, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewHistogramCodec(mds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byp, err := core.New(codec.D(), codec.P(), core.Config{Epsilon: 0.05, DefaultWeights: codec.DefaultWeights()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(eng, byp, service.Options{DefaultK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &collection{name: name, backend: "mmap", source: path, ds: mds, svc: svc, mm: mm}
+}
+
+// TestMultiCollectionServing drives one process serving two collections
+// — one heap-synthetic, one mmap-resident FBMX export of a different
+// seed — and asserts route scoping, per-collection stats isolation
+// (sessions, caches, trees), and the unknown-collection 404.
+func TestMultiCollectionServing(t *testing.T) {
+	birds, _ := newTestCollection(t, "birds", 5)
+	photos := newMmapTestCollection(t, "photos", birds.ds)
+	colls := map[string]*collection{"birds": birds, "photos": photos}
+	srv := httptest.NewServer(newMux(colls, ""))
+	t.Cleanup(srv.Close)
+
+	// Unknown collection → 404 with a JSON error.
+	item := 0
+	var errResp errorResponse
+	if code := postJSON(t, srv.URL+"/c/nope/query", queryRequest{Item: &item, K: 5}, &errResp); code != http.StatusNotFound {
+		t.Fatalf("unknown collection: status %d (%+v)", code, errResp)
+	}
+	if errResp.Error == "" {
+		t.Error("unknown collection error body empty")
+	}
+	// With two collections and none named "default", bare legacy routes
+	// are 404 too.
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &item, K: 5}, &errResp); code != http.StatusNotFound {
+		t.Fatalf("bare /query without a default collection: status %d", code)
+	}
+
+	// A full session against each collection through its scoped routes.
+	sessions := map[string]uint64{}
+	for name := range colls {
+		var st stateJSON
+		if code := postJSON(t, srv.URL+"/c/"+name+"/query", queryRequest{Item: &item, K: 5}, &st); code != http.StatusOK {
+			t.Fatalf("%s query: status %d", name, code)
+		}
+		if st.Collection != name || len(st.Results) != 5 {
+			t.Fatalf("%s query response: %+v", name, st)
+		}
+		sessions[name] = st.Session
+	}
+	// The mmap collection answers with bitwise-identical distances to
+	// its heap twin: same features, same kernels, different residency.
+	var heapSt, mmapSt stateJSON
+	if code := postJSON(t, srv.URL+"/c/birds/query", queryRequest{Item: &item, K: 5}, &heapSt); code != http.StatusOK {
+		t.Fatal("birds re-query failed")
+	}
+	if code := postJSON(t, srv.URL+"/c/photos/query", queryRequest{Item: &item, K: 5}, &mmapSt); code != http.StatusOK {
+		t.Fatal("photos re-query failed")
+	}
+	for i := range heapSt.Results {
+		if heapSt.Results[i].Index != mmapSt.Results[i].Index || heapSt.Results[i].Distance != mmapSt.Results[i].Distance {
+			t.Fatalf("result %d diverges across backends: %+v vs %+v", i, heapSt.Results[i], mmapSt.Results[i])
+		}
+	}
+
+	// Session ids are scoped per collection: photos' session is unknown
+	// to birds.
+	if code := postJSON(t, srv.URL+"/c/birds/close", closeRequest{Session: sessions["photos"]}, &errResp); code != http.StatusNotFound &&
+		sessions["photos"] != sessions["birds"] {
+		t.Errorf("cross-collection session id accepted: status %d", code)
+	}
+
+	// Give feedback in birds only; stats must show the activity (and the
+	// insert, if any) in birds alone. photos keeps its own counters.
+	category := birds.ds.Items[item].Category
+	var st stateJSON
+	if code := postJSON(t, srv.URL+"/c/birds/query", queryRequest{Item: &item, K: 5}, &st); code != http.StatusOK {
+		t.Fatal("birds query failed")
+	}
+	for rounds := 0; !st.Converged && rounds < 100; rounds++ {
+		scores := make([]float64, len(st.Results))
+		for i, r := range st.Results {
+			if r.Category == category {
+				scores[i] = 1
+			}
+		}
+		if code := postJSON(t, srv.URL+"/c/birds/feedback", feedbackRequest{Session: st.Session, Scores: scores}, &st); code != http.StatusOK {
+			t.Fatalf("birds feedback: status %d", code)
+		}
+	}
+	var closed closeResponse
+	if code := postJSON(t, srv.URL+"/c/birds/close", closeRequest{Session: st.Session}, &closed); code != http.StatusOK {
+		t.Fatalf("birds close: status %d", code)
+	}
+	if closed.Collection != "birds" {
+		t.Errorf("close response names collection %q", closed.Collection)
+	}
+
+	var stats statsResponse
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if len(stats.Collections) != 2 {
+		t.Fatalf("stats cover %d collections, want 2", len(stats.Collections))
+	}
+	b, p := stats.Collections["birds"], stats.Collections["photos"]
+	if b.Collection.Backend != "heap" || p.Collection.Backend != "mmap" {
+		t.Errorf("backends: birds=%s photos=%s", b.Collection.Backend, p.Collection.Backend)
+	}
+	if b.Feedbacks == 0 {
+		t.Error("birds feedback rounds not counted")
+	}
+	if p.Feedbacks != 0 {
+		t.Errorf("photos counted %d feedbacks from birds' session", p.Feedbacks)
+	}
+	if b.Tree.Points > 0 && p.Tree.Points != 0 {
+		t.Error("birds' insert leaked into photos' tree")
+	}
+	if p.Opened != 2 {
+		t.Errorf("photos opened %d sessions, want 2", p.Opened)
+	}
+
+	// Per-collection stats and healthz routes answer scoped.
+	var one collectionStats
+	if code := getJSON(t, srv.URL+"/c/photos/stats", &one); code != http.StatusOK {
+		t.Fatalf("/c/photos/stats: status %d", code)
+	}
+	if one.Collection.Name != "photos" || one.Opened != p.Opened {
+		t.Errorf("scoped stats: %+v", one.Collection)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		Collection string `json:"collection"`
+	}
+	if code := getJSON(t, srv.URL+"/c/photos/healthz", &health); code != http.StatusOK || health.Collection != "photos" {
+		t.Errorf("scoped healthz: %d %+v", code, health)
+	}
+}
+
+// TestLayoutFlipRefused pins the durable-layout migration guard: module
+// state written under one collection-count layout must not be silently
+// shadowed when the process is restarted with the other layout.
+func TestLayoutFlipRefused(t *testing.T) {
+	base := serveConfig{
+		scale: 0.02, seed: 3, k: 5, epsilon: 0.05,
+		compactEach: 512, maxSessions: 16, iterBudget: 5, cacheSize: 16, shards: 1,
+	}
+	spec := "synth:scale=0.02,seed=3"
+
+	// Flat layout first (single collection), then reopen as multi: the
+	// root module state must be refused, not shadowed by dir/birds/.
+	flat := base
+	flat.dir = t.TempDir()
+	c, err := buildCollection("birds", spec, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.durable == nil {
+		t.Fatal("single-collection durable build has no durable handle")
+	}
+	c.durable.Close()
+	flatMulti := flat
+	flatMulti.multi = true
+	if _, err := buildCollection("birds", spec, flatMulti); err == nil {
+		t.Fatal("multi-collection reopen over flat module state was accepted")
+	}
+
+	// Nested layout first (multi), then reopen as single: the nested
+	// module must be refused rather than ignored in favour of a fresh
+	// module at the root.
+	nested := base
+	nested.dir = t.TempDir()
+	nested.multi = true
+	c2, err := buildCollection("birds", spec, nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.durable.Close()
+	nestedSingle := nested
+	nestedSingle.multi = false
+	if _, err := buildCollection("birds", spec, nestedSingle); err == nil {
+		t.Fatal("single-collection reopen over nested module state was accepted")
+	}
+
+	// A fresh directory in either layout still opens fine.
+	fresh := base
+	fresh.dir = t.TempDir()
+	fresh.multi = true
+	c3, err := buildCollection("birds", spec, fresh)
+	if err != nil {
+		t.Fatalf("fresh multi-layout build refused: %v", err)
+	}
+	c3.durable.Close()
+}
+
+// TestCollectionSpecParsing pins the -collection flag grammar.
+func TestCollectionSpecParsing(t *testing.T) {
+	var cs collectionSpecs
+	for _, ok := range []string{"a=synth:", "b-2=synth:scale=0.1,seed=9", "c_x=/data/f.fbmx", "d=fbmx:/data/f"} {
+		if err := cs.add(ok); err != nil {
+			t.Errorf("add(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "noequals", "=spec", "name=", "a=synth:", "sp ace=synth:", "a/b=synth:"} {
+		if err := cs.add(bad); err == nil {
+			t.Errorf("add(%q) accepted", bad)
+		}
+	}
+	cfg := serveConfig{scale: 0.05, seed: 3}
+	if _, _, _, err := buildDataset("synth:scale=bogus", cfg); err == nil {
+		t.Error("bogus synth scale accepted")
+	}
+	if _, _, _, err := buildDataset("synth:rows=5", cfg); err == nil {
+		t.Error("unknown synth key accepted")
+	}
+	if _, _, _, err := buildDataset("plainpath", cfg); err == nil {
+		t.Error("pathless spec accepted")
+	}
+	if _, _, _, err := buildDataset(filepath.Join(t.TempDir(), "missing.fbmx"), cfg); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing fbmx file: %v", err)
+	}
+	ds, backend, mm, err := buildDataset("synth:scale=0.02,seed=4", cfg)
+	if err != nil || backend != "heap" || mm != nil || ds.Len() == 0 {
+		t.Fatalf("synth build: %v %s %v", err, backend, mm)
+	}
+	path := filepath.Join(t.TempDir(), "c.fbmx")
+	if err := store.WriteFBMX(path, ds.Matrix()); err != nil {
+		t.Fatal(err)
+	}
+	mds, backend, mm, err := buildDataset(path, cfg)
+	if err != nil || backend != "mmap" || mm == nil {
+		t.Fatalf("fbmx build: %v %s", err, backend)
+	}
+	defer mm.Close()
+	if mds.Len() != ds.Len() || mds.Dim != ds.Dim {
+		t.Errorf("fbmx dataset shape %dx%d, want %dx%d", mds.Len(), mds.Dim, ds.Len(), ds.Dim)
 	}
 }

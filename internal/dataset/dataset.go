@@ -23,17 +23,19 @@ type Item struct {
 	Feature  []float64 // normalized colour histogram (sums to 1)
 }
 
-// Dataset is the in-memory collection the retrieval engine searches.
-// Feature vectors live in one contiguous row-major store (mat); every
+// Dataset is the collection the retrieval engine searches. Feature
+// vectors live behind one contiguous row-major store.Backend — an
+// in-heap FlatMatrix for generated collections, or an mmap-resident
+// MmapMatrix for collections opened from FBMX files — and every
 // Item.Feature is a view into it, so the scan kernels stream the whole
-// collection as one slab.
+// collection as one slab regardless of where it resides.
 type Dataset struct {
 	Items      []Item
 	Dim        int
 	ByCategory map[string][]int // category → item indices
 	QueryCats  []string         // categories queries are sampled from
 
-	mat *store.FlatMatrix
+	mat store.Backend
 }
 
 // Build generates the collection from cfg and extracts features with the
@@ -62,7 +64,9 @@ func Build(cfg imagegen.Config, ex histogram.Extractor) (*Dataset, error) {
 			return nil, fmt.Errorf("dataset: extracting image %d: %w", g.ID, err)
 		}
 		i := len(d.Items)
-		mat.SetRow(i, feat)
+		if err := mat.SetRow(i, feat); err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
 		d.ByCategory[g.Category] = append(d.ByCategory[g.Category], i)
 		d.Items = append(d.Items, Item{ID: g.ID, Category: g.Category, Theme: g.Theme, Feature: mat.Row(i)})
 	}
@@ -86,8 +90,38 @@ func FromItems(items []Item, queryCats []string) (*Dataset, error) {
 		if len(it.Feature) != dim {
 			return nil, fmt.Errorf("dataset: item %d has dimension %d, want %d", i, len(it.Feature), dim)
 		}
-		mat.SetRow(i, it.Feature)
+		if err := mat.SetRow(i, it.Feature); err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
 		it.Feature = mat.Row(i)
+		d.ByCategory[it.Category] = append(d.ByCategory[it.Category], i)
+		d.Items = append(d.Items, it)
+	}
+	return d, nil
+}
+
+// FromBackend builds a dataset directly over an existing feature
+// backend — the open path for FBMX collection files, whose rows are
+// served in place (mmap-resident) rather than copied into the heap.
+// items supplies per-row metadata positionally aligned with the backend
+// (Feature fields are ignored and replaced by backend views); a nil
+// items gives every row an unlabeled item (empty category), which is
+// sufficient for serving externally-scored sessions where relevance
+// comes from the client, not the category oracle.
+func FromBackend(b store.Backend, items []Item, queryCats []string) (*Dataset, error) {
+	if b == nil || b.Len() == 0 {
+		return nil, errors.New("dataset: empty backend")
+	}
+	if items != nil && len(items) != b.Len() {
+		return nil, fmt.Errorf("dataset: %d item labels for %d rows", len(items), b.Len())
+	}
+	d := &Dataset{Dim: b.Dim(), ByCategory: make(map[string][]int), QueryCats: queryCats, mat: b}
+	for i := 0; i < b.Len(); i++ {
+		it := Item{ID: i}
+		if items != nil {
+			it = items[i]
+		}
+		it.Feature = b.Row(i)
 		d.ByCategory[it.Category] = append(d.ByCategory[it.Category], i)
 		d.Items = append(d.Items, it)
 	}
@@ -96,6 +130,18 @@ func FromItems(items []Item, queryCats []string) (*Dataset, error) {
 
 // Len returns the collection size.
 func (d *Dataset) Len() int { return len(d.Items) }
+
+// Feature returns item i's feature vector through the bounds-checked
+// accessor: an out-of-range index (e.g. from an unvalidated client
+// request) returns an error wrapping store.ErrOutOfRange instead of
+// panicking.
+func (d *Dataset) Feature(i int) ([]float64, error) {
+	row, err := store.RowChecked(d.mat, i)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return row, nil
+}
 
 // Relevant returns the number of items in the given category — the
 // denominator of the recall metric.
@@ -108,14 +154,14 @@ func (d *Dataset) IsGood(i int, queryCategory string) bool {
 }
 
 // Features returns the feature matrix as a slice of rows (aliasing the
-// flat store; callers must not mutate).
+// backend; callers must not mutate).
 func (d *Dataset) Features() [][]float64 {
-	return d.mat.Rows()
+	return store.RowsOf(d.mat)
 }
 
-// Matrix returns the contiguous feature store backing the collection
+// Matrix returns the feature backend the collection is served from
 // (aliased; callers must not mutate).
-func (d *Dataset) Matrix() *store.FlatMatrix { return d.mat }
+func (d *Dataset) Matrix() store.Backend { return d.mat }
 
 // SampleQueries draws n item indices uniformly at random from the query
 // categories, without replacement when possible (with replacement once the

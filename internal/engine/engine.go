@@ -81,7 +81,7 @@ func New(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	scan, err := knn.NewScanMatrix(ds.Matrix())
+	scan, err := knn.NewScanBackend(ds.Matrix())
 	if err != nil {
 		return nil, err
 	}
@@ -196,10 +196,14 @@ func (e *Engine) RefineFromScores(q []float64, results []knn.Result, scores []fl
 	}
 	vectors := make([][]float64, len(results))
 	for i, r := range results {
-		if r.Index < 0 || r.Index >= e.ds.Len() {
-			return nil, nil, fmt.Errorf("engine: result index %d out of range [0, %d)", r.Index, e.ds.Len())
+		// The bounds-checked accessor turns a hostile index from a
+		// serving-path client into an errors.Is-able store.ErrOutOfRange
+		// instead of a slice-bounds panic inside an HTTP handler.
+		v, err := e.ds.Feature(r.Index)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: result index %d: %w", r.Index, err)
 		}
-		vectors[i] = e.ds.Items[r.Index].Feature
+		vectors[i] = v
 	}
 	return e.fb.Refine(q, vectors, scores)
 }

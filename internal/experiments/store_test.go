@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+// TestRunStoreSmoke runs the multi-backend benchmark at toy scale and
+// checks its invariants: both backends measured, the serve phases
+// completed, and the mmap backend retrieved the same collection (counts
+// and inserts are workload-deterministic per backend, so train phases
+// must agree across backends — the oracle and query stream are
+// identical, only residency differs).
+func TestRunStoreSmoke(t *testing.T) {
+	cfg := StoreConfig{
+		Seed:     3,
+		Scale:    0.03,
+		K:        5,
+		Epsilon:  0.05,
+		Sessions: 8,
+		// One client keeps the session stream strictly sequential, so the
+		// learned-outcome comparison across backends below is exact (with
+		// concurrent clients, completion order — and hence ε-rejection —
+		// may interleave differently per run).
+		Clients:     1,
+		ScanQueries: 16,
+	}
+	res, err := RunStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collection == 0 || res.Dim == 0 {
+		t.Fatalf("empty collection in result: %+v", res)
+	}
+	if res.FileBytes <= 4096 {
+		t.Errorf("FBMX file suspiciously small: %d bytes", res.FileBytes)
+	}
+	if len(res.Backends) != 2 || res.Backends[0].Backend != "heap" || res.Backends[1].Backend != "mmap" {
+		t.Fatalf("backends: %+v", res.Backends)
+	}
+	for _, b := range res.Backends {
+		if b.ColdScanMicros <= 0 || b.WarmScanMicros <= 0 || b.BatchMicrosPerQuery <= 0 {
+			t.Errorf("%s: non-positive scan measurements: %+v", b.Backend, b)
+		}
+		if b.Train.Sessions != cfg.Sessions || b.Bypass.Sessions != 2*cfg.Sessions {
+			t.Errorf("%s: phase session counts %d/%d", b.Backend, b.Train.Sessions, b.Bypass.Sessions)
+		}
+		if b.Train.Feedbacks == 0 {
+			t.Errorf("%s: train phase did no feedback", b.Backend)
+		}
+	}
+	if res.WarmRatio <= 0 {
+		t.Errorf("warm ratio not computed: %v", res.WarmRatio)
+	}
+	// The two backends ran the same deterministic workload against the
+	// same features; the learned outcome must match exactly.
+	h, m := res.Backends[0], res.Backends[1]
+	if h.Train.Inserted != m.Train.Inserted {
+		t.Errorf("train inserts diverge across backends: heap %d, mmap %d", h.Train.Inserted, m.Train.Inserted)
+	}
+	if h.Train.Feedbacks != m.Train.Feedbacks {
+		t.Errorf("train feedbacks diverge across backends: heap %d, mmap %d", h.Train.Feedbacks, m.Train.Feedbacks)
+	}
+}
+
+// TestRunStoreValidation covers config error paths.
+func TestRunStoreValidation(t *testing.T) {
+	bad := []StoreConfig{
+		{},
+		{Scale: 0.1},
+		{Scale: 0.1, K: 5},
+		{Scale: 0.1, K: 5, Sessions: 4},
+		{Scale: 0.1, K: 5, Sessions: 4, Clients: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunStore(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -151,7 +151,7 @@ func (s *Scan) searchKernel(q []float64, k int, kern distance.Kernel) []Result {
 // the naive Metric implementations. Abandon-check cadence varies by
 // loop; cadence only changes how much of a doomed row is read, never a
 // surviving sum.
-func scanRows(mat *store.FlatMatrix, q []float64, kern distance.Kernel, lo, hi int, st *scanState) {
+func scanRows(mat store.Backend, q []float64, kern distance.Kernel, lo, hi int, st *scanState) {
 	dim := mat.Dim()
 	if dim == 32 {
 		if kern.Weights() == nil {
@@ -177,7 +177,7 @@ func scanRows(mat *store.FlatMatrix, q []float64, kern distance.Kernel, lo, hi i
 
 // scanRows32 is the unweighted D=32 fast path: four 8-element blocks with
 // constant indices, abandon check per block.
-func scanRows32(mat *store.FlatMatrix, q []float64, lo, hi int, st *scanState) {
+func scanRows32(mat store.Backend, q []float64, lo, hi int, st *scanState) {
 	bound2 := st.bound2
 	slab := mat.Slab(lo, hi)
 	q = q[:32]
@@ -222,7 +222,7 @@ func scanRows32(mat *store.FlatMatrix, q []float64, lo, hi int, st *scanState) {
 }
 
 // scanRows32W is the weighted D=32 fast path.
-func scanRows32W(mat *store.FlatMatrix, q, w []float64, lo, hi int, st *scanState) {
+func scanRows32W(mat store.Backend, q, w []float64, lo, hi int, st *scanState) {
 	bound2 := st.bound2
 	slab := mat.Slab(lo, hi)
 	q = q[:32]
@@ -432,7 +432,7 @@ func (s *Scan) scanBatchTiled(qs [][]float64, k int, kerns []distance.Kernel, ou
 // scanTile32 runs the four-pass cascade over rows [blockLo, blockHi) for
 // one unweighted query at D = 32, through the phase kernels (SSE2 on
 // amd64, identical Go loops elsewhere — phase1.go).
-func scanTile32(mat *store.FlatMatrix, q []float64, blockLo, blockHi int, st *scanState, b *tileBufs) {
+func scanTile32(mat store.Backend, q []float64, blockLo, blockHi int, st *scanState, b *tileBufs) {
 	rows := blockHi - blockLo
 	slab := mat.Slab(blockLo, blockHi)
 	bound2 := st.bound2
@@ -453,7 +453,7 @@ func scanTile32(mat *store.FlatMatrix, q []float64, blockLo, blockHi int, st *sc
 }
 
 // scanTile32W is the weighted counterpart of scanTile32.
-func scanTile32W(mat *store.FlatMatrix, q, w []float64, blockLo, blockHi int, st *scanState, b *tileBufs) {
+func scanTile32W(mat store.Backend, q, w []float64, blockLo, blockHi int, st *scanState, b *tileBufs) {
 	rows := blockHi - blockLo
 	slab := mat.Slab(blockLo, blockHi)
 	bound2 := st.bound2

@@ -32,12 +32,14 @@ type Searcher interface {
 
 // Scan is the exact scan searcher: it supports *any* metric, including
 // the per-query re-weighted distances of the feedback loop, which
-// fixed-metric indexes cannot serve directly. Features live in one
-// contiguous row-major FlatMatrix; for Euclidean and weighted-Euclidean
-// metrics the scan runs a squared-space early-abandoning kernel sharded
-// over GOMAXPROCS workers (see DESIGN.md, "Retrieval core").
+// fixed-metric indexes cannot serve directly. Features live behind a
+// store.Backend — the in-heap FlatMatrix or an mmap-resident FBMX
+// collection — whose contiguous slabs the kernels consume directly; for
+// Euclidean and weighted-Euclidean metrics the scan runs a squared-space
+// early-abandoning kernel sharded over GOMAXPROCS workers (see
+// DESIGN.md, "Retrieval core").
 type Scan struct {
-	mat *store.FlatMatrix
+	mat store.Backend
 }
 
 // NewScan builds a scan searcher over the given vectors (copied into a
@@ -50,20 +52,31 @@ func NewScan(data [][]float64) (*Scan, error) {
 	return &Scan{mat: mat}, nil
 }
 
+// NewScanBackend builds a scan searcher directly over any feature
+// backend (aliased, not copied). The kernels stream the backend's slabs
+// without per-row copies, so an mmap-resident collection is scanned in
+// place.
+func NewScanBackend(b store.Backend) (*Scan, error) {
+	if b == nil || b.Len() == 0 {
+		return nil, fmt.Errorf("knn: empty collection")
+	}
+	return &Scan{mat: b}, nil
+}
+
 // NewScanMatrix builds a scan searcher directly over a flat feature
 // matrix (aliased, not copied).
 func NewScanMatrix(mat *store.FlatMatrix) (*Scan, error) {
-	if mat == nil || mat.Len() == 0 {
+	if mat == nil {
 		return nil, fmt.Errorf("knn: empty collection")
 	}
-	return &Scan{mat: mat}, nil
+	return NewScanBackend(mat)
 }
 
 // Len implements Searcher.
 func (s *Scan) Len() int { return s.mat.Len() }
 
-// Matrix returns the underlying flat feature store.
-func (s *Scan) Matrix() *store.FlatMatrix { return s.mat }
+// Matrix returns the underlying feature backend.
+func (s *Scan) Matrix() store.Backend { return s.mat }
 
 func (s *Scan) checkQuery(q []float64, k int) error {
 	if k <= 0 {

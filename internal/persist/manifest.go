@@ -92,6 +92,15 @@ func LoadManifest(path string) (Manifest, error) {
 	if err != nil {
 		return Manifest{}, err
 	}
+	return DecodeManifest(data)
+}
+
+// DecodeManifest validates and decodes a manifest image from memory —
+// the byte-level parser LoadManifest wraps, exposed so untrusted input
+// (and the fuzzer) can exercise it without touching the filesystem. Any
+// malformed content returns an error wrapping ErrCorrupt; it never
+// panics.
+func DecodeManifest(data []byte) (Manifest, error) {
 	if len(data) != manifestSize {
 		return Manifest{}, fmt.Errorf("%w: manifest is %d bytes, want %d", ErrCorrupt, len(data), manifestSize)
 	}

@@ -81,6 +81,113 @@ func TestCachePerShardInvalidation(t *testing.T) {
 	}
 }
 
+// cachePoint builds a distinct query point and its signature for cache
+// key tests.
+func cachePoint(i int) ([]float64, uint64) {
+	q := []float64{float64(i) * 0.01, 0.5, 0.25}
+	return q, engine.QuerySignature(q)
+}
+
+// TestCacheCapacityBound pins the LRU's capacity invariant directly:
+// the entry count never exceeds the configured capacity no matter how
+// many distinct keys are inserted.
+func TestCacheCapacityBound(t *testing.T) {
+	const cap = 8
+	c := newPredictionCache(cap, 1)
+	for i := 0; i < 5*cap; i++ {
+		q, sig := cachePoint(i)
+		c.Put(0, c.Generation(0), sig, q, oqpFor(float64(i), 3))
+		if c.Len() > cap {
+			t.Fatalf("after %d puts: %d entries exceed capacity %d", i+1, c.Len(), cap)
+		}
+	}
+	if c.Len() != cap {
+		t.Fatalf("steady state holds %d entries, want %d", c.Len(), cap)
+	}
+	// The cap survivors are exactly the most recent cap inserts.
+	for i := 0; i < 5*cap; i++ {
+		q, sig := cachePoint(i)
+		_, ok := c.Get(sig, q)
+		if want := i >= 4*cap; ok != want {
+			t.Errorf("entry %d cached=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestCacheLRUEvictionOrder pins the eviction order: filling the cache,
+// touching a subset via Get, then overflowing must evict the
+// least-recently-used entries — not the oldest-inserted ones.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	const cap = 4
+	c := newPredictionCache(cap, 1)
+	qs := make([][]float64, 6)
+	sigs := make([]uint64, 6)
+	for i := 0; i < 6; i++ {
+		qs[i], sigs[i] = cachePoint(i)
+	}
+	for i := 0; i < cap; i++ { // cache: [3 2 1 0] (front = MRU)
+		c.Put(0, c.Generation(0), sigs[i], qs[i], oqpFor(float64(i), 3))
+	}
+	// Touch 0 then 1: recency becomes [1 0 3 2].
+	if _, ok := c.Get(sigs[0], qs[0]); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	if _, ok := c.Get(sigs[1], qs[1]); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	// Two more inserts evict exactly 2 then 3 (the LRU tail), sparing
+	// the older-but-recently-touched 0 and 1.
+	c.Put(0, c.Generation(0), sigs[4], qs[4], oqpFor(4, 3))
+	if _, ok := c.Get(sigs[2], qs[2]); ok {
+		t.Error("LRU entry 2 survived the first overflow")
+	}
+	c.Put(0, c.Generation(0), sigs[5], qs[5], oqpFor(5, 3))
+	if _, ok := c.Get(sigs[3], qs[3]); ok {
+		t.Error("LRU entry 3 survived the second overflow")
+	}
+	for _, i := range []int{0, 1, 4, 5} {
+		if _, ok := c.Get(sigs[i], qs[i]); !ok {
+			t.Errorf("entry %d evicted out of LRU order", i)
+		}
+	}
+}
+
+// TestCachePutRefreshAndCollision: re-putting an existing key refreshes
+// its value and recency in place (no growth), and a signature collision
+// between distinct points replaces the older entry while Get on the
+// displaced point misses.
+func TestCachePutRefreshAndCollision(t *testing.T) {
+	c := newPredictionCache(4, 1)
+	q0, sig0 := cachePoint(0)
+	c.Put(0, c.Generation(0), sig0, q0, oqpFor(1, 3))
+	c.Put(0, c.Generation(0), sig0, q0, oqpFor(2, 3))
+	if c.Len() != 1 {
+		t.Fatalf("refresh grew the cache to %d entries", c.Len())
+	}
+	if oqp, ok := c.Get(sig0, q0); !ok || oqp.Delta[0] != 2 {
+		t.Fatalf("refresh did not replace the value: %v %v", oqp, ok)
+	}
+	// Same signature, different point (a forced collision): the entry is
+	// replaced, and the old point no longer hits.
+	q1, _ := cachePoint(1)
+	c.Put(0, c.Generation(0), sig0, q1, oqpFor(3, 3))
+	if c.Len() != 1 {
+		t.Fatalf("collision replace grew the cache to %d entries", c.Len())
+	}
+	if _, ok := c.Get(sig0, q0); ok {
+		t.Error("displaced point still served after collision replace")
+	}
+	if oqp, ok := c.Get(sig0, q1); !ok || oqp.Delta[0] != 3 {
+		t.Errorf("colliding point not served: %v %v", oqp, ok)
+	}
+	// A Get returns a deep copy: mutating it must not corrupt the cache.
+	oqp, _ := c.Get(sig0, q1)
+	oqp.Delta[0] = 99
+	if again, _ := c.Get(sig0, q1); again.Delta[0] != 3 {
+		t.Error("Get returned an aliased OQP; cache corrupted by caller mutation")
+	}
+}
+
 // newShardedTestService is newTestService over a partitioned in-memory
 // bypass.
 func newShardedTestService(t *testing.T, shards int, opts Options) (*Service, *dataset.Dataset) {

@@ -1,0 +1,197 @@
+package store
+
+// FBMX is the on-disk form of a feature collection: a page-aligned,
+// CRC-headered row-major float64 matrix, written once and opened
+// read-only — usually through OpenMmap, which maps the payload straight
+// into the scan kernels' address space (no heap copy of the collection).
+//
+// Format (little-endian):
+//
+//	magic   [4]byte  "FBMX"
+//	version uint32   currently 1
+//	n       uint64   number of rows
+//	dim     uint64   row dimensionality
+//	dataCRC uint32   IEEE checksum of the payload bytes
+//	hdrCRC  uint32   IEEE checksum of the 28 header bytes before it
+//	pad     zeros to fbmxHeaderPage (4096)
+//	payload n*dim float64, row-major
+//
+// The payload starts at a page boundary, so a read-only mmap of the file
+// yields an 8-byte-aligned float64 slab and whole-page access patterns
+// for the tiled scans. Files are written atomically (tmp + fsync +
+// rename + directory fsync, like persist.Manifest), so a crash leaves
+// either no file or a complete one. All parse failures wrap ErrCorrupt.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+var fbmxMagic = [4]byte{'F', 'B', 'M', 'X'}
+
+// FBMXVersion is the current collection file format version.
+const FBMXVersion = 1
+
+// fbmxHeaderPage is the page-aligned size of the header block; the
+// payload begins at this offset.
+const fbmxHeaderPage = 4096
+
+// fbmxHeaderSize is the meaningful prefix of the header block.
+const fbmxHeaderSize = 4 + 4 + 8 + 8 + 4 + 4
+
+// maxFBMXSide bounds n and dim read from untrusted files so their
+// product cannot overflow and a corrupt header cannot trigger an
+// enormous allocation beyond the input's own size.
+const maxFBMXSide = 1 << 31
+
+// WriteFBMX writes the backend's rows to path as an FBMX collection
+// file, atomically: a temporary file is written, fsynced, renamed into
+// place, and the directory entry made durable.
+func WriteFBMX(path string, b Backend) error {
+	if b == nil || b.Len() == 0 || b.Dim() <= 0 {
+		return fmt.Errorf("store: cannot write empty collection to %s", path)
+	}
+	n, dim := b.Len(), b.Dim()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Single pass over the rows: reserve the header page, stream the
+	// payload through one reused row buffer while accumulating its
+	// checksum, then drop the finalized header in at offset 0. The file
+	// only becomes visible at the rename below, so the temporarily
+	// zeroed header is never observable.
+	hdr := make([]byte, fbmxHeaderPage)
+	if _, err := f.Write(hdr); err != nil {
+		return cleanup(err)
+	}
+	rowBuf := make([]byte, 8*dim)
+	crc := crc32.NewIEEE()
+	for i := 0; i < n; i++ {
+		encodeRow(rowBuf, b.Row(i))
+		crc.Write(rowBuf)
+		if _, err := f.Write(rowBuf); err != nil {
+			return cleanup(err)
+		}
+	}
+	copy(hdr[0:4], fbmxMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], FBMXVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(dim))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc.Sum32())
+	binary.LittleEndian.PutUint32(hdr[28:32], crc32.ChecksumIEEE(hdr[:28]))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+func encodeRow(dst []byte, row []float64) {
+	for j, x := range row {
+		binary.LittleEndian.PutUint64(dst[8*j:], math.Float64bits(x))
+	}
+}
+
+// parseFBMXHeader validates the header block of an FBMX image and
+// returns its shape and payload checksum. size is the total file (or
+// buffer) length, checked against the shape. All failures wrap
+// ErrCorrupt.
+func parseFBMXHeader(data []byte, size int64) (n, dim int, dataCRC uint32, err error) {
+	if len(data) < fbmxHeaderSize {
+		return 0, 0, 0, fmt.Errorf("%w: FBMX header is %d bytes, want at least %d", ErrCorrupt, len(data), fbmxHeaderSize)
+	}
+	if [4]byte(data[0:4]) != fbmxMagic {
+		return 0, 0, 0, fmt.Errorf("%w: bad FBMX magic %q", ErrCorrupt, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != FBMXVersion {
+		return 0, 0, 0, fmt.Errorf("%w: unsupported FBMX version %d", ErrCorrupt, v)
+	}
+	if want, got := binary.LittleEndian.Uint32(data[28:32]), crc32.ChecksumIEEE(data[:28]); want != got {
+		return 0, 0, 0, fmt.Errorf("%w: FBMX header checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	un := binary.LittleEndian.Uint64(data[8:16])
+	udim := binary.LittleEndian.Uint64(data[16:24])
+	if un == 0 || udim == 0 || un >= maxFBMXSide || udim >= maxFBMXSide {
+		return 0, 0, 0, fmt.Errorf("%w: implausible FBMX shape %dx%d", ErrCorrupt, un, udim)
+	}
+	// Compare element counts, not byte counts: un and udim are each
+	// < 2^31, so un*udim fits a uint64 exactly, whereas multiplying the
+	// product by 8 (or converting to int64) could wrap and let a crafted
+	// header with an astronomically large shape masquerade as a tiny
+	// file.
+	if size < fbmxHeaderPage || (size-fbmxHeaderPage)%8 != 0 {
+		return 0, 0, 0, fmt.Errorf("%w: FBMX file is %d bytes, not a whole float64 payload past the header page", ErrCorrupt, size)
+	}
+	if elems := uint64(size-fbmxHeaderPage) / 8; un*udim != elems {
+		return 0, 0, 0, fmt.Errorf("%w: FBMX file holds %d payload elements, want %d for a %dx%d collection", ErrCorrupt, elems, un*udim, un, udim)
+	}
+	return int(un), int(udim), binary.LittleEndian.Uint32(data[24:28]), nil
+}
+
+// verifyFBMXPayload checks the payload bytes against the header's
+// checksum.
+func verifyFBMXPayload(payload []byte, dataCRC uint32) error {
+	if got := crc32.ChecksumIEEE(payload); got != dataCRC {
+		return fmt.Errorf("%w: FBMX payload checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, dataCRC, got)
+	}
+	return nil
+}
+
+// DecodeFBMX parses a complete FBMX image from memory into a fresh
+// in-heap FlatMatrix, verifying both checksums. It is the portable
+// open path (used when mmap is unavailable) and the fuzzing target: any
+// input either decodes fully or returns an error wrapping ErrCorrupt —
+// never a panic, never an allocation beyond the input's own size.
+func DecodeFBMX(data []byte) (*FlatMatrix, error) {
+	if len(data) < fbmxHeaderPage {
+		return nil, fmt.Errorf("%w: FBMX image is %d bytes, want at least the %d-byte header page", ErrCorrupt, len(data), fbmxHeaderPage)
+	}
+	n, dim, dataCRC, err := parseFBMXHeader(data, int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	payload := data[fbmxHeaderPage:]
+	if err := verifyFBMXPayload(payload, dataCRC); err != nil {
+		return nil, err
+	}
+	vals := make([]float64, n*dim)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return &FlatMatrix{data: vals, n: n, dim: dim}, nil
+}
+
+// syncDir fsyncs a directory, making the rename inside it durable.
+// (Duplicated from persist.SyncDir to keep store dependency-free.)
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -1,0 +1,334 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randomMatrix builds an n×dim FlatMatrix with NormFloat64 entries plus
+// the awkward values an on-disk roundtrip must preserve bitwise.
+func randomMatrix(t *testing.T, rng *rand.Rand, n, dim int) *FlatMatrix {
+	t.Helper()
+	m, err := NewFlatMatrix(n, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if i == 0 && dim >= 4 {
+			row[0], row[1], row[2], row[3] = 0, math.Copysign(0, -1), math.Inf(1), math.NaN()
+		}
+		if err := m.SetRow(i, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func writeTempFBMX(t *testing.T, m *FlatMatrix) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "coll.fbmx")
+	if err := WriteFBMX(path, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// rowsBitwiseEqual compares two backends row by row on float64 bit
+// patterns (so NaNs and signed zeros count as preserved).
+func rowsBitwiseEqual(a, b Backend) bool {
+	if a.Len() != b.Len() || a.Dim() != b.Dim() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if math.Float64bits(ra[j]) != math.Float64bits(rb[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFBMXRoundTrip: write → OpenMmap and write → DecodeFBMX must both
+// reproduce the matrix bitwise, including NaN payloads and -0.
+func TestFBMXRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []struct{ n, dim int }{{1, 1}, {3, 5}, {70, 32}, {600, 7}} {
+		m := randomMatrix(t, rng, shape.n, shape.dim)
+		path := writeTempFBMX(t, m)
+
+		mm, err := OpenMmap(path)
+		if err != nil {
+			t.Fatalf("%dx%d: OpenMmap: %v", shape.n, shape.dim, err)
+		}
+		if mm.Len() != shape.n || mm.Dim() != shape.dim {
+			t.Fatalf("mmap shape %dx%d, want %dx%d", mm.Len(), mm.Dim(), shape.n, shape.dim)
+		}
+		if err := mm.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if !rowsBitwiseEqual(m, mm) {
+			t.Fatalf("%dx%d: mmap rows differ from source", shape.n, shape.dim)
+		}
+
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeFBMX(raw)
+		if err != nil {
+			t.Fatalf("DecodeFBMX: %v", err)
+		}
+		if !rowsBitwiseEqual(m, dec) {
+			t.Fatalf("%dx%d: decoded rows differ from source", shape.n, shape.dim)
+		}
+		if err := mm.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := mm.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+}
+
+// TestFBMXSlabMatchesRows pins the slab view the tiled kernels consume
+// against per-row access on both backends.
+func TestFBMXSlabMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomMatrix(t, rng, 40, 8)
+	mm, err := OpenMmap(writeTempFBMX(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	for _, b := range []Backend{m, mm} {
+		slab := b.Slab(10, 25)
+		if len(slab) != 15*8 {
+			t.Fatalf("slab length %d", len(slab))
+		}
+		for i := 0; i < 15; i++ {
+			row := b.Row(10 + i)
+			for j := range row {
+				if math.Float64bits(slab[i*8+j]) != math.Float64bits(row[j]) {
+					t.Fatalf("slab[%d,%d] != row", i, j)
+				}
+			}
+		}
+	}
+}
+
+// corrupt returns a mutated copy of raw.
+func corrupt(raw []byte, mutate func([]byte)) []byte {
+	c := make([]byte, len(raw))
+	copy(c, raw)
+	mutate(c)
+	return c
+}
+
+// TestFBMXCorruptionDetected: every malformed input must be rejected
+// with an error wrapping ErrCorrupt — never a panic, never silent
+// acceptance.
+func TestFBMXCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(t, rng, 12, 6)
+	path := writeTempFBMX(t, m)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short-header", raw[:16]},
+		{"header-only", raw[:fbmxHeaderPage]},
+		{"bad-magic", corrupt(raw, func(b []byte) { b[0] = 'X' })},
+		{"bad-version", corrupt(raw, func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:8], 99)
+			binary.LittleEndian.PutUint32(b[28:32], crc32.ChecksumIEEE(b[:28]))
+		})},
+		{"header-crc", corrupt(raw, func(b []byte) { b[9] ^= 1 })},
+		{"zero-rows", corrupt(raw, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8:16], 0)
+			binary.LittleEndian.PutUint32(b[28:32], crc32.ChecksumIEEE(b[:28]))
+		})},
+		{"huge-shape", corrupt(raw, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8:16], 1<<40)
+			binary.LittleEndian.PutUint32(b[28:32], crc32.ChecksumIEEE(b[:28]))
+		})},
+		{"truncated-payload", raw[:len(raw)-8]},
+		{"trailing-bytes", append(append([]byte{}, raw...), 0)},
+		{"payload-flip", corrupt(raw, func(b []byte) { b[fbmxHeaderPage+3] ^= 1 })},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFBMX(tc.data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: DecodeFBMX error %v, want ErrCorrupt", tc.name, err)
+		}
+		// The same bytes on disk must be rejected by the mmap open path
+		// too (payload damage surfaces at Verify).
+		p := filepath.Join(t.TempDir(), "bad.fbmx")
+		if err := os.WriteFile(p, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mm, err := OpenMmap(p)
+		if err == nil {
+			err = mm.Verify()
+			mm.Close()
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: OpenMmap(+Verify) error %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+	if _, err := OpenMmap(filepath.Join(t.TempDir(), "missing.fbmx")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestFBMXShapeOverflowRejected is the regression test for the header
+// size-check overflow: a CRC-valid header whose n*dim*8 wraps 64-bit
+// arithmetic back to a tiny payload size must be rejected as corrupt,
+// not accepted (which would panic DecodeFBMX's allocation and hand
+// OpenMmap a wildly out-of-bounds slice view).
+func TestFBMXShapeOverflowRejected(t *testing.T) {
+	// n*dim ≈ 2.3e18, so 8*n*dim mod 2^64 = 64: with naive byte-count
+	// arithmetic this 4160-byte file (64-byte payload) looks exactly the
+	// right size for a ~2^61-element collection.
+	const n, dim = 1073807362, 2147352580
+	data := make([]byte, fbmxHeaderPage+64)
+	copy(data[0:4], fbmxMagic[:])
+	binary.LittleEndian.PutUint32(data[4:8], FBMXVersion)
+	binary.LittleEndian.PutUint64(data[8:16], n)
+	binary.LittleEndian.PutUint64(data[16:24], dim)
+	binary.LittleEndian.PutUint32(data[24:28], crc32.ChecksumIEEE(data[fbmxHeaderPage:]))
+	binary.LittleEndian.PutUint32(data[28:32], crc32.ChecksumIEEE(data[:28]))
+
+	var un, ud uint64 = n, dim
+	if wrapped := un * ud * 8; wrapped != 64 {
+		t.Fatalf("test premise broken: 8*n*dim wraps to %d, want 64", wrapped)
+	}
+	if _, err := DecodeFBMX(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeFBMX accepted an overflowed shape: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "overflow.fbmx")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := OpenMmap(path)
+	if err == nil {
+		mm.Close()
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenMmap accepted an overflowed shape: %v", err)
+	}
+}
+
+// TestFBMXAtomicWrite: a successful write leaves no temporary file, and
+// writing over an existing collection replaces it whole.
+func TestFBMXAtomicWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "coll.fbmx")
+	first := randomMatrix(t, rng, 8, 4)
+	if err := WriteFBMX(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := randomMatrix(t, rng, 9, 4)
+	if err := WriteFBMX(path, second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("temporary file left behind: %v", err)
+	}
+	mm, err := OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	if !rowsBitwiseEqual(second, mm) {
+		t.Error("rewrite did not replace the collection")
+	}
+	if err := WriteFBMX(filepath.Join(dir, "empty.fbmx"), nil); err == nil {
+		t.Error("writing a nil backend should fail")
+	}
+}
+
+// TestCheckedBoundsSentinels is the satellite regression: Row/SetRow/
+// Slab bounds violations on the serving path surface as errors.Is-able
+// ErrOutOfRange, for both backends, instead of slice-bounds panics.
+func TestCheckedBoundsSentinels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomMatrix(t, rng, 10, 3)
+	mm, err := OpenMmap(writeTempFBMX(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+
+	for _, b := range []Backend{m, mm} {
+		for _, i := range []int{-1, 10, 1 << 30} {
+			if _, err := RowChecked(b, i); !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("RowChecked(%d): %v, want ErrOutOfRange", i, err)
+			}
+		}
+		if row, err := RowChecked(b, 9); err != nil || len(row) != 3 {
+			t.Errorf("RowChecked(9): %v, %v", row, err)
+		}
+		for _, r := range [][2]int{{-1, 2}, {3, 2}, {0, 11}} {
+			if _, err := SlabChecked(b, r[0], r[1]); !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("SlabChecked(%d,%d): %v, want ErrOutOfRange", r[0], r[1], err)
+			}
+		}
+		if slab, err := SlabChecked(b, 0, 10); err != nil || len(slab) != 30 {
+			t.Errorf("SlabChecked full: %v", err)
+		}
+	}
+
+	if err := m.SetRow(-1, []float64{1, 2, 3}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("SetRow(-1): %v, want ErrOutOfRange", err)
+	}
+	if err := m.SetRow(10, []float64{1, 2, 3}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("SetRow(10): %v, want ErrOutOfRange", err)
+	}
+	if err := m.SetRow(0, []float64{1}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("SetRow wrong dim: %v, want ErrOutOfRange", err)
+	}
+	if err := m.SetRow(0, []float64{1, 2, 3}); err != nil {
+		t.Errorf("valid SetRow: %v", err)
+	}
+}
+
+// TestMmapRowsAreReadOnlyViews documents the aliasing contract: rows of
+// a mapped collection reflect the file, and RowsOf bridges both
+// backends identically.
+func TestMmapRowsAreReadOnlyViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomMatrix(t, rng, 5, 4)
+	mm, err := OpenMmap(writeTempFBMX(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	rows := RowsOf(mm)
+	if len(rows) != 5 || len(rows[2]) != 4 {
+		t.Fatalf("RowsOf shape %dx%d", len(rows), len(rows[2]))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if math.Float64bits(rows[i][j]) != math.Float64bits(m.Row(i)[j]) {
+				t.Fatalf("RowsOf[%d][%d] differs", i, j)
+			}
+		}
+	}
+}

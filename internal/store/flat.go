@@ -68,17 +68,27 @@ func (m *FlatMatrix) Dim() int { return m.dim }
 
 // Row returns row i as a full-capacity-clipped view into the backing
 // slice. The view aliases the matrix; callers must not append to it.
+// Like a slice expression, Row panics on an out-of-range index — it sits
+// on the scan kernels' hot path, whose callers derive i from Len.
+// Serving-path code holding untrusted indices must use RowChecked, which
+// returns ErrOutOfRange instead.
 func (m *FlatMatrix) Row(i int) []float64 {
 	off := i * m.dim
 	return m.data[off : off+m.dim : off+m.dim]
 }
 
-// SetRow copies v into row i.
-func (m *FlatMatrix) SetRow(i int, v []float64) {
+// SetRow copies v into row i. Bounds and shape failures return errors
+// wrapping ErrOutOfRange so a bad index arriving over a serving path is
+// a classifiable client error, not a panic inside a handler.
+func (m *FlatMatrix) SetRow(i int, v []float64) error {
+	if i < 0 || i >= m.n {
+		return fmt.Errorf("%w: row %d of %d", ErrOutOfRange, i, m.n)
+	}
 	if len(v) != m.dim {
-		panic(fmt.Sprintf("store: row has dimension %d, want %d", len(v), m.dim))
+		return fmt.Errorf("%w: row has dimension %d, want %d", ErrOutOfRange, len(v), m.dim)
 	}
 	copy(m.data[i*m.dim:(i+1)*m.dim], v)
+	return nil
 }
 
 // Data returns the row-major backing slice (aliased; treat as read-only
@@ -96,7 +106,8 @@ func (m *FlatMatrix) Rows() [][]float64 {
 }
 
 // Slab returns the half-open row range [lo, hi) as one contiguous slice —
-// the unit a scan shard walks.
+// the unit a scan shard walks. Panics on out-of-range bounds like a
+// slice expression; use SlabChecked for untrusted ranges.
 func (m *FlatMatrix) Slab(lo, hi int) []float64 {
 	return m.data[lo*m.dim : hi*m.dim]
 }

@@ -1,0 +1,81 @@
+package store
+
+// Native fuzzer for the FBMX collection parser, completing the fuzz
+// plane over the three binary formats (WAL and manifest fuzzers live in
+// internal/persist). Contract: any byte stream either decodes into a
+// well-shaped matrix or fails with an error wrapping ErrCorrupt — never
+// a panic, and never an allocation larger than the input itself (a
+// corrupt shape field must not become a multi-gigabyte make).
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fbmxImage builds a valid FBMX byte image through the real writer.
+func fbmxImage(tb testing.TB, n, dim int) []byte {
+	tb.Helper()
+	m, err := NewFlatMatrix(n, dim)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if err := m.SetRow(i, row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	path := filepath.Join(tb.(interface{ TempDir() string }).TempDir(), "seed.fbmx")
+	if err := WriteFBMX(path, m); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func FuzzFBMX(f *testing.F) {
+	valid := fbmxImage(f, 6, 4)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])            // truncated payload
+	f.Add(valid[:fbmxHeaderPage])          // header page only
+	f.Add(append([]byte{}, valid[:40]...)) // torn header page
+	f.Add(bytes.Repeat([]byte{0}, 64))     // zeros
+	flipped := append([]byte{}, valid...)
+	flipped[9] ^= 0x40 // header shape bit
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeFBMX(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodeFBMX returned a non-ErrCorrupt error: %v", err)
+			}
+			return
+		}
+		if m.Len() <= 0 || m.Dim() <= 0 {
+			t.Fatalf("DecodeFBMX accepted empty shape %dx%d", m.Len(), m.Dim())
+		}
+		// The accepted shape is bounded by the input's own size.
+		if want := fbmxHeaderPage + 8*m.Len()*m.Dim(); want != len(data) {
+			t.Fatalf("decoded %dx%d from %d bytes, want exactly %d", m.Len(), m.Dim(), len(data), want)
+		}
+		// Accessors over an accepted image must be in-bounds and
+		// consistent.
+		if got := len(m.Slab(0, m.Len())); got != m.Len()*m.Dim() {
+			t.Fatalf("full slab has %d elements, want %d", got, m.Len()*m.Dim())
+		}
+		if _, err := RowChecked(m, m.Len()); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("RowChecked past the end: %v", err)
+		}
+	})
+}
