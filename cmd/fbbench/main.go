@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), or store (heap vs mmap feature-store backends)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), store (heap vs mmap feature-store backends), or chaos (fault-injection: crash-schedule sweep, degraded-mode and quota governance)")
 		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
 		queries  = flag.Int("queries", 700, "training queries to process")
 		k        = flag.Int("k", 15, "results per query (paper: 50)")
@@ -98,6 +98,12 @@ func main() {
 	}
 	if *figure == "store" {
 		runStoreBench(*scale, *k, *numEval, *seed, *epsilon)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *figure == "chaos" {
+		runChaosBench(*seed)
 		writeReport(*jsonPath)
 		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
 		return
@@ -181,6 +187,7 @@ type jsonReport struct {
 	Serve  *experiments.ServeResult   `json:"serve,omitempty"`
 	Shard  *experiments.ShardResult   `json:"shard,omitempty"`
 	Store  *experiments.StoreResult   `json:"store,omitempty"`
+	Chaos  *experiments.ChaosResult   `json:"chaos,omitempty"`
 }
 
 type reportMeta struct {
@@ -581,6 +588,43 @@ func runStoreBench(scale float64, k, sessions int, seed int64, epsilon float64) 
 	fmt.Printf("# mmap/heap warm tiled-batch ratio: %.3fx (acceptance bound 1.15x)\n\n", res.WarmRatio)
 	if report != nil {
 		report.Store = &res
+	}
+}
+
+// runChaosBench runs the fault-injection figure: a crash-schedule sweep
+// over every mutating filesystem operation of a durable insert workload
+// (single-tree and sharded layouts, asserting zero acknowledged loss),
+// degraded-mode serving with the journal disk gone bad, and quota
+// governance — availability, error taxonomy and recovery times.
+func runChaosBench(seed int64) {
+	cfg := experiments.DefaultChaosConfig()
+	cfg.Seed = seed
+	header(fmt.Sprintf("Fault injection: crash schedules, degraded mode, quotas (D=%d P=%d, %d inserts/schedule, %d shards)",
+		cfg.D, cfg.P, cfg.Inserts, cfg.Shards))
+	res, err := experiments.RunChaos(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("# crash-schedule sweep: one fresh module + injected kill per mutating fs op, then recovery on a healthy disk")
+	fmt.Printf("%-14s %13s %10s %10s %12s %12s %12s\n",
+		"layout", "crash-points", "acked-lost", "rec-fail", "extra-replay", "rec-mean(us)", "rec-max(us)")
+	for _, sweep := range []experiments.ChaosCrashSweep{res.SingleTree, res.Sharded} {
+		fmt.Printf("%-14s %13d %10d %10d %12d %12.0f %12.0f\n",
+			sweep.Layout, sweep.CrashPoints, sweep.AckedLost, sweep.RecoveryFailures,
+			sweep.ExtraReplayed, sweep.RecoveryMeanMicros, sweep.RecoveryMaxMicros)
+	}
+	d := res.Degraded
+	fmt.Println("\n# degraded mode: journal disk goes bad after the acked inserts; module must flip read-only, not lie")
+	fmt.Printf("acked=%d  insert rejections: typed=%d untyped=%d  reads: %d/%d ok (availability %.3f, parity %v)\n",
+		d.AckedBefore, d.TypedRejections, d.UntypedErrors, d.ReadsOK, d.ReadsAttempted, d.ReadAvailability, d.ParityOK)
+	fmt.Printf("recovery on healthy disk: %.0fus, clean=%v\n", d.RecoveryMicros, d.RecoveredOK)
+	q := res.Quota
+	fmt.Println("\n# quota governance: vertex quota admits exactly the headroom; reads stay live at full occupancy")
+	fmt.Printf("max_vertices=%d  accepted=%d  rejections: typed=%d untyped=%d  reads: %d/%d ok (availability %.3f, parity %v)\n",
+		q.MaxVertices, q.Accepted, q.TypedRejections, q.UntypedErrors, q.ReadsOK, q.ReadsAttempted, q.ReadAvailability, q.ParityOK)
+	fmt.Println()
+	if report != nil {
+		report.Chaos = &res
 	}
 }
 

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/faultfs"
+	"repro/internal/histogram"
+	"repro/internal/imagegen"
+	"repro/internal/service"
+)
+
+// newFaultyTestServer wires the production handler over one durable
+// collection whose filesystem is the fault-injection plane, so tests can
+// flip the store read-only mid-flight.
+func newFaultyTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *faultfs.FS) {
+	t.Helper()
+	fs := faultfs.New(nil)
+	ds, err := dataset.Build(imagegen.IMSILike(5, 0.03), histogram.DefaultExtractor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(ds, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := core.NewHistogramCodec(ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := core.OpenDurable(t.TempDir(), codec.D(), codec.P(),
+		core.Config{Epsilon: 0.05, DefaultWeights: codec.DefaultWeights()},
+		core.DurableOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { durable.Close() })
+	svc, err := service.New(eng, durable, service.Options{DefaultK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &collection{name: "default", backend: "heap", source: "synth:test", ds: ds, svc: svc, durable: durable}
+	srv := httptest.NewServer(hardened(newMux(map[string]*collection{"default": c}, "default"), 0))
+	t.Cleanup(srv.Close)
+	return srv, ds, fs
+}
+
+// driveSession runs one full oracle-scored session over HTTP and returns
+// the close response's status code plus headers.
+func driveSession(t *testing.T, srv *httptest.Server, ds *dataset.Dataset, item int) (*http.Response, int) {
+	t.Helper()
+	category := ds.Items[item].Category
+	var st stateJSON
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &item, K: 8}, &st); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	for rounds := 0; !st.Converged; rounds++ {
+		if rounds > 100 {
+			t.Fatal("session never converged")
+		}
+		scores := make([]float64, len(st.Results))
+		for i, r := range st.Results {
+			if r.Category == category {
+				scores[i] = 1
+			}
+		}
+		if code := postJSON(t, srv.URL+"/feedback", feedbackRequest{Session: st.Session, Scores: scores}, &st); code != http.StatusOK {
+			t.Fatalf("feedback: status %d", code)
+		}
+	}
+	data, err := json.Marshal(closeRequest{Session: st.Session})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/close", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, st.Iterations
+}
+
+// TestDegradedServingHTTP: a journal disk going bad under a live server
+// turns inserts into 503 + Retry-After while /healthz reports 200
+// "degraded" with the root cause, /stats carries the degraded fields,
+// and querying keeps working.
+func TestDegradedServingHTTP(t *testing.T) {
+	srv, ds, fs := newFaultyTestServer(t)
+
+	// Healthy first: one session lands normally.
+	if resp, _ := driveSession(t, srv, ds, 0); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy close: status %d", resp.StatusCode)
+	}
+
+	// The journal disk goes bad.
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Path: core.JournalFile, Nth: 0, Kind: faultfs.Fail})
+
+	var sawDegraded bool
+	for i := 1; i < 32 && !sawDegraded; i++ {
+		resp, iters := driveSession(t, srv, ds, i)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			// ε-skipped or zero-iteration outcome: never touched the disk.
+		case http.StatusServiceUnavailable:
+			if iters == 0 {
+				t.Fatal("zero-iteration close should not reach the store")
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "30" {
+				t.Fatalf("degraded close Retry-After = %q, want \"30\"", ra)
+			}
+			sawDegraded = true
+		default:
+			t.Fatalf("close %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no session outcome reached the failing journal")
+	}
+
+	// /healthz: alive (reads work) but degraded, with the cause.
+	var health struct {
+		Status   string            `json:"status"`
+		Degraded map[string]string `json:"degraded"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("degraded healthz: status %d", code)
+	}
+	if health.Status != "degraded" || health.Degraded["default"] == "" {
+		t.Fatalf("degraded healthz body: %+v", health)
+	}
+	var scoped struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if code := getJSON(t, srv.URL+"/c/default/healthz", &scoped); code != http.StatusOK {
+		t.Fatalf("scoped degraded healthz: status %d", code)
+	}
+	if scoped.Status != "degraded" || scoped.Error == "" {
+		t.Fatalf("scoped degraded healthz body: %+v", scoped)
+	}
+
+	// /stats: degraded cause and rejection counter.
+	var stats statsResponse
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	def := stats.Collections["default"]
+	if def.Degraded == "" || def.DegradedRejects == 0 {
+		t.Fatalf("stats missing degraded fields: degraded=%q rejects=%d", def.Degraded, def.DegradedRejects)
+	}
+
+	// Predictions stay live: a fresh query opens and serves.
+	item := 0
+	var st stateJSON
+	if code := postJSON(t, srv.URL+"/query", queryRequest{Item: &item, K: 5}, &st); code != http.StatusOK {
+		t.Fatalf("degraded query: status %d", code)
+	}
+}
+
+// TestHardenedMiddleware: the panic barrier turns a handler panic into a
+// 500 without killing the server, and the per-request deadline surfaces
+// as 503 + Retry-After through the service's context path.
+func TestHardenedMiddleware(t *testing.T) {
+	h := hardened(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}), 0)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", rec.Code)
+	}
+	var errResp errorResponse
+	if err := json.NewDecoder(rec.Body).Decode(&errResp); err != nil || errResp.Error == "" {
+		t.Fatalf("panicking handler body: %v %+v", err, errResp)
+	}
+
+	// A request that outlives its deadline gets the context error mapped:
+	// the handler below simulates a service call observing ctx expiry.
+	h = hardened(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadline, ok := r.Context().Deadline()
+		if !ok {
+			t.Error("request context has no deadline")
+		}
+		if until := time.Until(deadline); until > time.Minute {
+			t.Errorf("deadline %v away, want <= request timeout", until)
+		}
+		<-r.Context().Done()
+		err := fmt.Errorf("open: %w", r.Context().Err())
+		writeError(w, statusFor(err), err)
+	}), 5*time.Millisecond)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expired request: status %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("expired request Retry-After = %q, want \"1\"", ra)
+	}
+}

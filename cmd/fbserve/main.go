@@ -107,7 +107,20 @@ type serveConfig struct {
 	iterBudget  int
 	cacheSize   int
 	shards      int
+	maxVertices int
+	maxBytes    int64
 	multi       bool // more than one collection: durable state nests under dir/<name>/
+}
+
+// serverTimeouts carries the http.Server hardening knobs. Every one
+// defaults non-zero: a server with unlimited header/body/write time holds
+// a goroutine and a connection per stalled client forever (slowloris).
+type serverTimeouts struct {
+	readHeader time.Duration // time to read request headers
+	read       time.Duration // time to read the full request
+	write      time.Duration // time from end-of-headers to last response byte
+	idle       time.Duration // keep-alive idle limit
+	request    time.Duration // per-request handler deadline (context); 0 disables
 }
 
 // collection is one named collection's full serving stack: dataset over
@@ -163,6 +176,14 @@ func main() {
 		cacheSize   = flag.Int("cache", 1024, "LRU prediction cache entries per collection (negative disables)")
 		shards      = flag.Int("shards", 1, "partition each bypass across this many independent Simplex Trees (1 = single-tree compatibility mode)")
 		exportFBMX  = flag.String("export-fbmx", "", "name=path: write the named collection's feature matrix as an FBMX file and exit")
+		maxVertices = flag.Int("max-vertices", 0, "per-collection Simplex Tree vertex quota; at the bound inserts get 507, reads stay live (0 = unlimited)")
+		maxBytes    = flag.Int64("max-bytes", 0, "per-collection tree heap-footprint quota in bytes; same 507 semantics (0 = unlimited)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server.ReadHeaderTimeout (0 disables)")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server.ReadTimeout (0 disables)")
+		writeTimeout      = flag.Duration("write-timeout", 30*time.Second, "http.Server.WriteTimeout (0 disables)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server.IdleTimeout for keep-alive connections (0 disables)")
+		requestTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline; expired requests get 503 + Retry-After (0 disables)")
 	)
 	var specs collectionSpecs
 	flag.Func("collection", "serve a named collection: name=synth:scale=F,seed=N or name=path.fbmx (repeatable)", specs.add)
@@ -180,7 +201,8 @@ func main() {
 		scale: *scale, seed: *seed, k: *k, epsilon: *epsilon,
 		dir: *dir, syncWAL: *syncWAL, compactEach: *compactEach,
 		maxSessions: *maxSessions, iterBudget: *iterBudget, cacheSize: *cacheSize,
-		shards: *shards, multi: len(specs) > 1,
+		shards: *shards, maxVertices: *maxVertices, maxBytes: *maxBytes,
+		multi: len(specs) > 1,
 	}
 
 	if *exportFBMX != "" {
@@ -204,7 +226,7 @@ func main() {
 			log.Fatalf("fbserve: exporting %s: %v", name, err)
 		}
 		if mm != nil {
-			mm.Close()
+			_ = mm.Close()
 		}
 		log.Printf("exported collection %s (%d items, %d bins) to %s", name, ds.Len(), ds.Dim, path)
 		return
@@ -223,7 +245,21 @@ func main() {
 	}
 
 	defaultName := resolveDefault(colls)
-	srv := &http.Server{Addr: *addr, Handler: newMux(colls, defaultName)}
+	timeouts := serverTimeouts{
+		readHeader: *readHeaderTimeout,
+		read:       *readTimeout,
+		write:      *writeTimeout,
+		idle:       *idleTimeout,
+		request:    *requestTimeout,
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           hardened(newMux(colls, defaultName), timeouts.request),
+		ReadHeaderTimeout: timeouts.readHeader,
+		ReadTimeout:       timeouts.read,
+		WriteTimeout:      timeouts.write,
+		IdleTimeout:       timeouts.idle,
+	}
 	go func() {
 		total := 0
 		for _, c := range colls {
@@ -249,7 +285,7 @@ func main() {
 	}
 	for _, name := range order {
 		c := colls[name]
-		closed, inserted, err := c.svc.Drain()
+		closed, inserted, err := c.svc.Drain(shutdownCtx)
 		if err != nil {
 			log.Printf("fbserve: %s: drain: %v", name, err)
 		}
@@ -348,12 +384,12 @@ func buildDataset(spec string, cfg serveConfig) (*dataset.Dataset, string, *stor
 	// A long-lived server pays the one-time page walk to know the
 	// collection it announces is intact (see DESIGN.md on FBMX checksums).
 	if err := mm.Verify(); err != nil {
-		mm.Close()
+		_ = mm.Close()
 		return nil, "", nil, err
 	}
 	ds, err := dataset.FromBackend(mm, nil, nil)
 	if err != nil {
-		mm.Close()
+		_ = mm.Close()
 		return nil, "", nil, err
 	}
 	return ds, "mmap", mm, nil
@@ -367,7 +403,7 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 	}
 	fail := func(err error) (*collection, error) {
 		if mm != nil {
-			mm.Close()
+			_ = mm.Close()
 		}
 		return nil, err
 	}
@@ -379,7 +415,10 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 	if err != nil {
 		return fail(err)
 	}
-	treeCfg := core.Config{Epsilon: cfg.epsilon, DefaultWeights: codec.DefaultWeights()}
+	treeCfg := core.Config{
+		Epsilon: cfg.epsilon, DefaultWeights: codec.DefaultWeights(),
+		MaxVertices: cfg.maxVertices, MaxBytes: cfg.maxBytes,
+	}
 
 	dir := cfg.dir
 	if dir != "" && cfg.multi {
@@ -577,6 +616,7 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		sessions := 0
 		replaying := map[string][]int{}
+		degraded := map[string]string{}
 		for name, c := range colls {
 			st, code := collectionHealth(c)
 			switch code {
@@ -586,6 +626,9 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 			case http.StatusServiceUnavailable:
 				replaying[name] = st["replaying"].([]int)
 			default:
+				if st["status"] == "degraded" {
+					degraded[name] = st["error"].(string)
+				}
 				sessions += st["sessions"].(int)
 			}
 		}
@@ -593,6 +636,18 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"status":    "replaying",
 				"replaying": replaying,
+			})
+			return
+		}
+		if len(degraded) > 0 {
+			// Degraded collections still serve predictions, so the process
+			// is alive (200) — but the status names every read-only
+			// collection and why.
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status":      "degraded",
+				"degraded":    degraded,
+				"collections": len(colls),
+				"sessions":    sessions,
 			})
 			return
 		}
@@ -639,6 +694,31 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 	return mux
 }
 
+// hardened wraps the route mux with the serving edge's two blanket
+// protections: a panic recovery barrier (one handler bug must not kill
+// every collection's sessions with the process) and an optional
+// per-request deadline, delivered to handlers through the request
+// context so the service layer can abort before its expensive stages.
+func hardened(h http.Handler, requestTimeout time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("fbserve: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				// Best effort: if the handler already wrote headers this is
+				// a no-op on the status line, but the connection still dies
+				// with the response truncated — which is the right signal.
+				writeError(w, http.StatusInternalServerError, errors.New("internal server error"))
+			}
+		}()
+		if requestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), requestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // collectionHealth reports one collection's liveness as (body, status).
 func collectionHealth(c *collection) (map[string]any, int) {
 	if c.health != nil && !c.health.Ready() {
@@ -659,6 +739,16 @@ func collectionHealth(c *collection) (map[string]any, int) {
 			"shards":    c.health.NumShards(),
 			"replaying": replaying,
 		}, http.StatusServiceUnavailable
+	}
+	if derr := c.svc.Degraded(); derr != nil {
+		// Read-only serving after a persistence failure: predictions are
+		// live, so the collection is up (200) — but probes and operators
+		// see the degradation and its root cause.
+		return map[string]any{
+			"status":   "degraded",
+			"error":    derr.Error(),
+			"sessions": c.svc.Stats().ActiveSessions,
+		}, http.StatusOK
 	}
 	return map[string]any{"status": "ok", "sessions": c.svc.Stats().ActiveSessions}, http.StatusOK
 }
@@ -734,7 +824,7 @@ func (c *collection) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("need item or feature"))
 		return
 	}
-	st, err := c.svc.Open(feature, req.K)
+	st, err := c.svc.Open(r.Context(), feature, req.K)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -748,7 +838,7 @@ func (c *collection) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id: %w", err))
 		return
 	}
-	st, err := c.svc.Query(id)
+	st, err := c.svc.Query(r.Context(), id)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -766,7 +856,7 @@ func (c *collection) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	st, err := c.svc.Feedback(req.Session, req.Scores)
+	st, err := c.svc.Feedback(r.Context(), req.Session, req.Scores)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -784,7 +874,7 @@ func (c *collection) handleClose(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	res, err := c.svc.Close(req.Session)
+	res, err := c.svc.Close(r.Context(), req.Session)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -796,6 +886,12 @@ func (c *collection) handleClose(w http.ResponseWriter, r *http.Request) {
 		Inserted:   res.Inserted,
 	})
 }
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client disconnected before the response was written; no reply
+// reaches the client, but logs and metrics distinguish it from server
+// faults.
+const statusClientClosedRequest = 499
 
 // statusFor maps the service's errors.Is-able sentinels onto HTTP codes.
 func statusFor(err error) int {
@@ -816,8 +912,45 @@ func statusFor(err error) int {
 	case errors.Is(err, shardedbypass.ErrReplaying):
 		// Startup recovery of one shard: retryable, not a server fault.
 		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrQuotaExceeded):
+		// The learned mapping hit its vertex/byte quota: the session's
+		// outcome could not be stored. 507 tells the client the store —
+		// not the request — is the limit.
+		return http.StatusInsufficientStorage
+	case errors.Is(err, core.ErrDegraded):
+		// Persistence failed and the store flipped to read-only serving:
+		// predictions still work, inserts need an operator. Retryable
+		// only after intervention — but still 503, not 500: the request
+		// was fine.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-request deadline expired before the expensive stage.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// retryAfterFor picks the Retry-After hint (in seconds) for retryable
+// rejections, "" for everything else. Overload and replay clear in
+// seconds; a degraded store needs an operator (30s probes); a full quota
+// needs a raise or a compaction policy change (60s).
+func retryAfterFor(err error) string {
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		return "1"
+	case errors.Is(err, shardedbypass.ErrReplaying):
+		return "1"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "1"
+	case errors.Is(err, core.ErrQuotaExceeded):
+		return "60"
+	case errors.Is(err, core.ErrDegraded):
+		return "30"
+	default:
+		return ""
 	}
 }
 
@@ -830,5 +963,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	if ra := retryAfterFor(err); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -516,31 +517,53 @@ func TestReplayingReturns503(t *testing.T) {
 
 // TestStatusForMapping is the table-driven sentinel→status pin: every
 // errors.Is-able failure class the serving path can produce must map to
-// its HTTP status, wrapped or bare, including the multi-collection 404
-// and the store bounds sentinel.
+// its HTTP status, wrapped or bare — including the multi-collection 404,
+// the store bounds sentinel, the governance sentinels (quota → 507,
+// degraded → 503), and the per-request context failures — plus the
+// Retry-After hint each retryable rejection must carry on the wire.
 func TestStatusForMapping(t *testing.T) {
 	cases := []struct {
-		name string
-		err  error
-		want int
+		name       string
+		err        error
+		want       int
+		retryAfter string // expected Retry-After header; "" = none
 	}{
-		{"unknown-collection", errUnknownCollection, http.StatusNotFound},
-		{"unknown-collection-wrapped", fmt.Errorf("%w %q", errUnknownCollection, "nope"), http.StatusNotFound},
-		{"session-not-found", service.ErrSessionNotFound, http.StatusNotFound},
-		{"session-not-found-wrapped", fmt.Errorf("service: session 7: %w", service.ErrSessionNotFound), http.StatusNotFound},
-		{"overloaded", service.ErrOverloaded, http.StatusTooManyRequests},
-		{"out-of-domain", core.ErrOutOfDomain, http.StatusBadRequest},
-		{"out-of-domain-wrapped", fmt.Errorf("predict: %w", core.ErrOutOfDomain), http.StatusBadRequest},
-		{"invalid-argument", service.ErrInvalidArgument, http.StatusBadRequest},
-		{"store-bounds", store.ErrOutOfRange, http.StatusBadRequest},
-		{"store-bounds-wrapped", fmt.Errorf("dataset: %w: row 9 of 3", store.ErrOutOfRange), http.StatusBadRequest},
-		{"shard-replaying", shardedbypass.ErrReplaying, http.StatusServiceUnavailable},
-		{"shard-replaying-wrapped", fmt.Errorf("shard 2: %w", shardedbypass.ErrReplaying), http.StatusServiceUnavailable},
-		{"unclassified", errors.New("disk on fire"), http.StatusInternalServerError},
+		{"unknown-collection", errUnknownCollection, http.StatusNotFound, ""},
+		{"unknown-collection-wrapped", fmt.Errorf("%w %q", errUnknownCollection, "nope"), http.StatusNotFound, ""},
+		{"session-not-found", service.ErrSessionNotFound, http.StatusNotFound, ""},
+		{"session-not-found-wrapped", fmt.Errorf("service: session 7: %w", service.ErrSessionNotFound), http.StatusNotFound, ""},
+		{"overloaded", service.ErrOverloaded, http.StatusTooManyRequests, "1"},
+		{"overloaded-wrapped", fmt.Errorf("service: 4 sessions in flight: %w", service.ErrOverloaded), http.StatusTooManyRequests, "1"},
+		{"out-of-domain", core.ErrOutOfDomain, http.StatusBadRequest, ""},
+		{"out-of-domain-wrapped", fmt.Errorf("predict: %w", core.ErrOutOfDomain), http.StatusBadRequest, ""},
+		{"invalid-argument", service.ErrInvalidArgument, http.StatusBadRequest, ""},
+		{"store-bounds", store.ErrOutOfRange, http.StatusBadRequest, ""},
+		{"store-bounds-wrapped", fmt.Errorf("dataset: %w: row 9 of 3", store.ErrOutOfRange), http.StatusBadRequest, ""},
+		{"shard-replaying", shardedbypass.ErrReplaying, http.StatusServiceUnavailable, "1"},
+		{"shard-replaying-wrapped", fmt.Errorf("shard 2: %w", shardedbypass.ErrReplaying), http.StatusServiceUnavailable, "1"},
+		{"quota", core.ErrQuotaExceeded, http.StatusInsufficientStorage, "60"},
+		{"quota-wrapped", fmt.Errorf("%w: 64 vertices stored, limit 64", core.ErrQuotaExceeded), http.StatusInsufficientStorage, "60"},
+		{"degraded", core.ErrDegraded, http.StatusServiceUnavailable, "30"},
+		// The real degraded error is ErrDegraded joined with its root
+		// cause; both errors.Is edges must classify.
+		{"degraded-joined", errors.Join(core.ErrDegraded, errors.New("write tree.fbwl: injected fault")), http.StatusServiceUnavailable, "30"},
+		{"deadline", context.DeadlineExceeded, http.StatusServiceUnavailable, "1"},
+		{"deadline-wrapped", fmt.Errorf("open: %w", context.DeadlineExceeded), http.StatusServiceUnavailable, "1"},
+		{"client-gone", context.Canceled, statusClientClosedRequest, ""},
+		{"unclassified", errors.New("disk on fire"), http.StatusInternalServerError, ""},
 	}
 	for _, tc := range cases {
 		if got := statusFor(tc.err); got != tc.want {
 			t.Errorf("%s: statusFor(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+		if got := retryAfterFor(tc.err); got != tc.retryAfter {
+			t.Errorf("%s: retryAfterFor(%v) = %q, want %q", tc.name, tc.err, got, tc.retryAfter)
+		}
+		// writeError must put the hint on the wire, not just compute it.
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.want, tc.err)
+		if got := rec.Header().Get("Retry-After"); got != tc.retryAfter {
+			t.Errorf("%s: Retry-After header = %q, want %q", tc.name, got, tc.retryAfter)
 		}
 	}
 }

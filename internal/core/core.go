@@ -71,6 +71,16 @@ type Config struct {
 	// the log-ratio parameterization of HistogramCodec, whose neutral
 	// element is zero) must supply their own defaults.
 	DefaultWeights []float64
+	// MaxVertices bounds the Simplex Tree's distinct vertices (the D+1
+	// domain corners included); zero is unbounded. An insert past the
+	// bound is rejected with an error wrapping
+	// simplextree.ErrQuotaExceeded while predictions stay live. Durable
+	// recovery is exempt: a module already past a lowered bound reopens
+	// read-mostly instead of failing.
+	MaxVertices int
+	// MaxBytes bounds the tree's approximate heap footprint
+	// (simplextree.Tree.SizeBytes); zero is unbounded.
+	MaxBytes int64
 }
 
 // Bypass is the FeedbackBypass module: a learned Mopt with Predict and
@@ -103,7 +113,12 @@ func New(d, p int, cfg Config) (*Bypass, error) {
 		return nil, fmt.Errorf("core: default weights have dimension %d, want %d", len(defW), p)
 	}
 	def := OQP{Delta: vec.Zeros(d), Weights: vec.Clone(defW)}
-	tree, err := simplextree.New(domain, def.Encode(), simplextree.Options{Epsilon: cfg.Epsilon, Tol: cfg.Tol})
+	tree, err := simplextree.New(domain, def.Encode(), simplextree.Options{
+		Epsilon:     cfg.Epsilon,
+		Tol:         cfg.Tol,
+		MaxVertices: cfg.MaxVertices,
+		MaxBytes:    cfg.MaxBytes,
+	})
 	if err != nil {
 		return nil, err
 	}

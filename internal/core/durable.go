@@ -17,6 +17,20 @@ const (
 	JournalFile  = "tree.fbwl"
 )
 
+// ErrDegraded marks a module that has flipped to read-only serving after
+// a persistence failure (failed journal append, failed compaction).
+// Predictions keep working from the in-memory tree; inserts are rejected
+// with an error satisfying errors.Is(err, ErrDegraded) — joined with the
+// root cause, so errors.Is against the underlying failure also holds.
+// The flip is sticky: the module stays read-only until it is closed and
+// reopened against a healthy disk.
+var ErrDegraded = errors.New("core: module degraded to read-only after persistence failure")
+
+// ErrQuotaExceeded re-exports the Simplex Tree's resource-governance
+// sentinel so serving layers can classify rejections without importing
+// simplextree.
+var ErrQuotaExceeded = simplextree.ErrQuotaExceeded
+
 // DurableOptions tunes the persistence behaviour of a DurableBypass.
 type DurableOptions struct {
 	// CompactEvery triggers an automatic compaction (snapshot + journal
@@ -27,6 +41,11 @@ type DurableOptions struct {
 	// acknowledged insert survives a process kill (the append is an
 	// unbuffered write) but not necessarily a power loss.
 	Sync bool
+	// FS routes every filesystem operation (journal, snapshot, directory
+	// fsyncs) through the given seam. Nil means the real filesystem; the
+	// fault-injection plane (internal/faultfs) substitutes scripted
+	// failures here.
+	FS persist.FS
 }
 
 // DurableBypass is a Bypass whose learned mapping survives crashes: every
@@ -52,10 +71,17 @@ type DurableBypass struct {
 	*Bypass
 
 	mu        sync.Mutex // serializes inserts against compaction
+	fs        persist.FS
 	wal       *persist.WAL
 	snapPath  string
 	journaled int // inserts journaled since the last compaction
 	opts      DurableOptions
+
+	// degMu guards degraded separately from mu: the WAL observer that
+	// flips it runs under the tree's exclusive lock while mu is already
+	// held by Insert, so it cannot retake mu.
+	degMu    sync.Mutex
+	degraded error // errors.Join(ErrDegraded, cause); nil while healthy
 }
 
 // OpenDurable opens (or initializes) a durable FeedbackBypass module
@@ -67,15 +93,16 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 	if opts.CompactEvery < 0 {
 		return nil, fmt.Errorf("core: negative CompactEvery %d", opts.CompactEvery)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := persist.OrOS(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	snapPath := filepath.Join(dir, SnapshotFile)
 	walPath := filepath.Join(dir, JournalFile)
 
 	var b *Bypass
-	if _, err := os.Stat(snapPath); err == nil {
-		tree, err := persist.LoadFile(snapPath)
+	if _, err := fsys.Stat(snapPath); err == nil {
+		tree, err := persist.LoadFileFS(fsys, snapPath)
 		if err != nil {
 			return nil, fmt.Errorf("core: loading snapshot: %w", err)
 		}
@@ -87,7 +114,12 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 			return nil, fmt.Errorf("core: snapshot is for D=%d, want %d", b.D(), d)
 		}
 	} else if errors.Is(err, os.ErrNotExist) {
-		if b, err = New(d, p, cfg); err != nil {
+		// Quotas are withheld until after replay (below): recovery must
+		// never refuse an insert the module already acknowledged, even if
+		// the quota was lowered since.
+		freshCfg := cfg
+		freshCfg.MaxVertices, freshCfg.MaxBytes = 0, 0
+		if b, err = New(d, p, freshCfg); err != nil {
 			return nil, err
 		}
 	} else {
@@ -95,7 +127,7 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 	}
 
 	tree := b.Tree()
-	wal, err := persist.OpenWAL(walPath, d, tree.OQPDim())
+	wal, err := persist.OpenWALFS(fsys, walPath, d, tree.OQPDim())
 	if err != nil {
 		return nil, err
 	}
@@ -104,11 +136,15 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 		return ierr
 	})
 	if err != nil {
-		wal.Close()
+		_ = wal.Close()
 		return nil, fmt.Errorf("core: replaying journal: %w", err)
 	}
+	// Recovery done; from here on cfg's quotas bind new inserts. A tree
+	// already past a lowered bound serves reads and rejects growth.
+	tree.SetQuota(cfg.MaxVertices, cfg.MaxBytes)
 	db := &DurableBypass{
 		Bypass:    b,
+		fs:        fsys,
 		wal:       wal,
 		snapPath:  snapPath,
 		journaled: replayed,
@@ -119,11 +155,36 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 	// certain to succeed). Append is all-or-nothing — a failed write or
 	// fsync rolls the log back to the last record boundary — so an
 	// aborted insert leaves journal and tree consistent with each other.
+	// A failed append is a persistence failure and flips the module to
+	// read-only degraded mode; client-side errors (dimension mismatch,
+	// out-of-domain queries, quota) never reach this hook.
 	wal.SetSyncOnAppend(opts.Sync)
 	tree.SetObserver(func(q, value []float64) error {
-		return db.wal.Append(q, value)
+		if err := db.wal.Append(q, value); err != nil {
+			db.noteDegraded(err)
+			return err
+		}
+		return nil
 	})
 	return db, nil
+}
+
+// Degraded reports the sticky persistence failure that flipped the
+// module to read-only, or nil while it is healthy. The returned error
+// satisfies errors.Is(err, ErrDegraded) and errors.Is against the root
+// cause.
+func (db *DurableBypass) Degraded() error {
+	db.degMu.Lock()
+	defer db.degMu.Unlock()
+	return db.degraded
+}
+
+func (db *DurableBypass) noteDegraded(cause error) {
+	db.degMu.Lock()
+	if db.degraded == nil {
+		db.degraded = errors.Join(ErrDegraded, cause)
+	}
+	db.degMu.Unlock()
 }
 
 // Insert stores a converged feedback outcome durably: an accepted insert
@@ -132,10 +193,19 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 func (db *DurableBypass) Insert(q []float64, oqp OQP) (bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.Degraded(); err != nil {
+		return false, err
+	}
 	before := db.wal.Records()
 	changed, err := db.Bypass.Insert(q, oqp)
 	db.journaled += db.wal.Records() - before
 	if err != nil {
+		// If the failure was the journal append itself, the module just
+		// flipped degraded; report the joined error so callers can match
+		// ErrDegraded on the very first rejected insert.
+		if derr := db.Degraded(); derr != nil {
+			return changed, derr
+		}
 		return changed, err
 	}
 	return changed, db.maybeCompactLocked()
@@ -146,10 +216,16 @@ func (db *DurableBypass) Insert(q []float64, oqp OQP) (bool, error) {
 func (db *DurableBypass) InsertBatch(qs [][]float64, oqps []OQP) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.Degraded(); err != nil {
+		return 0, err
+	}
 	before := db.wal.Records()
 	stored, err := db.Bypass.InsertBatch(qs, oqps)
 	db.journaled += db.wal.Records() - before
 	if err != nil {
+		if derr := db.Degraded(); derr != nil {
+			return stored, derr
+		}
 		return stored, err
 	}
 	return stored, db.maybeCompactLocked()
@@ -179,6 +255,9 @@ func (db *DurableBypass) WALSize() int64 {
 func (db *DurableBypass) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.Degraded(); err != nil {
+		return err
+	}
 	return db.compactLocked()
 }
 
@@ -189,34 +268,46 @@ func (db *DurableBypass) maybeCompactLocked() error {
 	return db.compactLocked()
 }
 
+// compactLocked runs one compaction; any failure is a persistence
+// failure and flips the module to read-only degraded mode. A partial
+// compaction always leaves a recoverable (snapshot, journal) pair — the
+// journal is only truncated after the new snapshot's rename is durable.
 func (db *DurableBypass) compactLocked() error {
+	if err := db.compactOnceLocked(); err != nil {
+		db.noteDegraded(err)
+		return db.Degraded()
+	}
+	return nil
+}
+
+func (db *DurableBypass) compactOnceLocked() error {
 	tmp := db.snapPath + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := persist.CreateFile(db.fs, tmp)
 	if err != nil {
 		return err
 	}
 	if err := persist.Save(f, db.Tree()); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = db.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = db.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = db.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, db.snapPath); err != nil {
-		os.Remove(tmp)
+	if err := db.fs.Rename(tmp, db.snapPath); err != nil {
+		_ = db.fs.Remove(tmp)
 		return err
 	}
 	// The rename's directory entry must be durable before the journal is
 	// truncated: otherwise a power loss could persist the truncation but
 	// not the rename, leaving an old snapshot next to an empty journal.
-	if err := persist.SyncDir(filepath.Dir(db.snapPath)); err != nil {
+	if err := db.fs.SyncDir(filepath.Dir(db.snapPath)); err != nil {
 		return err
 	}
 	if err := db.wal.Reset(); err != nil {
@@ -233,7 +324,7 @@ func (db *DurableBypass) Close() error {
 	defer db.mu.Unlock()
 	db.Tree().SetObserver(nil)
 	if err := db.wal.Sync(); err != nil {
-		db.wal.Close()
+		_ = db.wal.Close()
 		return err
 	}
 	return db.wal.Close()

@@ -1,0 +1,535 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/shardedbypass"
+	"repro/internal/simplextree"
+	"repro/internal/vec"
+)
+
+// ChaosConfig drives the fault-injection benchmark: a crash-schedule
+// sweep over every mutating filesystem operation of a durable insert
+// workload (single-tree and sharded layouts), a degraded-mode phase (the
+// disk under the journal goes bad mid-flight), and a quota-exhaustion
+// phase — each reporting availability, error taxonomy and recovery time.
+type ChaosConfig struct {
+	// Seed makes the workloads deterministic.
+	Seed int64
+	// D and P are the module's simplex and weight dimensionalities.
+	D, P int
+	// Inserts is the workload length of each crash schedule.
+	Inserts int
+	// CompactEvery triggers compaction inside the workload so crash
+	// points cover snapshot rename and journal truncation, not just
+	// appends.
+	CompactEvery int
+	// Shards is the sharded layout's partition count.
+	Shards int
+	// DegradedInserts is the number of insert attempts against the
+	// read-only degraded module.
+	DegradedInserts int
+	// QuotaHeadroom is the vertex quota above the D+1 domain corners in
+	// the quota phase.
+	QuotaHeadroom int
+}
+
+// DefaultChaosConfig is the operating point of the committed artifact:
+// small enough that the full crash sweep (one fresh module + recovery
+// per mutating op, two layouts) stays in CI budget, large enough that
+// every crash-point class — header write, append, append fsync, snapshot
+// write/rename, directory fsync, journal truncation — is enumerated.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:            1,
+		D:               3,
+		P:               2,
+		Inserts:         12,
+		CompactEvery:    4,
+		Shards:          3,
+		DegradedInserts: 48,
+		QuotaHeadroom:   4,
+	}
+}
+
+// ChaosCrashSweep is one layout's crash-schedule result: the workload is
+// run once per mutating filesystem operation with a process-kill
+// injected at exactly that operation, then recovered on a healthy disk.
+type ChaosCrashSweep struct {
+	Layout string `json:"layout"`
+	// CrashPoints is the number of schedules = mutating ops of the
+	// fault-free workload.
+	CrashPoints int `json:"crash_points"`
+	// RecoveryFailures counts schedules whose reopen failed (must be 0).
+	RecoveryFailures int `json:"recovery_failures"`
+	// AckedLost counts acknowledged inserts missing after recovery,
+	// summed over all schedules (the headline invariant: must be 0).
+	AckedLost int `json:"acked_lost"`
+	// ExtraReplayed counts un-acknowledged in-flight inserts that
+	// recovery resurrected (a fully written record whose fsync or
+	// rollback died with the crash) — bounded by 1 per schedule.
+	ExtraReplayed int `json:"extra_replayed"`
+	// Recovery time over all schedules.
+	RecoveryMeanMicros float64 `json:"recovery_mean_us"`
+	RecoveryMaxMicros  float64 `json:"recovery_max_us"`
+}
+
+// ChaosDegraded is the degraded-mode phase: a healthy module's journal
+// disk goes bad, and the module must keep serving reads (parity-pinned
+// against a healthy twin) while rejecting writes with the typed sentinel.
+type ChaosDegraded struct {
+	AckedBefore int `json:"acked_before"`
+	// Insert attempts after the disk failure, by classification.
+	TypedRejections int `json:"typed_rejections"`
+	UntypedErrors   int `json:"untyped_errors"`
+	// Reads against the degraded module at every acknowledged point.
+	ReadsAttempted int  `json:"reads_attempted"`
+	ReadsOK        int  `json:"reads_ok"`
+	ParityOK       bool `json:"parity_ok"` // bitwise vs the healthy twin
+	// ReadAvailability is ReadsOK/ReadsAttempted — 1.0 means the read
+	// plane never noticed the disk failure.
+	ReadAvailability float64 `json:"read_availability"`
+	// RecoveryMicros is the reopen time against a healthy disk: the
+	// journal holds every acknowledged insert, so nothing is lost.
+	RecoveryMicros float64 `json:"recovery_us"`
+	RecoveredOK    bool    `json:"recovered_ok"`
+}
+
+// ChaosQuota is the quota-exhaustion phase: a module with a vertex quota
+// accepts exactly its headroom, rejects the rest typed, and keeps the
+// read plane live at full occupancy.
+type ChaosQuota struct {
+	MaxVertices      int     `json:"max_vertices"`
+	Accepted         int     `json:"accepted"`
+	TypedRejections  int     `json:"typed_rejections"`
+	UntypedErrors    int     `json:"untyped_errors"`
+	ReadsAttempted   int     `json:"reads_attempted"`
+	ReadsOK          int     `json:"reads_ok"`
+	ParityOK         bool    `json:"parity_ok"`
+	ReadAvailability float64 `json:"read_availability"`
+}
+
+// ChaosResult aggregates the whole figure.
+type ChaosResult struct {
+	D          int             `json:"d"`
+	P          int             `json:"p"`
+	SingleTree ChaosCrashSweep `json:"single_tree"`
+	Sharded    ChaosCrashSweep `json:"sharded"`
+	Degraded   ChaosDegraded   `json:"degraded"`
+	Quota      ChaosQuota      `json:"quota"`
+}
+
+// chaosPoint draws a strictly interior simplex point: every coordinate
+// positive, sum < 1, away from faces so interpolation stays well
+// conditioned.
+func chaosPoint(rng *rand.Rand, d int) []float64 {
+	for {
+		q := make([]float64, d)
+		sum := 0.0
+		for i := range q {
+			q[i] = rng.Float64()
+			sum += q[i]
+		}
+		if sum <= 0 {
+			continue
+		}
+		scale := (0.2 + 0.6*rng.Float64()) / sum
+		ok := true
+		for i := range q {
+			q[i] *= scale
+			if q[i] < 1e-3 {
+				ok = false
+			}
+		}
+		if ok {
+			return q
+		}
+	}
+}
+
+func chaosOQP(rng *rand.Rand, d, p int) core.OQP {
+	oqp := core.OQP{Delta: make([]float64, d), Weights: make([]float64, p)}
+	for i := range oqp.Delta {
+		oqp.Delta[i] = rng.NormFloat64() * 0.05
+	}
+	for i := range oqp.Weights {
+		oqp.Weights[i] = rng.NormFloat64() * 0.3
+	}
+	return oqp
+}
+
+// chaosVertexKey is a vertex's bitwise identity: Point ++ Value as raw
+// float64 bits, so two vertices compare equal iff they are bit-identical.
+func chaosVertexKey(v *simplextree.Vertex) string {
+	buf := make([]byte, 0, 8*(len(v.Point)+len(v.Value)))
+	for _, x := range v.Point {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	for _, x := range v.Value {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return string(buf)
+}
+
+// chaosModule abstracts the two layouts behind the operations the sweep
+// needs: insert, census, close.
+type chaosModule interface {
+	Insert(q []float64, oqp core.OQP) (bool, error)
+	Census() (map[string]bool, error)
+	Close() error
+}
+
+type singleModule struct{ db *core.DurableBypass }
+
+func (m singleModule) Insert(q []float64, oqp core.OQP) (bool, error) { return m.db.Insert(q, oqp) }
+func (m singleModule) Close() error                                   { return m.db.Close() }
+func (m singleModule) Census() (map[string]bool, error) {
+	set := map[string]bool{}
+	m.db.Tree().Walk(func(v *simplextree.Vertex) { set[chaosVertexKey(v)] = true })
+	return set, nil
+}
+
+type shardedModule struct{ s *shardedbypass.Sharded }
+
+func (m shardedModule) Insert(q []float64, oqp core.OQP) (bool, error) { return m.s.Insert(q, oqp) }
+func (m shardedModule) Close() error                                   { return m.s.Close() }
+func (m shardedModule) Census() (map[string]bool, error) {
+	set := map[string]bool{}
+	err := m.s.Walk(func(v *simplextree.Vertex) { set[chaosVertexKey(v)] = true })
+	return set, err
+}
+
+// chaosLayout opens one of the two layouts rooted at dir over fs (nil =
+// the real filesystem).
+type chaosLayout struct {
+	name string
+	open func(dir string, fs *faultfs.FS, cfg ChaosConfig) (chaosModule, error)
+}
+
+func chaosLayouts(cfg ChaosConfig) []chaosLayout {
+	dur := func(fs *faultfs.FS) core.DurableOptions {
+		opts := core.DurableOptions{CompactEvery: cfg.CompactEvery, Sync: true}
+		if fs != nil {
+			opts.FS = fs
+		}
+		return opts
+	}
+	return []chaosLayout{
+		{
+			name: "single-tree",
+			open: func(dir string, fs *faultfs.FS, cfg ChaosConfig) (chaosModule, error) {
+				db, err := core.OpenDurable(dir, cfg.D, cfg.P, core.Config{Epsilon: 0}, dur(fs))
+				if err != nil {
+					return nil, err
+				}
+				return singleModule{db}, nil
+			},
+		},
+		{
+			name: fmt.Sprintf("sharded(%d)", cfg.Shards),
+			open: func(dir string, fs *faultfs.FS, cfg ChaosConfig) (chaosModule, error) {
+				s, err := shardedbypass.Open(dir, cfg.D, cfg.P, core.Config{Epsilon: 0}, shardedbypass.Options{
+					Shards:  cfg.Shards,
+					Durable: dur(fs),
+				})
+				if err != nil {
+					return nil, err
+				}
+				return shardedModule{s}, nil
+			},
+		},
+	}
+}
+
+// chaosWorkload drives cfg.Inserts inserts; insert errors are swallowed
+// (a crashed run errors by design) — the census of the module's own
+// in-memory tree at return is exactly the acknowledged state.
+func chaosWorkload(m chaosModule, cfg ChaosConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 41))
+	for i := 0; i < cfg.Inserts; i++ {
+		_, _ = m.Insert(chaosPoint(rng, cfg.D), chaosOQP(rng, cfg.D, cfg.P))
+	}
+}
+
+// runCrashSweep enumerates every crash point of one layout's workload.
+func runCrashSweep(root string, lay chaosLayout, cfg ChaosConfig) (ChaosCrashSweep, error) {
+	out := ChaosCrashSweep{Layout: lay.name}
+
+	// Counting run: how many mutating filesystem operations does the
+	// fault-free workload perform?
+	countFS := faultfs.New(nil)
+	m, err := lay.open(filepath.Join(root, "count"), countFS, cfg)
+	if err != nil {
+		return out, fmt.Errorf("counting run: %w", err)
+	}
+	chaosWorkload(m, cfg)
+	if err := m.Close(); err != nil {
+		return out, fmt.Errorf("counting run close: %w", err)
+	}
+	total := countFS.Ops()
+	out.CrashPoints = total
+
+	// Baseline census of a fresh, insert-free module: the D+1 domain
+	// corner vertices every open seeds. A schedule that crashes during
+	// open acknowledges nothing, but its recovery still (re)creates a
+	// fresh module — so the corner set, not the empty set, is what
+	// recovery owes it.
+	bm, err := lay.open(filepath.Join(root, "baseline"), nil, cfg)
+	if err != nil {
+		return out, fmt.Errorf("baseline open: %w", err)
+	}
+	baseline, err := bm.Census()
+	if err != nil {
+		_ = bm.Close()
+		return out, fmt.Errorf("baseline census: %w", err)
+	}
+	if err := bm.Close(); err != nil {
+		return out, fmt.Errorf("baseline close: %w", err)
+	}
+
+	var recSum, recMax float64
+	for n := 1; n <= total; n++ {
+		dir := filepath.Join(root, fmt.Sprintf("crash-%04d", n))
+		fs := faultfs.New(nil)
+		fs.SetCrashAt(n)
+		m, err := lay.open(dir, fs, cfg)
+		var want map[string]bool
+		if err == nil {
+			chaosWorkload(m, cfg)
+			want, err = m.Census()
+			if err != nil {
+				return out, fmt.Errorf("crash %d census: %w", n, err)
+			}
+			_ = m.Close() // post-crash close errors are expected
+		} else {
+			// Crashed during open: nothing was acknowledged, and recovery
+			// owes exactly a fresh module (the corner vertices).
+			want = baseline
+		}
+		if !fs.Crashed() {
+			return out, fmt.Errorf("crash %d/%d never fired", n, total)
+		}
+
+		// Recovery on a healthy disk.
+		t0 := time.Now()
+		rm, err := lay.open(dir, nil, cfg)
+		rec := float64(time.Since(t0).Microseconds())
+		if err != nil {
+			out.RecoveryFailures++
+			continue
+		}
+		recSum += rec
+		if rec > recMax {
+			recMax = rec
+		}
+		got, err := rm.Census()
+		if err != nil {
+			_ = rm.Close()
+			return out, fmt.Errorf("recovery %d census: %w", n, err)
+		}
+		if err := rm.Close(); err != nil {
+			return out, fmt.Errorf("recovery %d close: %w", n, err)
+		}
+		for key := range want {
+			if !got[key] {
+				out.AckedLost++
+			}
+		}
+		if extra := len(got) - len(want); extra > 0 {
+			out.ExtraReplayed += extra
+		}
+	}
+	if ok := total - out.RecoveryFailures; ok > 0 {
+		out.RecoveryMeanMicros = recSum / float64(ok)
+	}
+	out.RecoveryMaxMicros = recMax
+	return out, nil
+}
+
+// runDegraded exercises read-only degraded serving: journal disk goes
+// bad, writes reject typed, reads stay bitwise-correct, and reopening on
+// a healthy disk recovers every acknowledged insert.
+func runDegraded(root string, cfg ChaosConfig) (ChaosDegraded, error) {
+	out := ChaosDegraded{ParityOK: true}
+	rng := rand.New(rand.NewSource(cfg.Seed + 43))
+	dir := filepath.Join(root, "degraded")
+	fs := faultfs.New(nil)
+	db, err := core.OpenDurable(dir, cfg.D, cfg.P, core.Config{Epsilon: 0},
+		core.DurableOptions{CompactEvery: cfg.CompactEvery, Sync: true, FS: fs})
+	if err != nil {
+		return out, err
+	}
+	twin, err := core.New(cfg.D, cfg.P, core.Config{Epsilon: 0})
+	if err != nil {
+		return out, err
+	}
+
+	var acked [][]float64
+	for i := 0; i < cfg.Inserts; i++ {
+		q := chaosPoint(rng, cfg.D)
+		oqp := chaosOQP(rng, cfg.D, cfg.P)
+		if _, err := db.Insert(q, oqp); err != nil {
+			return out, fmt.Errorf("healthy insert %d: %w", i, err)
+		}
+		if _, err := twin.Insert(q, oqp); err != nil {
+			return out, err
+		}
+		acked = append(acked, q)
+	}
+	out.AckedBefore = len(acked)
+
+	// The disk goes bad: every further journal write fails.
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Path: core.JournalFile, Nth: 0, Kind: faultfs.Fail})
+	for i := 0; i < cfg.DegradedInserts; i++ {
+		_, err := db.Insert(chaosPoint(rng, cfg.D), chaosOQP(rng, cfg.D, cfg.P))
+		switch {
+		case errors.Is(err, core.ErrDegraded):
+			out.TypedRejections++
+		case err != nil:
+			out.UntypedErrors++
+		default:
+			// An accepted insert after the disk failure would be a
+			// durability lie.
+			out.UntypedErrors++
+		}
+	}
+
+	// The read plane at every acknowledged point, parity-pinned.
+	for _, q := range acked {
+		out.ReadsAttempted++
+		got, err := db.Predict(q)
+		if err != nil {
+			continue
+		}
+		out.ReadsOK++
+		want, err := twin.Predict(q)
+		if err != nil {
+			return out, err
+		}
+		if !vec.Equal(got.Delta, want.Delta) || !vec.Equal(got.Weights, want.Weights) {
+			out.ParityOK = false
+		}
+	}
+	if out.ReadsAttempted > 0 {
+		out.ReadAvailability = float64(out.ReadsOK) / float64(out.ReadsAttempted)
+	}
+	_ = db.Close()
+
+	// Recovery on a healthy disk: the journal holds every acknowledged
+	// insert, so reopening restores exactly the pre-failure state.
+	t0 := time.Now()
+	rdb, err := core.OpenDurable(dir, cfg.D, cfg.P, core.Config{Epsilon: 0}, core.DurableOptions{})
+	out.RecoveryMicros = float64(time.Since(t0).Microseconds())
+	if err != nil {
+		return out, nil // recovered_ok stays false
+	}
+	defer rdb.Close()
+	out.RecoveredOK = true
+	for _, q := range acked {
+		got, err := rdb.Predict(q)
+		if err != nil {
+			out.RecoveredOK = false
+			break
+		}
+		want, _ := twin.Predict(q)
+		if !vec.Equal(got.Delta, want.Delta) || !vec.Equal(got.Weights, want.Weights) {
+			out.RecoveredOK = false
+			break
+		}
+	}
+	return out, nil
+}
+
+// runQuota exercises quota governance: exactly the headroom is accepted,
+// the rest reject typed, and reads stay live and parity-pinned at full
+// occupancy.
+func runQuota(root string, cfg ChaosConfig) (ChaosQuota, error) {
+	max := cfg.D + 1 + cfg.QuotaHeadroom
+	out := ChaosQuota{MaxVertices: max, ParityOK: true}
+	rng := rand.New(rand.NewSource(cfg.Seed + 47))
+	db, err := core.OpenDurable(filepath.Join(root, "quota"), cfg.D, cfg.P,
+		core.Config{Epsilon: 0, MaxVertices: max}, core.DurableOptions{Sync: true})
+	if err != nil {
+		return out, err
+	}
+	defer db.Close()
+	twin, err := core.New(cfg.D, cfg.P, core.Config{Epsilon: 0})
+	if err != nil {
+		return out, err
+	}
+
+	var kept [][]float64
+	for i := 0; i < 4*max; i++ {
+		q := chaosPoint(rng, cfg.D)
+		oqp := chaosOQP(rng, cfg.D, cfg.P)
+		_, err := db.Insert(q, oqp)
+		switch {
+		case err == nil:
+			out.Accepted++
+			kept = append(kept, q)
+			if _, err := twin.Insert(q, oqp); err != nil {
+				return out, err
+			}
+		case errors.Is(err, core.ErrQuotaExceeded):
+			out.TypedRejections++
+		default:
+			out.UntypedErrors++
+		}
+	}
+	for _, q := range kept {
+		out.ReadsAttempted++
+		got, err := db.Predict(q)
+		if err != nil {
+			continue
+		}
+		out.ReadsOK++
+		want, err := twin.Predict(q)
+		if err != nil {
+			return out, err
+		}
+		if !vec.Equal(got.Delta, want.Delta) || !vec.Equal(got.Weights, want.Weights) {
+			out.ParityOK = false
+		}
+	}
+	if out.ReadsAttempted > 0 {
+		out.ReadAvailability = float64(out.ReadsOK) / float64(out.ReadsAttempted)
+	}
+	return out, nil
+}
+
+// RunChaos runs the full fault-injection figure in a temporary directory.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	if cfg.D <= 0 || cfg.P < 0 || cfg.Inserts <= 0 || cfg.Shards < 1 {
+		return ChaosResult{}, fmt.Errorf("experiments: invalid chaos config %+v", cfg)
+	}
+	root, err := os.MkdirTemp("", "fb-chaos-*")
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	defer os.RemoveAll(root)
+
+	res := ChaosResult{D: cfg.D, P: cfg.P}
+	layouts := chaosLayouts(cfg)
+	if res.SingleTree, err = runCrashSweep(filepath.Join(root, "single"), layouts[0], cfg); err != nil {
+		return res, fmt.Errorf("single-tree crash sweep: %w", err)
+	}
+	if res.Sharded, err = runCrashSweep(filepath.Join(root, "sharded"), layouts[1], cfg); err != nil {
+		return res, fmt.Errorf("sharded crash sweep: %w", err)
+	}
+	if res.Degraded, err = runDegraded(root, cfg); err != nil {
+		return res, fmt.Errorf("degraded phase: %w", err)
+	}
+	if res.Quota, err = runQuota(root, cfg); err != nil {
+		return res, fmt.Errorf("quota phase: %w", err)
+	}
+	return res, nil
+}

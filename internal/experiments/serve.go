@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -220,7 +221,7 @@ func runServePhase(svc *service.Service, ds *dataset.Dataset, cfg ServeConfig, c
 			for idx := range next {
 				item := ds.Items[items[idx]]
 				t0 := time.Now()
-				st, err := svc.Open(item.Feature, cfg.K)
+				st, err := svc.Open(context.Background(), item.Feature, cfg.K)
 				o.latencies = append(o.latencies, time.Since(t0))
 				if err != nil {
 					o.err = err
@@ -234,7 +235,7 @@ func runServePhase(svc *service.Service, ds *dataset.Dataset, cfg ServeConfig, c
 						}
 					}
 					t0 = time.Now()
-					st, err = svc.Feedback(st.ID, scores)
+					st, err = svc.Feedback(context.Background(), st.ID, scores)
 					o.latencies = append(o.latencies, time.Since(t0))
 					if err != nil {
 						o.err = err
@@ -243,7 +244,7 @@ func runServePhase(svc *service.Service, ds *dataset.Dataset, cfg ServeConfig, c
 					o.feedbacks++
 				}
 				t0 = time.Now()
-				_, err = svc.Close(st.ID)
+				_, err = svc.Close(context.Background(), st.ID)
 				o.latencies = append(o.latencies, time.Since(t0))
 				if err != nil {
 					o.err = err

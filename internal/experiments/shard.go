@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -240,7 +241,7 @@ func runShardServePhases(eng *engine.Engine, ds *dataset.Dataset, codec core.His
 	inserted := false
 	for tries := 0; tries < 64 && !inserted; tries++ {
 		idx := ds.Items[srng.Intn(ds.Len())]
-		st, err := svc.Open(idx.Feature, cfg.K)
+		st, err := svc.Open(context.Background(), idx.Feature, cfg.K)
 		if err != nil {
 			return err
 		}
@@ -251,12 +252,12 @@ func runShardServePhases(eng *engine.Engine, ds *dataset.Dataset, codec core.His
 					scores[i] = 1
 				}
 			}
-			if st, err = svc.Feedback(st.ID, scores); err != nil {
+			if st, err = svc.Feedback(context.Background(), st.ID, scores); err != nil {
 				return err
 			}
 		}
 		before := svc.Stats().CacheEntries
-		res, err := svc.Close(st.ID)
+		res, err := svc.Close(context.Background(), st.ID)
 		if err != nil {
 			return err
 		}

@@ -47,9 +47,16 @@ type Manifest struct {
 // durable — a crash leaves either no manifest or a complete one, never a
 // torn header.
 func SaveManifest(path string, m Manifest) error {
+	return SaveManifestFS(nil, path, m)
+}
+
+// SaveManifestFS is SaveManifest with every filesystem operation routed
+// through fs (nil means OSFS).
+func SaveManifestFS(fsys FS, path string, m Manifest) error {
 	if m.Shards <= 0 || m.Dim <= 0 || m.OQPDim <= 0 {
 		return fmt.Errorf("persist: invalid manifest %+v", m)
 	}
+	fsys = OrOS(fsys)
 	var buf [manifestSize]byte
 	copy(buf[0:4], manifestMagic[:])
 	binary.LittleEndian.PutUint32(buf[4:8], ManifestVersion)
@@ -59,36 +66,41 @@ func SaveManifest(path string, m Manifest) error {
 	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(buf[:20]))
 
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := CreateFile(fsys, tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf[:]); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	return SyncDir(filepath.Dir(path))
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // LoadManifest reads and validates the manifest at path. A missing file
 // is reported with an error satisfying errors.Is(err, os.ErrNotExist);
 // any malformed content wraps ErrCorrupt.
 func LoadManifest(path string) (Manifest, error) {
-	data, err := os.ReadFile(path)
+	return LoadManifestFS(nil, path)
+}
+
+// LoadManifestFS is LoadManifest reading through fs (nil means OSFS).
+func LoadManifestFS(fsys FS, path string) (Manifest, error) {
+	data, err := OrOS(fsys).ReadFile(path)
 	if err != nil {
 		return Manifest{}, err
 	}
@@ -134,7 +146,7 @@ func SyncDir(dir string) error {
 		return err
 	}
 	if err := d.Sync(); err != nil {
-		d.Close()
+		_ = d.Close()
 		return err
 	}
 	return d.Close()

@@ -91,7 +91,7 @@ func SaveFile(path string, tree *simplextree.Tree) error {
 		return err
 	}
 	if err := Save(f, tree); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -162,7 +162,12 @@ func Load(r io.Reader) (*simplextree.Tree, error) {
 
 // LoadFile reads a tree from the named file.
 func LoadFile(path string) (*simplextree.Tree, error) {
-	f, err := os.Open(path)
+	return LoadFileFS(nil, path)
+}
+
+// LoadFileFS is LoadFile reading through fs (nil means OSFS).
+func LoadFileFS(fsys FS, path string) (*simplextree.Tree, error) {
+	f, err := OpenRead(fsys, path)
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,8 @@ const walHeaderSize = 4 + 4 + 4 + 4
 // stable storage). A WAL is not safe for concurrent use by itself; the
 // tree's exclusive write lock already serializes the observer appends.
 type WAL struct {
-	f       *os.File
+	fs      FS
+	f       File
 	path    string
 	dim     int
 	oqpDim  int
@@ -67,14 +68,22 @@ func walRecordSize(dim, oqpDim int) int { return 8*(dim+oqpDim) + 4 }
 // size-complete record with a bad checksum returns ErrCorrupt. The
 // returned WAL is positioned for appending.
 func OpenWAL(path string, dim, oqpDim int) (*WAL, error) {
+	return OpenWALFS(nil, path, dim, oqpDim)
+}
+
+// OpenWALFS is OpenWAL with every filesystem operation routed through fs
+// (nil means OSFS) — the fault-injection seam for the journal.
+func OpenWALFS(fsys FS, path string, dim, oqpDim int) (*WAL, error) {
 	if dim <= 0 || oqpDim <= 0 {
 		return nil, fmt.Errorf("persist: invalid WAL dimensions D=%d N=%d", dim, oqpDim)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fsys = OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	w := &WAL{
+		fs:     fsys,
 		f:      f,
 		path:   path,
 		dim:    dim,
@@ -83,7 +92,7 @@ func OpenWAL(path string, dim, oqpDim int) (*WAL, error) {
 	}
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if info.Size() < walHeaderSize {
@@ -92,15 +101,15 @@ func OpenWAL(path string, dim, oqpDim int) (*WAL, error) {
 		// file this short cannot hold records, so nothing is lost:
 		// rewrite the header instead of reporting corruption.
 		if err := f.Truncate(0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if err := w.writeHeader(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		w.off = walHeaderSize
@@ -108,19 +117,19 @@ func OpenWAL(path string, dim, oqpDim int) (*WAL, error) {
 	}
 	validEnd, records, err := scanWAL(f, dim, oqpDim)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if validEnd < info.Size() {
 		// Torn tail record: drop it so the next append starts on a
 		// record boundary.
 		if err := f.Truncate(validEnd); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	w.records = records
@@ -147,7 +156,7 @@ func (w *WAL) writeHeader() error {
 // offset just past the last valid record and the record count. A
 // truncated tail is tolerated (the returned offset excludes it); a
 // complete record with a checksum mismatch is ErrCorrupt.
-func scanWAL(f *os.File, dim, oqpDim int) (validEnd int64, records int, err error) {
+func scanWAL(f File, dim, oqpDim int) (validEnd int64, records int, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, err
 	}
@@ -306,7 +315,7 @@ func (w *WAL) Close() error { return w.f.Close() }
 // mismatch on a complete record is ErrCorrupt. The q and value slices
 // are reused across calls; fn must not retain them.
 func (w *WAL) Replay(fn func(q, value []float64) error) (int, error) {
-	f, err := os.Open(w.path)
+	f, err := OpenRead(w.fs, w.path)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,158 @@
+package persist_test
+
+// Fault-injected coverage for the WAL Append error paths — the
+// rollback-truncate and broken-log guard were dead code under ordinary
+// tests because only a real I/O failure can reach them. faultfs lives
+// above persist in the import graph, so these tests drive the exported
+// surface from an external test package.
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/persist"
+)
+
+const faultDim, faultOQP = 2, 3
+
+func openFaultWAL(t *testing.T, fs *faultfs.FS) *persist.WAL {
+	t.Helper()
+	w, err := persist.OpenWALFS(fs, filepath.Join(t.TempDir(), "tree.fbwl"), faultDim, faultOQP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func appendN(t *testing.T, w *persist.WAL, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		q := []float64{float64(i), float64(i) + 0.5}
+		v := []float64{1, 2, 3}
+		if err := w.Append(q, v); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func replayCount(t *testing.T, w *persist.WAL) int {
+	t.Helper()
+	n, err := w.Replay(func(q, value []float64) error { return nil })
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return n
+}
+
+// TestAppendRollbackShortWrite: a torn append (half the record reaches
+// disk) must roll the log back to the last record boundary, leaving it
+// open for business — the next append lands where the torn one was, and
+// replay never sees the tear.
+func TestAppendRollbackShortWrite(t *testing.T) {
+	fs := faultfs.New(nil)
+	w := openFaultWAL(t, fs)
+	appendN(t, w, 2)
+	sizeBefore := w.Size()
+
+	// Rule counts start when the rule is armed: tear the very next write.
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Nth: 1, Kind: faultfs.ShortWrite})
+	err := w.Append([]float64{9, 9}, []float64{9, 9, 9})
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn append = %v, want ErrInjected", err)
+	}
+	if w.Records() != 2 || w.Size() != sizeBefore {
+		t.Fatalf("after rollback: records=%d size=%d, want 2 records at size %d", w.Records(), w.Size(), sizeBefore)
+	}
+
+	appendN(t, w, 1)
+	if got := replayCount(t, w); got != 3 {
+		t.Fatalf("replay saw %d records, want 3 (2 before the tear + 1 after)", got)
+	}
+}
+
+// TestAppendRollbackFsyncFailure: with per-append fsync, a record whose
+// write landed but whose fsync failed must NOT be acknowledged — Append
+// rolls the fully-written record back out so the log holds exactly the
+// acknowledged set.
+func TestAppendRollbackFsyncFailure(t *testing.T) {
+	fs := faultfs.New(nil)
+	w := openFaultWAL(t, fs)
+	w.SetSyncOnAppend(true)
+	appendN(t, w, 1)
+
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpSync, Nth: 1, Kind: faultfs.Fail})
+	err := w.Append([]float64{9, 9}, []float64{9, 9, 9})
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("failed-fsync append = %v, want ErrInjected", err)
+	}
+	if w.Records() != 1 {
+		t.Fatalf("records = %d after failed fsync, want 1", w.Records())
+	}
+	if got := replayCount(t, w); got != 1 {
+		t.Fatalf("replay saw %d records, want only the acknowledged 1", got)
+	}
+
+	appendN(t, w, 1)
+	if got := replayCount(t, w); got != 2 {
+		t.Fatalf("replay saw %d records after recovery append, want 2", got)
+	}
+}
+
+// TestAppendENOSPC: out-of-space behaves like any failed write — rolled
+// back, typed, and non-fatal to the log.
+func TestAppendENOSPC(t *testing.T) {
+	fs := faultfs.New(nil)
+	w := openFaultWAL(t, fs)
+	appendN(t, w, 1)
+
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Nth: 1, Kind: faultfs.ENOSPC})
+	err := w.Append([]float64{9, 9}, []float64{9, 9, 9})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC append = %v, want syscall.ENOSPC", err)
+	}
+	appendN(t, w, 1)
+	if got := replayCount(t, w); got != 2 {
+		t.Fatalf("replay saw %d records, want 2", got)
+	}
+}
+
+// TestBrokenLogGuard: when the rollback truncate itself fails the tail
+// is in an unknown state, and the WAL must refuse every further append
+// (appending past torn bytes would corrupt the whole log) until a Reset
+// rewrites it from scratch.
+func TestBrokenLogGuard(t *testing.T) {
+	fs := faultfs.New(nil)
+	w := openFaultWAL(t, fs)
+	appendN(t, w, 2)
+
+	// Tear the next append AND fail its rollback truncate.
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Nth: 1, Kind: faultfs.ShortWrite})
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpTruncate, Nth: 1, Kind: faultfs.Fail})
+	err := w.Append([]float64{9, 9}, []float64{9, 9, 9})
+	if err == nil {
+		t.Fatal("append with failed rollback reported success")
+	}
+
+	// The guard: every further append refuses without touching the disk.
+	opsBefore := fs.Ops()
+	err2 := w.Append([]float64{8, 8}, []float64{8, 8, 8})
+	if err2 == nil {
+		t.Fatal("append on a broken log reported success")
+	}
+	if fs.Ops() != opsBefore {
+		t.Fatalf("broken-log append touched the disk (%d ops, was %d)", fs.Ops(), opsBefore)
+	}
+
+	// Reset rewrites the log from offset zero, clearing the guard.
+	if err := w.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	appendN(t, w, 1)
+	if got := replayCount(t, w); got != 1 {
+		t.Fatalf("replay saw %d records after reset, want 1", got)
+	}
+}

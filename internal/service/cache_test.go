@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -247,11 +248,11 @@ func TestShardedServiceScopedInvalidation(t *testing.T) {
 		t.Skip("collection sample maps to one shard; partition degeneracy")
 	}
 	for _, i := range items {
-		st, err := svc.Open(ds.Items[i].Feature, 5)
+		st, err := svc.Open(context.Background(), ds.Items[i].Feature, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := svc.Close(st.ID); err != nil {
+		if _, err := svc.Close(context.Background(), st.ID); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -302,7 +303,7 @@ func TestShardedServiceScopedInvalidation(t *testing.T) {
 			continue
 		}
 		before := svc.Stats().CacheHits
-		stOpen, err := svc.Open(ds.Items[i].Feature, 5)
+		stOpen, err := svc.Open(context.Background(), ds.Items[i].Feature, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -313,7 +314,7 @@ func TestShardedServiceScopedInvalidation(t *testing.T) {
 		if svc.Stats().CacheHits != before+1 && stOpen.CacheHit {
 			t.Errorf("cache-hit counter inconsistent")
 		}
-		if _, err := svc.Close(stOpen.ID); err != nil {
+		if _, err := svc.Close(context.Background(), stOpen.ID); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -328,11 +329,11 @@ func TestUnshardedSingleShardCache(t *testing.T) {
 		t.Fatal("plain core.Bypass detected as partitioned")
 	}
 	for i := 0; i < 6; i++ {
-		st, err := svc.Open(ds.Items[i].Feature, 5)
+		st, err := svc.Open(context.Background(), ds.Items[i].Feature, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := svc.Close(st.ID); err != nil {
+		if _, err := svc.Close(context.Background(), st.ID); err != nil {
 			t.Fatal(err)
 		}
 	}

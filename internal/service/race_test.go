@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -30,23 +31,23 @@ func TestConcurrentSessions(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perGoroutine; i++ {
 				item := ds.Items[(g*perGoroutine+i*13)%ds.Len()]
-				st, err := svc.Open(item.Feature, 8)
+				st, err := svc.Open(context.Background(), item.Feature, 8)
 				if err != nil {
 					errCh <- err
 					return
 				}
 				for !st.Converged {
-					if _, err := svc.Query(st.ID); err != nil {
+					if _, err := svc.Query(context.Background(), st.ID); err != nil {
 						errCh <- err
 						return
 					}
-					st, err = svc.Feedback(st.ID, oracleScores(ds, item.Category, st.Results))
+					st, err = svc.Feedback(context.Background(), st.ID, oracleScores(ds, item.Category, st.Results))
 					if err != nil {
 						errCh <- err
 						return
 					}
 				}
-				if _, err := svc.Close(st.ID); err != nil {
+				if _, err := svc.Close(context.Background(), st.ID); err != nil {
 					errCh <- err
 					return
 				}
@@ -104,7 +105,7 @@ func TestConcurrentAdmission(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				st, err := svc.Open(ds.Items[(g+i)%ds.Len()].Feature, 4)
+				st, err := svc.Open(context.Background(), ds.Items[(g+i)%ds.Len()].Feature, 4)
 				if errors.Is(err, ErrOverloaded) {
 					continue
 				}
@@ -116,7 +117,7 @@ func TestConcurrentAdmission(t *testing.T) {
 					errCh <- errors.New("admission bound exceeded")
 					return
 				}
-				if _, err := svc.Close(st.ID); err != nil {
+				if _, err := svc.Close(context.Background(), st.ID); err != nil {
 					errCh <- err
 					return
 				}

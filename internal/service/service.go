@@ -32,6 +32,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -88,6 +89,17 @@ type PartitionedBypass interface {
 	ShardInfos() []shardedbypass.ShardInfo
 }
 
+// DegradableBypass is the optional health surface of a Bypass
+// (implemented by core.DurableBypass and shardedbypass.Sharded): Degraded
+// reports the sticky persistence failure that flipped the module — or one
+// of its shards — to read-only serving, nil while healthy. The service
+// surfaces it in Stats so transports can expose degraded state on their
+// health endpoints without probing the store with writes.
+type DegradableBypass interface {
+	Bypass
+	Degraded() error
+}
+
 // Options tunes the serving layer.
 type Options struct {
 	// MaxSessions bounds concurrently open sessions; Open returns
@@ -126,6 +138,7 @@ type Service struct {
 	eng   *engine.Engine
 	byp   Bypass
 	parts PartitionedBypass // byp's sharding surface; nil when unsharded
+	deg   DegradableBypass  // byp's health surface; nil when not degradable
 	codec core.HistogramCodec
 	opts  Options
 	cache *predictionCache // nil when disabled
@@ -144,6 +157,13 @@ type Service struct {
 	warmStarts  atomic.Int64
 	inserts     atomic.Int64
 	stored      atomic.Int64
+	// Resource-governance rejections, classified from Close's insert path:
+	// quotaRejects counts outcomes refused by the store's vertex/byte
+	// quota, degradedRejects outcomes refused because the store had flipped
+	// to read-only after a persistence failure. In both cases the session
+	// itself completed normally — only the learning was lost.
+	quotaRejects    atomic.Int64
+	degradedRejects atomic.Int64
 }
 
 // session is one user's in-flight interactive loop.
@@ -204,6 +224,9 @@ func New(eng *engine.Engine, byp Bypass, opts Options) (*Service, error) {
 		s.parts = parts
 		shards = parts.NumShards()
 	}
+	if deg, ok := byp.(DegradableBypass); ok {
+		s.deg = deg
+	}
 	if opts.CacheSize > 0 {
 		s.cache = newPredictionCache(opts.CacheSize, shards)
 	}
@@ -217,6 +240,17 @@ func (s *Service) shardOf(qp []float64) int {
 		return 0
 	}
 	return s.parts.ShardOf(qp)
+}
+
+// Degraded reports the sticky persistence failure that flipped the
+// underlying store (or one of its shards) to read-only serving, or nil —
+// when the store is healthy, or when it does not expose a health surface
+// (a plain in-memory Bypass cannot degrade).
+func (s *Service) Degraded() error {
+	if s.deg == nil {
+		return nil
+	}
+	return s.deg.Degraded()
 }
 
 // Codec returns the histogram codec the service maps queries with.
@@ -310,7 +344,16 @@ func isDefaultOQP(oqp core.OQP) bool {
 // returns the session's first state. k <= 0 selects Options.DefaultK.
 // Position failures wrap core.ErrOutOfDomain; admission failures wrap
 // ErrOverloaded.
-func (s *Service) Open(feature []float64, k int) (SessionState, error) {
+//
+// ctx bounds the request: a cancelled or expired context aborts before
+// the admission slot is taken and again before the retrieval scan, and
+// the returned error is the context's (context.Canceled /
+// context.DeadlineExceeded), so transports can map client disconnects
+// and deadline overruns distinctly.
+func (s *Service) Open(ctx context.Context, feature []float64, k int) (SessionState, error) {
+	if err := ctx.Err(); err != nil {
+		return SessionState{}, err
+	}
 	dim := s.eng.Dataset().Dim
 	if len(feature) != dim {
 		return SessionState{}, fmt.Errorf("query has %d bins, want %d: %w", len(feature), dim, ErrInvalidArgument)
@@ -370,6 +413,12 @@ func (s *Service) Open(feature []float64, k int) (SessionState, error) {
 	if err != nil {
 		return abort(err)
 	}
+	// Re-check before the scan — the one stage whose cost scales with the
+	// collection; a client that disconnected during admission should not
+	// burn a full k-NN pass.
+	if err := ctx.Err(); err != nil {
+		return abort(err)
+	}
 	results, err := s.eng.Retrieve(qPred, wPred, k)
 	if err != nil {
 		return abort(err)
@@ -399,7 +448,10 @@ func (s *Service) lookup(id uint64) (*session, error) {
 }
 
 // Query returns the session's current state without advancing it.
-func (s *Service) Query(id uint64) (SessionState, error) {
+func (s *Service) Query(ctx context.Context, id uint64) (SessionState, error) {
+	if err := ctx.Err(); err != nil {
+		return SessionState{}, err
+	}
 	sess, err := s.lookup(id)
 	if err != nil {
 		return SessionState{}, err
@@ -418,7 +470,10 @@ func (s *Service) Query(id uint64) (SessionState, error) {
 // converged — stable result list, no good matches to learn from, or
 // exhausted iteration budget — is returned unchanged with Converged set;
 // the client should Close it.
-func (s *Service) Feedback(id uint64, scores []float64) (SessionState, error) {
+func (s *Service) Feedback(ctx context.Context, id uint64, scores []float64) (SessionState, error) {
+	if err := ctx.Err(); err != nil {
+		return SessionState{}, err
+	}
 	sess, err := s.lookup(id)
 	if err != nil {
 		return SessionState{}, err
@@ -447,6 +502,13 @@ func (s *Service) Feedback(id uint64, scores []float64) (SessionState, error) {
 		// The session's own state is validated; a refine failure means the
 		// scores were malformed (NaN, negative, ...) — a client error.
 		return SessionState{}, fmt.Errorf("%v: %w", err, ErrInvalidArgument)
+	}
+	// As in Open: abort before the collection-sized scan if the client is
+	// gone or the deadline has passed. The session is unchanged (q, w and
+	// results only update after a successful retrieve), so a retried
+	// Feedback with the same scores reproduces this round exactly.
+	if err := ctx.Err(); err != nil {
+		return SessionState{}, err
 	}
 	newResults, err := s.eng.Retrieve(newQ, newW, sess.k)
 	if err != nil {
@@ -482,8 +544,18 @@ type CloseResult struct {
 // Close ends the session and — when the session actually refined its
 // parameters — inserts the converged OQPs into the shared Bypass, making
 // the outcome available to every future session. The session is removed
-// even when the insert fails.
-func (s *Service) Close(id uint64) (CloseResult, error) {
+// even when the insert fails; an insert refused by the store's quota or
+// its degraded read-only mode returns the typed sentinel
+// (core.ErrQuotaExceeded / core.ErrDegraded) so transports can map it,
+// while the session itself still closed cleanly.
+//
+// ctx is consulted only before the session is unpublished: once Close
+// commits to removing the session it finishes the insert even if the
+// client disconnects, so a learned outcome is never dropped halfway.
+func (s *Service) Close(ctx context.Context, id uint64) (CloseResult, error) {
+	if err := ctx.Err(); err != nil {
+		return CloseResult{}, err
+	}
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	if ok {
@@ -514,6 +586,12 @@ func (s *Service) Close(id uint64) (CloseResult, error) {
 	s.inserts.Add(1)
 	changed, err := s.byp.Insert(qp, oqp)
 	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrQuotaExceeded):
+			s.quotaRejects.Add(1)
+		case errors.Is(err, core.ErrDegraded):
+			s.degradedRejects.Add(1)
+		}
 		return out, err
 	}
 	out.Inserted = changed
@@ -532,8 +610,10 @@ func (s *Service) Close(id uint64) (CloseResult, error) {
 
 // Drain closes every in-flight session (inserting converged outcomes) and
 // returns how many sessions were closed and how many inserts changed the
-// Bypass. It is the graceful-shutdown path of cmd/fbserve.
-func (s *Service) Drain() (closedSessions, inserted int, err error) {
+// Bypass. It is the graceful-shutdown path of cmd/fbserve; ctx bounds the
+// sweep — when it expires, Drain stops and reports the context error
+// alongside whatever it managed to close.
+func (s *Service) Drain(ctx context.Context) (closedSessions, inserted int, err error) {
 	s.mu.RLock()
 	ids := make([]uint64, 0, len(s.sessions))
 	for id := range s.sessions {
@@ -542,7 +622,13 @@ func (s *Service) Drain() (closedSessions, inserted int, err error) {
 	s.mu.RUnlock()
 	var firstErr error
 	for _, id := range ids {
-		res, cerr := s.Close(id)
+		if cerr := ctx.Err(); cerr != nil {
+			if firstErr == nil {
+				firstErr = cerr
+			}
+			break
+		}
+		res, cerr := s.Close(ctx, id)
 		if errors.Is(cerr, ErrSessionNotFound) {
 			continue // raced with a client Close; already gone
 		}
@@ -580,6 +666,14 @@ type Stats struct {
 	Inserts        int64 `json:"inserts"`
 	InsertsStored  int64 `json:"inserts_stored"`
 
+	// Degraded carries the store's sticky persistence failure (empty while
+	// healthy): the module — or at least one shard — serves reads but
+	// rejects inserts. QuotaRejects / DegradedRejects count session
+	// outcomes the store refused to learn from, by cause.
+	Degraded        string `json:"degraded,omitempty"`
+	QuotaRejects    int64  `json:"quota_rejects,omitempty"`
+	DegradedRejects int64  `json:"degraded_rejects,omitempty"`
+
 	// Tree aggregates every shard (the whole learned mapping); Shards
 	// breaks it down per partition when the Bypass is sharded.
 	Tree   simplextree.Stats `json:"tree"`
@@ -593,17 +687,22 @@ func (s *Service) Stats() Stats {
 	active := len(s.sessions)
 	s.mu.RUnlock()
 	st := Stats{
-		ActiveSessions: active,
-		Opened:         s.opened.Load(),
-		Rejected:       s.rejected.Load(),
-		Closed:         s.closed.Load(),
-		Feedbacks:      s.feedbacks.Load(),
-		Predictions:    s.predictions.Load(),
-		CacheHits:      s.cacheHits.Load(),
-		WarmStarts:     s.warmStarts.Load(),
-		Inserts:        s.inserts.Load(),
-		InsertsStored:  s.stored.Load(),
-		Tree:           s.byp.Stats(),
+		ActiveSessions:  active,
+		Opened:          s.opened.Load(),
+		Rejected:        s.rejected.Load(),
+		Closed:          s.closed.Load(),
+		Feedbacks:       s.feedbacks.Load(),
+		Predictions:     s.predictions.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		WarmStarts:      s.warmStarts.Load(),
+		Inserts:         s.inserts.Load(),
+		InsertsStored:   s.stored.Load(),
+		QuotaRejects:    s.quotaRejects.Load(),
+		DegradedRejects: s.degradedRejects.Load(),
+		Tree:            s.byp.Stats(),
+	}
+	if derr := s.Degraded(); derr != nil {
+		st.Degraded = derr.Error()
 	}
 	if s.cache != nil {
 		st.CacheEntries = s.cache.Len()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -60,17 +61,17 @@ func oracleScores(ds *dataset.Dataset, category string, results []knn.Result) []
 func runSession(t *testing.T, svc *Service, ds *dataset.Dataset, itemIdx, k int) CloseResult {
 	t.Helper()
 	item := ds.Items[itemIdx]
-	st, err := svc.Open(item.Feature, k)
+	st, err := svc.Open(context.Background(), item.Feature, k)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for !st.Converged {
-		st, err = svc.Feedback(st.ID, oracleScores(ds, item.Category, st.Results))
+		st, err = svc.Feedback(context.Background(), st.ID, oracleScores(ds, item.Category, st.Results))
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := svc.Close(st.ID)
+	res, err := svc.Close(context.Background(), st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestNewValidation(t *testing.T) {
 func TestSessionLifecycle(t *testing.T) {
 	svc, ds := newTestService(t, Options{DefaultK: 8})
 	item := ds.Items[0]
-	st, err := svc.Open(item.Feature, 0) // k<=0 → DefaultK
+	st, err := svc.Open(context.Background(), item.Feature, 0) // k<=0 → DefaultK
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestSessionLifecycle(t *testing.T) {
 		t.Fatalf("fresh session state: %+v", st)
 	}
 	// Query returns the same snapshot without advancing.
-	qst, err := svc.Query(st.ID)
+	qst, err := svc.Query(context.Background(), st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestSessionLifecycle(t *testing.T) {
 	// Drive to convergence with the oracle.
 	rounds := 0
 	for !st.Converged {
-		st, err = svc.Feedback(st.ID, oracleScores(ds, item.Category, st.Results))
+		st, err = svc.Feedback(context.Background(), st.ID, oracleScores(ds, item.Category, st.Results))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestSessionLifecycle(t *testing.T) {
 			t.Fatal("session never converged")
 		}
 	}
-	res, err := svc.Close(st.ID)
+	res, err := svc.Close(context.Background(), st.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,13 +144,13 @@ func TestSessionLifecycle(t *testing.T) {
 		t.Error("a session that refined its parameters should insert into the bypass")
 	}
 	// The session is gone: every lifecycle method must say so, Is-ably.
-	if _, err := svc.Query(st.ID); !errors.Is(err, ErrSessionNotFound) {
+	if _, err := svc.Query(context.Background(), st.ID); !errors.Is(err, ErrSessionNotFound) {
 		t.Errorf("Query after close: %v", err)
 	}
-	if _, err := svc.Feedback(st.ID, nil); !errors.Is(err, ErrSessionNotFound) {
+	if _, err := svc.Feedback(context.Background(), st.ID, nil); !errors.Is(err, ErrSessionNotFound) {
 		t.Errorf("Feedback after close: %v", err)
 	}
-	if _, err := svc.Close(st.ID); !errors.Is(err, ErrSessionNotFound) {
+	if _, err := svc.Close(context.Background(), st.ID); !errors.Is(err, ErrSessionNotFound) {
 		t.Errorf("double Close: %v", err)
 	}
 	stats := svc.Stats()
@@ -160,14 +161,14 @@ func TestSessionLifecycle(t *testing.T) {
 
 func TestOpenValidation(t *testing.T) {
 	svc, ds := newTestService(t, Options{})
-	if _, err := svc.Open([]float64{0.5, 0.5}, 5); err == nil {
+	if _, err := svc.Open(context.Background(), []float64{0.5, 0.5}, 5); err == nil {
 		t.Error("wrong-dimension query accepted")
 	}
 	// A "histogram" far outside the standard simplex must surface the
 	// domain sentinel through the service.
 	bad := make([]float64, ds.Dim)
 	bad[0] = 2.0
-	if _, err := svc.Open(bad, 5); !errors.Is(err, core.ErrOutOfDomain) {
+	if _, err := svc.Open(context.Background(), bad, 5); !errors.Is(err, core.ErrOutOfDomain) {
 		t.Errorf("out-of-domain query: error %v is not core.ErrOutOfDomain", err)
 	}
 	if svc.Stats().ActiveSessions != 0 {
@@ -175,28 +176,28 @@ func TestOpenValidation(t *testing.T) {
 	}
 	// An absurd k is clamped to the collection size instead of driving a
 	// k-sized allocation in every scan worker.
-	st, err := svc.Open(ds.Items[0].Feature, 1<<30)
+	st, err := svc.Open(context.Background(), ds.Items[0].Feature, 1<<30)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.K != ds.Len() || len(st.Results) != ds.Len() {
 		t.Errorf("k clamp: K=%d results=%d, want collection size %d", st.K, len(st.Results), ds.Len())
 	}
-	if _, err := svc.Close(st.ID); err != nil {
+	if _, err := svc.Close(context.Background(), st.ID); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAdmissionControl(t *testing.T) {
 	svc, ds := newTestService(t, Options{MaxSessions: 2})
-	st1, err := svc.Open(ds.Items[0].Feature, 5)
+	st1, err := svc.Open(context.Background(), ds.Items[0].Feature, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Open(ds.Items[1].Feature, 5); err != nil {
+	if _, err := svc.Open(context.Background(), ds.Items[1].Feature, 5); err != nil {
 		t.Fatal(err)
 	}
-	_, err = svc.Open(ds.Items[2].Feature, 5)
+	_, err = svc.Open(context.Background(), ds.Items[2].Feature, 5)
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("third session: error %v is not ErrOverloaded", err)
 	}
@@ -204,10 +205,10 @@ func TestAdmissionControl(t *testing.T) {
 		t.Errorf("rejected counter = %d", svc.Stats().Rejected)
 	}
 	// Closing a session frees the slot.
-	if _, err := svc.Close(st1.ID); err != nil {
+	if _, err := svc.Close(context.Background(), st1.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Open(ds.Items[2].Feature, 5); err != nil {
+	if _, err := svc.Open(context.Background(), ds.Items[2].Feature, 5); err != nil {
 		t.Errorf("open after close: %v", err)
 	}
 }
@@ -215,14 +216,14 @@ func TestAdmissionControl(t *testing.T) {
 func TestIterationBudget(t *testing.T) {
 	svc, ds := newTestService(t, Options{IterationBudget: 1})
 	item := ds.Items[0]
-	st, err := svc.Open(item.Feature, 10)
+	st, err := svc.Open(context.Background(), item.Feature, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.BudgetLeft != 1 {
 		t.Fatalf("BudgetLeft = %d, want 1", st.BudgetLeft)
 	}
-	st, err = svc.Feedback(st.ID, oracleScores(ds, item.Category, st.Results))
+	st, err = svc.Feedback(context.Background(), st.ID, oracleScores(ds, item.Category, st.Results))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestIterationBudget(t *testing.T) {
 		t.Fatalf("after budgeted round: %+v", st)
 	}
 	// Further feedback is a no-op, not an error.
-	again, err := svc.Feedback(st.ID, oracleScores(ds, item.Category, st.Results))
+	again, err := svc.Feedback(context.Background(), st.ID, oracleScores(ds, item.Category, st.Results))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,19 +360,19 @@ func TestDrain(t *testing.T) {
 	var ids []uint64
 	for i := 0; i < 4; i++ {
 		item := ds.Items[i]
-		st, err := svc.Open(item.Feature, 8)
+		st, err := svc.Open(context.Background(), item.Feature, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Give two of them feedback so Drain has outcomes to insert.
 		if i%2 == 0 {
-			if _, err := svc.Feedback(st.ID, oracleScores(ds, item.Category, st.Results)); err != nil {
+			if _, err := svc.Feedback(context.Background(), st.ID, oracleScores(ds, item.Category, st.Results)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		ids = append(ids, st.ID)
 	}
-	closed, _, err := svc.Drain()
+	closed, _, err := svc.Drain(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestDrain(t *testing.T) {
 		t.Error("sessions survived the drain")
 	}
 	for _, id := range ids {
-		if _, err := svc.Query(id); !errors.Is(err, ErrSessionNotFound) {
+		if _, err := svc.Query(context.Background(), id); !errors.Is(err, ErrSessionNotFound) {
 			t.Errorf("session %d survived the drain: %v", id, err)
 		}
 	}

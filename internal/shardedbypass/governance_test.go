@@ -1,0 +1,142 @@
+package shardedbypass
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/vec"
+)
+
+// TestShardedDegradedIsolation: one shard's disk going bad degrades that
+// shard alone — its inserts get the typed sentinel, its reads stay
+// bitwise-correct, the other shards keep accepting writes, and the
+// module-level surfaces (Degraded, ShardInfos) report it.
+func TestShardedDegradedIsolation(t *testing.T) {
+	const d, p = 3, 2
+	rng := rand.New(rand.NewSource(61))
+	fs := faultfs.New(nil)
+
+	sh, err := Open(t.TempDir(), d, p, core.Config{Epsilon: 0}, Options{
+		Shards:  3,
+		Durable: core.DurableOptions{FS: fs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	twin, err := New(d, p, core.Config{Epsilon: 0}, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var qs [][]float64
+	for len(qs) < 12 {
+		q := randomSimplexPoint(rng, d)
+		oqp := randomOQP(rng, d, p)
+		if _, err := sh.Insert(q, oqp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := twin.Insert(q, oqp); err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+	}
+	if sh.Degraded() != nil {
+		t.Fatal("healthy module reports degraded")
+	}
+
+	// Shard 1's journal disk goes bad.
+	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Path: "shard-001", Nth: 0, Kind: faultfs.Fail})
+
+	var hit, elsewhere int
+	for hit == 0 || elsewhere == 0 {
+		q := randomSimplexPoint(rng, d)
+		oqp := randomOQP(rng, d, p)
+		_, err := sh.Insert(q, oqp)
+		if sh.ShardOf(q) == 1 {
+			if !errors.Is(err, core.ErrDegraded) {
+				t.Fatalf("insert to bad shard = %v, want ErrDegraded", err)
+			}
+			hit++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("insert to healthy shard %d: %v", sh.ShardOf(q), err)
+		}
+		if _, err := twin.Insert(q, oqp); err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+		elsewhere++
+	}
+
+	if err := sh.Degraded(); !errors.Is(err, core.ErrDegraded) {
+		t.Fatalf("module Degraded() = %v, want ErrDegraded", err)
+	}
+	infos := sh.ShardInfos()
+	if infos[1].Degraded == "" {
+		t.Fatal("ShardInfos does not mark shard 1 degraded")
+	}
+	if infos[0].Degraded != "" || infos[2].Degraded != "" {
+		t.Fatalf("healthy shards marked degraded: %+v", infos)
+	}
+
+	// Every prediction — including those served by the degraded shard —
+	// matches the healthy twin bitwise.
+	for i, q := range qs {
+		got, err := sh.Predict(q)
+		if err != nil {
+			t.Fatalf("predict %d: %v", i, err)
+		}
+		want, err := twin.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vec.Equal(got.Delta, want.Delta) || !vec.Equal(got.Weights, want.Weights) {
+			t.Fatalf("prediction %d diverged from twin with shard 1 degraded", i)
+		}
+	}
+}
+
+// TestShardedQuotaDivision: a module-level vertex quota divides
+// ceil(total/S) per shard, rejections carry the sentinel, and reads
+// stay live once every shard is full.
+func TestShardedQuotaDivision(t *testing.T) {
+	const d, p = 3, 2
+	const perShard = 2 // headroom above the d+1 corners, per shard
+	rng := rand.New(rand.NewSource(63))
+
+	total := 3 * (d + 1 + perShard)
+	sh, err := New(d, p, core.Config{Epsilon: 0, MaxVertices: total}, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted int
+	var kept [][]float64
+	for i := 0; i < 60; i++ {
+		q := randomSimplexPoint(rng, d)
+		_, err := sh.Insert(q, randomOQP(rng, d, p))
+		switch {
+		case err == nil:
+			accepted++
+			kept = append(kept, q)
+		case errors.Is(err, core.ErrQuotaExceeded):
+		default:
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// Each of the 3 shards can accept exactly perShard inserts; the
+	// random stream hits every shard well within 60 tries.
+	if accepted != 3*perShard {
+		t.Fatalf("accepted %d inserts, want %d (per-shard division)", accepted, 3*perShard)
+	}
+	for i, q := range kept {
+		if _, err := sh.Predict(q); err != nil {
+			t.Fatalf("quota-full predict %d: %v", i, err)
+		}
+	}
+}

@@ -98,7 +98,8 @@ type Sharded struct {
 type ShardInfo struct {
 	Shard     int    `json:"shard"`
 	Replaying bool   `json:"replaying,omitempty"`
-	Error     string `json:"error,omitempty"` // recovery failure; terminal, unlike Replaying
+	Error     string `json:"error,omitempty"`    // recovery failure; terminal, unlike Replaying
+	Degraded  string `json:"degraded,omitempty"` // persistence failure; shard serves read-only
 	Points    int    `json:"points"`
 	Depth     int    `json:"depth"`
 	Inserts   int64  `json:"inserts"`
@@ -126,6 +127,22 @@ func validateOptions(d, p int, opts Options) (int, error) {
 	return s, nil
 }
 
+// shardConfig divides the module-level quotas across S shards —
+// ceil(total/S) each — so the aggregate bound holds up to rounding
+// while every shard enforces its slice independently (no cross-shard
+// accounting on the insert path).
+func shardConfig(cfg core.Config, s int) core.Config {
+	if s > 1 {
+		if cfg.MaxVertices > 0 {
+			cfg.MaxVertices = (cfg.MaxVertices + s - 1) / s
+		}
+		if cfg.MaxBytes > 0 {
+			cfg.MaxBytes = (cfg.MaxBytes + int64(s) - 1) / int64(s)
+		}
+	}
+	return cfg
+}
+
 // New creates an in-memory sharded bypass (no WAL, no directory): S
 // independent core.Bypass partitions behind one routing front. Every
 // shard is ready immediately.
@@ -134,6 +151,7 @@ func New(d, p int, cfg core.Config, opts Options) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg = shardConfig(cfg, s)
 	sh := &Sharded{d: d, p: p, shards: make([]*shard, s)}
 	for i := range sh.shards {
 		b, err := core.New(d, p, cfg)
@@ -156,7 +174,7 @@ func Open(dir string, d, p int, cfg core.Config, opts Options) (*Sharded, error)
 		return nil, err
 	}
 	if err := sh.WaitReady(); err != nil {
-		sh.Close()
+		_ = sh.Close()
 		return nil, err
 	}
 	return sh, nil
@@ -178,11 +196,12 @@ func OpenAsync(dir string, d, p int, cfg core.Config, opts Options) (*Sharded, e
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := persist.OrOS(opts.Durable.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	manifestPath := filepath.Join(dir, ManifestFile)
-	m, err := persist.LoadManifest(manifestPath)
+	m, err := persist.LoadManifestFS(fsys, manifestPath)
 	switch {
 	case err == nil:
 		if opts.Shards != 0 && m.Shards != opts.Shards {
@@ -198,18 +217,19 @@ func OpenAsync(dir string, d, p int, cfg core.Config, opts Options) (*Sharded, e
 		// journal, the pre-sharding fbserve layout) must not be silently
 		// shadowed by S fresh empty shards — sharding it is a migration.
 		for _, name := range []string{core.SnapshotFile, core.JournalFile} {
-			if _, serr := os.Stat(filepath.Join(dir, name)); serr == nil {
+			if _, serr := fsys.Stat(filepath.Join(dir, name)); serr == nil {
 				return nil, fmt.Errorf("shardedbypass: %s holds a legacy single-tree module (%s present, no manifest); sharding an existing module is an explicit migration", dir, name)
 			}
 		}
 		m = persist.Manifest{Shards: s, Dim: d, OQPDim: d + p}
-		if err := persist.SaveManifest(manifestPath, m); err != nil {
+		if err := persist.SaveManifestFS(fsys, manifestPath, m); err != nil {
 			return nil, fmt.Errorf("shardedbypass: writing manifest: %w", err)
 		}
 	default:
 		return nil, fmt.Errorf("shardedbypass: reading manifest: %w", err)
 	}
 
+	shardCfg := shardConfig(cfg, s)
 	sh := &Sharded{d: d, p: p, dir: dir, shards: make([]*shard, s)}
 	for i := range sh.shards {
 		sh.shards[i] = &shard{id: i, ready: make(chan struct{})}
@@ -218,7 +238,7 @@ func OpenAsync(dir string, d, p int, cfg core.Config, opts Options) (*Sharded, e
 		go func(p0 *shard) {
 			defer close(p0.ready)
 			sd := shardDir(dir, p0.id)
-			db, err := core.OpenDurable(sd, d, p, cfg, opts.Durable)
+			db, err := core.OpenDurable(sd, d, p, shardCfg, opts.Durable)
 			if err != nil {
 				p0.err = fmt.Errorf("shardedbypass: shard %d: %w", p0.id, err)
 				return
@@ -231,13 +251,13 @@ func OpenAsync(dir string, d, p int, cfg core.Config, opts Options) (*Sharded, e
 			// missing directory as an empty shard — silently dropping the
 			// acked insert. No insert can be acknowledged before ready
 			// closes, so syncing here closes the window.
-			if err := persist.SyncDir(sd); err != nil {
-				db.Close()
+			if err := fsys.SyncDir(sd); err != nil {
+				_ = db.Close()
 				p0.err = fmt.Errorf("shardedbypass: shard %d: syncing shard directory: %w", p0.id, err)
 				return
 			}
-			if err := persist.SyncDir(dir); err != nil {
-				db.Close()
+			if err := fsys.SyncDir(dir); err != nil {
+				_ = db.Close()
 				p0.err = fmt.Errorf("shardedbypass: shard %d: syncing module directory: %w", p0.id, err)
 				return
 			}
@@ -456,6 +476,21 @@ func (s *Sharded) Stats() simplextree.Stats {
 	return agg
 }
 
+// Walk visits every distinct vertex of every live shard exactly once —
+// the module-wide census of the learned mapping (the sharded analogue of
+// Bypass.Tree().Walk). It fails if any shard is still replaying or its
+// recovery failed: a partial census would silently under-count.
+func (s *Sharded) Walk(fn func(v *simplextree.Vertex)) error {
+	for i := range s.shards {
+		p, err := s.get(i)
+		if err != nil {
+			return fmt.Errorf("shardedbypass: shard %d: %w", i, err)
+		}
+		p.byp.Tree().Walk(fn)
+	}
+	return nil
+}
+
 // ShardInfos snapshots every shard's counters (per-shard tree shape,
 // accepted inserts, journal depth and WAL bytes); a shard still
 // replaying is marked Replaying with zero counters, one whose recovery
@@ -481,9 +516,35 @@ func (s *Sharded) ShardInfos() []ShardInfo {
 		if p.durable != nil {
 			out[i].Journaled = p.durable.Journaled()
 			out[i].WALBytes = p.durable.WALSize()
+			if derr := p.durable.Degraded(); derr != nil {
+				out[i].Degraded = derr.Error()
+			}
 		}
 	}
 	return out
+}
+
+// Degraded reports the first settled shard that has flipped to
+// read-only after a persistence failure, or nil when no shard is
+// degraded. The returned error satisfies errors.Is(err,
+// core.ErrDegraded); predictions on every shard (including degraded
+// ones) stay live.
+func (s *Sharded) Degraded() error {
+	for i := range s.shards {
+		p := s.shards[i]
+		select {
+		case <-p.ready:
+		default:
+			continue
+		}
+		if p.durable == nil || p.err != nil {
+			continue
+		}
+		if derr := p.durable.Degraded(); derr != nil {
+			return fmt.Errorf("shardedbypass: shard %d: %w", i, derr)
+		}
+	}
+	return nil
 }
 
 // Journaled sums the journaled-insert counts of every live shard

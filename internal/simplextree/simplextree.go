@@ -46,6 +46,13 @@ import (
 // with errors.Is.
 var ErrOutOfDomain = errors.New("simplextree: query point outside the root simplex")
 
+// ErrQuotaExceeded is wrapped by inserts that would grow the tree past a
+// configured vertex or byte quota (Options.MaxVertices / MaxBytes). It
+// is a resource-governance rejection, not a failure: the tree is
+// unchanged, predictions keep working, and vertex-value updates (which
+// store no new vertex) are still accepted.
+var ErrQuotaExceeded = errors.New("simplextree: tree quota exceeded")
+
 // boundarySlack widens the containment band used while descending:
 // a child accepts a point when every barycentric coordinate is
 // ≥ -boundarySlack·tol. Descent multiplies the rounding of the root solve
@@ -121,6 +128,9 @@ type Tree struct {
 	numLeaves  int
 	numVerts   int32 // distinct vertices ever created (next Vertex.id)
 
+	maxVerts int   // vertex quota; 0 = unbounded
+	maxBytes int64 // approximate byte quota; 0 = unbounded
+
 	observer Observer
 
 	scratch sync.Pool // *scratch
@@ -137,6 +147,14 @@ type Options struct {
 	// Tol is the geometric tolerance for containment and degeneracy
 	// decisions; geom.DefaultTol when zero.
 	Tol float64
+	// MaxVertices bounds the number of distinct vertices the tree may
+	// hold, counting the D+1 domain corners. Zero means unbounded. An
+	// insert that would create a vertex past the bound is rejected with
+	// ErrQuotaExceeded; vertex-value updates stay accepted.
+	MaxVertices int
+	// MaxBytes bounds the tree's approximate heap footprint (see
+	// SizeBytes). Zero means unbounded; enforcement matches MaxVertices.
+	MaxBytes int64
 }
 
 // New builds a Simplex Tree over the given root domain simplex. Every
@@ -159,6 +177,9 @@ func New(domain *geom.Simplex, defaultOQP []float64, opts Options) (*Tree, error
 	if opts.Tol < 0 {
 		return nil, fmt.Errorf("simplextree: negative tolerance %v", opts.Tol)
 	}
+	if opts.MaxVertices < 0 || opts.MaxBytes < 0 {
+		return nil, fmt.Errorf("simplextree: negative quota (MaxVertices=%d, MaxBytes=%d)", opts.MaxVertices, opts.MaxBytes)
+	}
 	d := domain.Dim()
 	verts := make([]*Vertex, d+1)
 	for i := range verts {
@@ -176,6 +197,8 @@ func New(domain *geom.Simplex, defaultOQP []float64, opts Options) (*Tree, error
 		root:      &node{verts: verts},
 		numLeaves: 1,
 		numVerts:  int32(d + 1),
+		maxVerts:  opts.MaxVertices,
+		maxBytes:  opts.MaxBytes,
 	}
 	if err := t.initDerived(); err != nil {
 		// Degeneracy check: the barycentric system must be solvable. (A
@@ -216,6 +239,34 @@ func (t *Tree) Dim() int { return t.dim }
 
 // OQPDim returns the stored vector dimensionality N.
 func (t *Tree) OQPDim() int { return t.oqpDim }
+
+// SetQuota installs (or clears, with zeros) the vertex and byte bounds
+// after construction. Recovery paths use it to apply quotas only once
+// the persisted state is replayed: a tree already past a newly lowered
+// bound keeps serving reads and rejects further growth, rather than
+// failing to open.
+func (t *Tree) SetQuota(maxVertices int, maxBytes int64) {
+	t.mu.Lock()
+	t.maxVerts = maxVertices
+	t.maxBytes = maxBytes
+	t.mu.Unlock()
+}
+
+// perVertexBytes approximates the heap cost of one stored vertex: its
+// point and value float64 slices plus struct, pointer and node-sharing
+// overhead. A constant per-vertex model keeps the byte quota monotone
+// and cheap to enforce.
+func (t *Tree) perVertexBytes() int64 { return int64(8*(t.dim+t.oqpDim)) + 128 }
+
+// SizeBytes reports the tree's approximate heap footprint — the
+// quantity Options.MaxBytes bounds.
+func (t *Tree) SizeBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sizeBytesLocked()
+}
+
+func (t *Tree) sizeBytesLocked() int64 { return int64(t.numVerts) * t.perVertexBytes() }
 
 // Epsilon returns the insert threshold.
 func (t *Tree) Epsilon() float64 { return t.epsilon }
@@ -570,6 +621,16 @@ func (t *Tree) insertLocked(q, value []float64) (bool, error) {
 			t.numPoints++
 			return true, nil
 		}
+	}
+	// Quota gate: only the split path below creates a vertex, so it alone
+	// is subject to the resource bounds. The check precedes the observer
+	// (nothing rejected here ever reaches a journal) and the rejection
+	// leaves the tree untouched — reads keep serving the existing state.
+	if t.maxVerts > 0 && int(t.numVerts)+1 > t.maxVerts {
+		return false, fmt.Errorf("%w: %d vertices stored, limit %d", ErrQuotaExceeded, t.numVerts, t.maxVerts)
+	}
+	if t.maxBytes > 0 && (int64(t.numVerts)+1)*t.perVertexBytes() > t.maxBytes {
+		return false, fmt.Errorf("%w: ~%d bytes stored of %d-byte limit", ErrQuotaExceeded, t.sizeBytesLocked(), t.maxBytes)
 	}
 	newVert := &Vertex{Point: vec.Clone(q), Value: vec.Clone(value), id: t.numVerts}
 	var children []*node

@@ -27,8 +27,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
+
+	"repro/internal/persist"
 )
 
 var fbmxMagic = [4]byte{'F', 'B', 'M', 'X'}
@@ -52,18 +53,26 @@ const maxFBMXSide = 1 << 31
 // file, atomically: a temporary file is written, fsynced, renamed into
 // place, and the directory entry made durable.
 func WriteFBMX(path string, b Backend) error {
+	return WriteFBMXFS(nil, path, b)
+}
+
+// WriteFBMXFS is WriteFBMX with every filesystem operation routed
+// through fs (nil means the real filesystem) — the fault-injection seam
+// for collection writes.
+func WriteFBMXFS(fsys persist.FS, path string, b Backend) error {
 	if b == nil || b.Len() == 0 || b.Dim() <= 0 {
 		return fmt.Errorf("store: cannot write empty collection to %s", path)
 	}
+	fsys = persist.OrOS(fsys)
 	n, dim := b.Len(), b.Dim()
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := persist.CreateFile(fsys, tmp)
 	if err != nil {
 		return err
 	}
 	cleanup := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
 		return err
 	}
 	// Single pass over the rows: reserve the header page, stream the
@@ -97,14 +106,14 @@ func WriteFBMX(path string, b Backend) error {
 		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 func encodeRow(dst []byte, row []float64) {
@@ -180,18 +189,4 @@ func DecodeFBMX(data []byte) (*FlatMatrix, error) {
 		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
 	}
 	return &FlatMatrix{data: vals, n: n, dim: dim}, nil
-}
-
-// syncDir fsyncs a directory, making the rename inside it durable.
-// (Duplicated from persist.SyncDir to keep store dependency-free.)
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	if err := d.Sync(); err != nil {
-		d.Close()
-		return err
-	}
-	return d.Close()
 }

@@ -1,0 +1,163 @@
+// Command errgate is a dependency-free errcheck analogue for this
+// repository: it fails the build when a call whose name promises an I/O
+// error (Close, Sync, Remove, ...) is used as a bare statement, silently
+// discarding that error.
+//
+// The persistence layer is exactly where a swallowed error turns into
+// acknowledged-insert loss — a Sync whose failure nobody sees is a
+// durability lie — so the gate is deliberately narrow and name-based:
+// no type information, no module resolution, nothing to install. Every
+// intentional discard must be spelled `_ = f.Close()` (visible in
+// review) or carry a trailing `//errgate:ok <reason>` comment.
+//
+// Usage:
+//
+//	go run ./tools/errgate [dir ...]
+//
+// Directories default to ".". Test files, testdata and vendored code
+// are skipped; `defer` and `go` statements are out of scope (their
+// result is unrecoverable by construction).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// risky holds method/function names that, on every I/O-bearing type in
+// this module (os.File, persist.File, persist.FS, *core.DurableBypass,
+// json.Encoder, http.Server, ...), return an error worth looking at.
+var risky = map[string]bool{
+	"Close":     true,
+	"Sync":      true,
+	"SyncDir":   true,
+	"Flush":     true,
+	"Remove":    true,
+	"RemoveAll": true,
+	"Rename":    true,
+	"Truncate":  true,
+	"Setenv":    true,
+	"Shutdown":  true,
+	"Encode":    true,
+	"Compact":   true,
+}
+
+type finding struct {
+	pos  token.Position
+	call string
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	fset := token.NewFileSet()
+	var findings []finding
+	for _, root := range roots {
+		// Accept the idiomatic "./..." spelling as "walk from here".
+		root = strings.TrimSuffix(root, "...")
+		if root == "" || root == "./" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && name != "." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			fileFindings, err := checkFile(fset, path)
+			if err != nil {
+				return err
+			}
+			findings = append(findings, fileFindings...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(findings) == 0 {
+		return
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d: result of %s() is discarded; use `_ = %s()` or add //errgate:ok\n",
+			f.pos.Filename, f.pos.Line, f.call, f.call)
+	}
+	fmt.Fprintf(os.Stderr, "errgate: %d swallowed I/O error(s)\n", len(findings))
+	os.Exit(1)
+}
+
+func checkFile(fset *token.FileSet, path string) ([]finding, error) {
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	// Lines carrying an errgate:ok waiver.
+	waived := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "errgate:ok") {
+				waived[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	var findings []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !risky[sel.Sel.Name] {
+			return true
+		}
+		pos := fset.Position(stmt.Pos())
+		if waived[pos.Line] {
+			return true
+		}
+		findings = append(findings, finding{pos: pos, call: exprString(sel)})
+		return true
+	})
+	return findings, nil
+}
+
+// exprString renders the dotted callee path (`db.fs.Remove`) for the
+// message; anything non-trivial collapses to its selector name.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	default:
+		return "(...)"
+	}
+}
