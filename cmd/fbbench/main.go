@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), store (heap vs mmap feature-store backends), or chaos (fault-injection: crash-schedule sweep, degraded-mode and quota governance)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), store (heap vs mmap feature-store backends), chaos (fault-injection: crash-schedule sweep, degraded-mode and quota governance), or ann (IVF approximate tier: recall/latency/bandwidth sweep over nlist, nprobe and quantization)")
 		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
 		queries  = flag.Int("queries", 700, "training queries to process")
 		k        = flag.Int("k", 15, "results per query (paper: 50)")
@@ -64,6 +64,7 @@ func main() {
 			Meta: reportMeta{
 				Scale: *scale, Queries: *queries, K: *k, Seed: *seed,
 				Epsilon: *epsilon, Figure: *figure, Timestamp: time.Now().UTC().Format(time.RFC3339),
+				Env: experiments.CollectEnvelope(),
 			},
 			Series: map[string][]jsonSeries{},
 			KNN:    map[string]knnBenchResult{},
@@ -104,6 +105,12 @@ func main() {
 	}
 	if *figure == "chaos" {
 		runChaosBench(*seed)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *figure == "ann" {
+		runANNBench(*k, *seed)
 		writeReport(*jsonPath)
 		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
 		return
@@ -188,16 +195,18 @@ type jsonReport struct {
 	Shard  *experiments.ShardResult   `json:"shard,omitempty"`
 	Store  *experiments.StoreResult   `json:"store,omitempty"`
 	Chaos  *experiments.ChaosResult   `json:"chaos,omitempty"`
+	ANN    *experiments.ANNResult     `json:"ann,omitempty"`
 }
 
 type reportMeta struct {
-	Scale     float64 `json:"scale"`
-	Queries   int     `json:"queries"`
-	K         int     `json:"k"`
-	Seed      int64   `json:"seed"`
-	Epsilon   float64 `json:"epsilon"`
-	Figure    string  `json:"figure"`
-	Timestamp string  `json:"timestamp"`
+	Scale     float64              `json:"scale"`
+	Queries   int                  `json:"queries"`
+	K         int                  `json:"k"`
+	Seed      int64                `json:"seed"`
+	Epsilon   float64              `json:"epsilon"`
+	Figure    string               `json:"figure"`
+	Timestamp string               `json:"timestamp"`
+	Env       experiments.Envelope `json:"env"`
 }
 
 type jsonSeries struct {
@@ -588,6 +597,40 @@ func runStoreBench(scale float64, k, sessions int, seed int64, epsilon float64) 
 	fmt.Printf("# mmap/heap warm tiled-batch ratio: %.3fx (acceptance bound 1.15x)\n\n", res.WarmRatio)
 	if report != nil {
 		report.Store = &res
+	}
+}
+
+// runANNBench sweeps the IVF approximate retrieval tier: per corpus
+// scale, an exact-scan baseline plus every (nlist, quant) index probed
+// across the nprobe grid — recall@k against the exact top-k, batched
+// and single-query latency, and the probe-stage bandwidth ratio.
+// `-scale`/`-queries` do not apply: the sweep has its own 1x/10x corpus
+// grid (see experiments.DefaultANNConfig).
+func runANNBench(k int, seed int64) {
+	cfg := experiments.DefaultANNConfig()
+	cfg.Seed = seed
+	cfg.K = k
+	header(fmt.Sprintf("IVF approximate tier: recall/latency/bandwidth sweep (k = %d, %d queries/scale)", cfg.K, cfg.Queries))
+	res, err := experiments.RunANN(cfg)
+	if err != nil {
+		fail(err)
+	}
+	for _, sc := range res.Scales {
+		fmt.Printf("# scale %s: %d rows x %d dims; exact batch %.1f us/q, p50 %.0f us, p99 %.0f us\n",
+			sc.Scale, sc.Rows, sc.Dim, sc.ExactBatchMicros, sc.ExactP50Micros, sc.ExactP99Micros)
+		fmt.Printf("%-7s %-5s %7s %9s %9s %9s %12s %9s %7s\n",
+			"nlist", "quant", "nprobe", "recall@k", "p50(us)", "p99(us)", "batch(us/q)", "speedup", "bw")
+		for _, ix := range sc.Indexes {
+			for _, pt := range ix.Points {
+				fmt.Printf("%-7d %-5s %7d %9.4f %9.1f %9.1f %12.2f %8.1fx %6.0f%%\n",
+					pt.NList, pt.Quant, pt.NProbe, pt.RecallAtK, pt.P50Micros, pt.P99Micros,
+					pt.BatchMicrosPerQuery, pt.Speedup, 100*ix.BandwidthRatio)
+			}
+		}
+		fmt.Printf("# best speedup at recall@k >= 0.95: %.1fx\n\n", sc.BestSpeedupAtRecall)
+	}
+	if report != nil {
+		report.ANN = &res
 	}
 }
 

@@ -61,6 +61,20 @@
 // -export-fbmx name=path builds the named collection, writes its
 // feature matrix to path as an FBMX file (atomically), and exits — the
 // way to turn a synthetic collection into an mmap-servable file.
+//
+// Approximate retrieval. -ann [name:]nlist=N,nprobe=N[,quant=f32|i8]
+// [,seed=N] puts an IVF index (internal/ann) in front of a collection's
+// exact scan: queries probe the nprobe nearest partitions through a
+// quantized slab and exact-rerank the shortlist, trading a bounded
+// recall loss for a large bandwidth reduction (nprobe=nlist reproduces
+// the exact scan bit for bit). A bare spec applies to every collection;
+// name-prefixed specs win for their collection. An FBMX-backed
+// collection automatically loads an FBIX sidecar sitting next to its
+// file (photos.fbmx → photos.fbix); the sidecar's trained structure
+// wins, with the flag's nprobe applied as the tuning override.
+// -export-fbix name=path trains the named collection's index (per -ann,
+// or defaults) and writes the sidecar, then exits. /stats reports the
+// active tier per collection (collection.index, retrieval).
 package main
 
 import (
@@ -79,6 +93,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -109,7 +124,81 @@ type serveConfig struct {
 	shards      int
 	maxVertices int
 	maxBytes    int64
-	multi       bool // more than one collection: durable state nests under dir/<name>/
+	multi       bool     // more than one collection: durable state nests under dir/<name>/
+	ann         annSpecs // -ann flags: approximate retrieval tiers per collection
+}
+
+// annSpec is one parsed -ann flag: the IVF build/probe parameters for a
+// collection's approximate retrieval tier.
+type annSpec struct {
+	nlist, nprobe int
+	quant         ann.Quant
+	seed          int64
+}
+
+// annSpecs accumulates repeated -ann flags: a bare spec applies to every
+// collection, a name-prefixed spec to that collection only (and
+// overrides a bare one).
+type annSpecs struct {
+	def    *annSpec
+	byName map[string]annSpec
+}
+
+func (a *annSpecs) add(value string) error {
+	name := ""
+	spec := value
+	// "photos:nlist=256,..." — a collection prefix is everything before
+	// the first ':' as long as no '=' precedes it.
+	if i := strings.IndexAny(value, ":="); i >= 0 && value[i] == ':' {
+		name, spec = value[:i], value[i+1:]
+	}
+	var s annSpec
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("ann spec: want key=value, got %q", kv)
+		}
+		var err error
+		switch key {
+		case "nlist":
+			s.nlist, err = strconv.Atoi(val)
+		case "nprobe":
+			s.nprobe, err = strconv.Atoi(val)
+		case "quant":
+			s.quant, err = ann.ParseQuant(val)
+		case "seed":
+			s.seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			err = fmt.Errorf("unknown ann parameter %q", key)
+		}
+		if err != nil {
+			return fmt.Errorf("ann spec %q: %w", kv, err)
+		}
+	}
+	if name == "" {
+		if a.def != nil {
+			return errors.New("ann spec: duplicate collection-wide -ann flag")
+		}
+		a.def = &s
+		return nil
+	}
+	if a.byName == nil {
+		a.byName = make(map[string]annSpec)
+	}
+	if _, dup := a.byName[name]; dup {
+		return fmt.Errorf("ann spec: duplicate -ann flag for collection %q", name)
+	}
+	a.byName[name] = s
+	return nil
+}
+
+// forName resolves the spec applying to a collection: its own, else the
+// collection-wide one, else nil.
+func (a *annSpecs) forName(name string) *annSpec {
+	if s, ok := a.byName[name]; ok {
+		return &s
+	}
+	return a.def
 }
 
 // serverTimeouts carries the http.Server hardening knobs. Every one
@@ -137,6 +226,8 @@ type collection struct {
 	durable *core.DurableBypass    // shutdown handle (nil unless durable unsharded)
 	sharded *shardedbypass.Sharded // shutdown handle (nil unless sharded)
 	mm      *store.MmapMatrix      // close handle (nil unless FBMX-backed)
+	ann     *ann.Index             // approximate retrieval tier (nil = exact scan)
+	annSrc  string                 // "built" or the loaded sidecar path
 }
 
 // collectionSpecs accumulates repeated -collection flags in order.
@@ -176,6 +267,7 @@ func main() {
 		cacheSize   = flag.Int("cache", 1024, "LRU prediction cache entries per collection (negative disables)")
 		shards      = flag.Int("shards", 1, "partition each bypass across this many independent Simplex Trees (1 = single-tree compatibility mode)")
 		exportFBMX  = flag.String("export-fbmx", "", "name=path: write the named collection's feature matrix as an FBMX file and exit")
+		exportFBIX  = flag.String("export-fbix", "", "name=path: build the named collection's IVF index (per -ann, or defaults) and write it as an FBIX sidecar, then exit")
 		maxVertices = flag.Int("max-vertices", 0, "per-collection Simplex Tree vertex quota; at the bound inserts get 507, reads stay live (0 = unlimited)")
 		maxBytes    = flag.Int64("max-bytes", 0, "per-collection tree heap-footprint quota in bytes; same 507 semantics (0 = unlimited)")
 
@@ -187,6 +279,8 @@ func main() {
 	)
 	var specs collectionSpecs
 	flag.Func("collection", "serve a named collection: name=synth:scale=F,seed=N or name=path.fbmx (repeatable)", specs.add)
+	var annFlags annSpecs
+	flag.Func("ann", "approximate retrieval tier: [name:]nlist=N,nprobe=N[,quant=f32|i8][,seed=N]; bare applies to all collections (repeatable)", annFlags.add)
 	flag.Parse()
 
 	if *shards < 1 {
@@ -202,7 +296,7 @@ func main() {
 		dir: *dir, syncWAL: *syncWAL, compactEach: *compactEach,
 		maxSessions: *maxSessions, iterBudget: *iterBudget, cacheSize: *cacheSize,
 		shards: *shards, maxVertices: *maxVertices, maxBytes: *maxBytes,
-		multi: len(specs) > 1,
+		multi: len(specs) > 1, ann: annFlags,
 	}
 
 	if *exportFBMX != "" {
@@ -232,6 +326,39 @@ func main() {
 		return
 	}
 
+	if *exportFBIX != "" {
+		name, path, ok := strings.Cut(*exportFBIX, "=")
+		var spec string
+		for _, s := range specs {
+			if s.name == name {
+				spec = s.spec
+			}
+		}
+		if !ok || path == "" || spec == "" {
+			log.Fatalf("fbserve: -export-fbix %q: want name=path with a configured collection", *exportFBIX)
+		}
+		ds, _, mm, err := buildDataset(spec, cfg)
+		if err != nil {
+			log.Fatalf("fbserve: collection %s: %v", name, err)
+		}
+		opts := ann.Options{Seed: cfg.seed}
+		if as := cfg.ann.forName(name); as != nil {
+			opts = ann.Options{NList: as.nlist, NProbe: as.nprobe, Quant: as.quant, Seed: as.seed}
+		}
+		idx, err := ann.Build(ds.Matrix(), opts)
+		if err != nil {
+			log.Fatalf("fbserve: building index for %s: %v", name, err)
+		}
+		if err := ann.WriteFBIX(path, idx); err != nil {
+			log.Fatalf("fbserve: exporting index for %s: %v", name, err)
+		}
+		if mm != nil {
+			_ = mm.Close()
+		}
+		log.Printf("exported %s index of collection %s (%d items) to %s", idx.Describe(), name, ds.Len(), path)
+		return
+	}
+
 	colls := make(map[string]*collection, len(specs))
 	order := make([]string, 0, len(specs))
 	for _, s := range specs {
@@ -242,6 +369,9 @@ func main() {
 		colls[s.name] = c
 		order = append(order, s.name)
 		log.Printf("collection %s: %d items (%d bins) from %s backend (%s)", c.name, c.ds.Len(), c.ds.Dim, c.backend, c.source)
+		if c.ann != nil {
+			log.Printf("collection %s: approximate tier %s (%s)", c.name, c.ann.Describe(), c.annSrc)
+		}
 	}
 
 	defaultName := resolveDefault(colls)
@@ -307,6 +437,11 @@ func main() {
 				log.Printf("fbserve: %s: close: %v", name, err)
 			}
 			log.Printf("%s: compacted %d shard WALs; %d points durable", name, c.sharded.NumShards(), c.sharded.Stats().Points)
+		}
+		if c.ann != nil {
+			if err := c.ann.Close(); err != nil {
+				log.Printf("fbserve: %s: releasing index: %v", name, err)
+			}
 		}
 		if c.mm != nil {
 			if err := c.mm.Close(); err != nil {
@@ -395,19 +530,71 @@ func buildDataset(spec string, cfg serveConfig) (*dataset.Dataset, string, *stor
 	return ds, "mmap", mm, nil
 }
 
+// attachANN resolves a collection's approximate retrieval tier. An FBMX
+// collection with an FBIX sidecar next to it (<path minus .fbmx>.fbix)
+// loads the sidecar — its trained structure wins over the flag, whose
+// nprobe (when set) still applies as the probe-tuning override. With no
+// sidecar, a -ann flag triggers an in-process build. No sidecar and no
+// flag means the exact scan.
+func attachANN(name string, ds *dataset.Dataset, mm *store.MmapMatrix, as *annSpec) (*ann.Index, string, error) {
+	if mm != nil {
+		sidecar := strings.TrimSuffix(mm.Path(), ".fbmx") + ".fbix"
+		if _, err := os.Stat(sidecar); err == nil {
+			idx, err := ann.OpenFBIX(sidecar)
+			if err != nil {
+				return nil, "", fmt.Errorf("loading index sidecar %s: %w", sidecar, err)
+			}
+			if err := idx.Bind(ds.Matrix()); err != nil {
+				_ = idx.Close()
+				return nil, "", fmt.Errorf("index sidecar %s: %w", sidecar, err)
+			}
+			if as != nil && as.nprobe > 0 {
+				if err := idx.SetNProbe(as.nprobe); err != nil {
+					_ = idx.Close()
+					return nil, "", err
+				}
+			}
+			return idx, sidecar, nil
+		}
+	}
+	if as == nil {
+		return nil, "", nil
+	}
+	idx, err := ann.Build(ds.Matrix(), ann.Options{
+		NList: as.nlist, NProbe: as.nprobe, Quant: as.quant, Seed: as.seed,
+	})
+	if err != nil {
+		return nil, "", fmt.Errorf("building index for %s: %w", name, err)
+	}
+	return idx, "built", nil
+}
+
 // buildCollection assembles one collection's serving stack.
 func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 	ds, backend, mm, err := buildDataset(spec, cfg)
 	if err != nil {
 		return nil, err
 	}
+	var idx *ann.Index
 	fail := func(err error) (*collection, error) {
+		if idx != nil {
+			_ = idx.Close()
+		}
 		if mm != nil {
 			_ = mm.Close()
 		}
 		return nil, err
 	}
-	eng, err := engine.New(ds, engine.Options{})
+	var annSrc string
+	idx, annSrc, err = attachANN(name, ds, mm, cfg.ann.forName(name))
+	if err != nil {
+		return fail(err)
+	}
+	engOpts := engine.Options{}
+	if idx != nil {
+		engOpts.Searcher = idx
+	}
+	eng, err := engine.New(ds, engOpts)
 	if err != nil {
 		return fail(err)
 	}
@@ -442,7 +629,7 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 		}
 	}
 
-	c := &collection{name: name, backend: backend, source: spec, ds: ds, mm: mm}
+	c := &collection{name: name, backend: backend, source: spec, ds: ds, mm: mm, ann: idx, annSrc: annSrc}
 	var byp service.Bypass
 	switch {
 	case cfg.shards > 1 && dir != "":
@@ -570,6 +757,11 @@ type collectionInfo struct {
 	Backend string `json:"backend"`
 	Items   int    `json:"items"`
 	Dim     int    `json:"dim"`
+	// Index describes the approximate retrieval tier when one is active
+	// (e.g. "ivf(nlist=64,nprobe=8,quant=f32)"); IndexSource is "built"
+	// or the FBIX sidecar path it was loaded from.
+	Index       string `json:"index,omitempty"`
+	IndexSource string `json:"index_source,omitempty"`
 }
 
 // collectionStats is one collection's /stats block: the serving-layer
@@ -596,8 +788,13 @@ type shardHealth interface {
 
 // statsFor assembles one collection's stats block.
 func statsFor(c *collection) collectionStats {
+	info := collectionInfo{Name: c.name, Backend: c.backend, Items: c.ds.Len(), Dim: c.ds.Dim}
+	if c.ann != nil {
+		info.Index = c.ann.Describe()
+		info.IndexSource = c.annSrc
+	}
 	return collectionStats{
-		Collection: collectionInfo{Name: c.name, Backend: c.backend, Items: c.ds.Len(), Dim: c.ds.Dim},
+		Collection: info,
 		Stats:      c.svc.Stats(),
 	}
 }

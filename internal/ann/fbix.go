@@ -1,0 +1,377 @@
+package ann
+
+// FBIX is the on-disk form of an IVF index: a sidecar next to a
+// collection's FBMX file, carrying everything Build computed — coarse
+// centroids, posting lists, and the quantized probe slab — so a server
+// restart (or another process) loads the index instead of retraining.
+// It follows the FBMX discipline exactly: a page-aligned CRC-headered
+// image, written atomically through the persist.FS seam (tmp + fsync +
+// rename + directory fsync), parsed defensively (any failure wraps
+// store.ErrCorrupt, never a panic, never an allocation beyond the
+// input's own size), and opened via mmap where the platform allows.
+//
+// Format (little-endian):
+//
+//	magic    [4]byte  "FBIX"
+//	version  uint32   currently 1
+//	n        uint64   rows in the indexed collection
+//	dim      uint64   row dimensionality
+//	nlist    uint64   partition count
+//	quant    uint32   0 = f32, 1 = i8
+//	nprobe   uint32   default probe count
+//	seed     uint64   training seed (int64 bits)
+//	rerank   uint32   rerank factor
+//	reserved uint32   zero
+//	dataCRC  uint32   IEEE checksum of the whole payload
+//	hdrCRC   uint32   IEEE checksum of the 60 header bytes before it
+//	pad      zeros to fbixHeaderPage (4096)
+//
+// followed by the payload: sections in fixed order, each zero-padded to
+// an 8-byte boundary so every mmap view is naturally aligned —
+//
+//	centroids nlist×dim float64
+//	counts    nlist int32   posting-list lengths
+//	ids       n int32       row ids grouped by partition, a permutation
+//	                        of 0..n-1, ascending within each partition
+//	scale     dim float64   (QuantI8 only)
+//	offset    dim float64   (QuantI8 only)
+//	slab      n×dim float32 or int8, posting order
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"path/filepath"
+
+	"repro/internal/persist"
+	"repro/internal/store"
+)
+
+var fbixMagic = [4]byte{'F', 'B', 'I', 'X'}
+
+// FBIXVersion is the current index file format version.
+const FBIXVersion = 1
+
+// fbixHeaderPage is the page-aligned size of the header block; the
+// payload begins at this offset.
+const fbixHeaderPage = 4096
+
+// fbixHeaderSize is the meaningful prefix of the header block.
+const fbixHeaderSize = 64
+
+// maxFBIXSide bounds n, dim and nlist read from untrusted files;
+// maxFBIXElems additionally bounds n×dim so every section size fits a
+// uint64 with no overflow anywhere in the layout arithmetic.
+const (
+	maxFBIXSide  = 1 << 31
+	maxFBIXElems = 1 << 40
+)
+
+// fbixLayout holds the byte offsets of each payload section (relative to
+// the payload start) and the total payload size.
+type fbixLayout struct {
+	centroids, counts, ids, scale, offset, slab, total uint64
+}
+
+func pad8(v uint64) uint64 { return (v + 7) &^ 7 }
+
+// layoutFor computes the section layout for a validated shape. Callers
+// guarantee n, dim, nlist < maxFBIXSide and n*dim < maxFBIXElems, so no
+// term can overflow.
+func layoutFor(n, dim, nlist uint64, quant Quant) fbixLayout {
+	var l fbixLayout
+	l.centroids = 0
+	l.counts = l.centroids + 8*nlist*dim
+	l.ids = l.counts + pad8(4*nlist)
+	next := l.ids + pad8(4*n)
+	if quant == QuantI8 {
+		l.scale = next
+		l.offset = l.scale + 8*dim
+		next = l.offset + 8*dim
+	}
+	l.slab = next
+	switch quant {
+	case QuantI8:
+		l.total = l.slab + pad8(n*dim)
+	default:
+		l.total = l.slab + pad8(4*n*dim)
+	}
+	return l
+}
+
+// WriteFBIX writes the index to path as an FBIX sidecar file,
+// atomically.
+func WriteFBIX(path string, x *Index) error {
+	return WriteFBIXFS(nil, path, x)
+}
+
+// WriteFBIXFS is WriteFBIX with every filesystem operation routed
+// through fs (nil means the real filesystem) — the fault-injection seam
+// for index writes.
+func WriteFBIXFS(fsys persist.FS, path string, x *Index) error {
+	if x == nil || x.n == 0 || len(x.centroids) == 0 {
+		return fmt.Errorf("ann: cannot write empty index to %s", path)
+	}
+	fsys = persist.OrOS(fsys)
+	tmp := path + ".tmp"
+	f, err := persist.CreateFile(fsys, tmp)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	// Same single-pass shape as WriteFBMXFS: reserve the header page,
+	// stream the payload sections while accumulating their checksum, then
+	// drop the finalized header in at offset 0.
+	hdr := make([]byte, fbixHeaderPage)
+	if _, err := f.Write(hdr); err != nil {
+		return cleanup(err)
+	}
+	crc := crc32.NewIEEE()
+	w := func(b []byte) error {
+		crc.Write(b)
+		_, err := f.Write(b)
+		return err
+	}
+	pad := func(written uint64) error {
+		if rem := pad8(written) - written; rem != 0 {
+			return w(make([]byte, rem))
+		}
+		return nil
+	}
+	writeF64 := func(vals []float64) error {
+		buf := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		return w(buf)
+	}
+	writeI32 := func(vals []int32) error {
+		buf := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+		if err := w(buf); err != nil {
+			return err
+		}
+		return pad(uint64(len(buf)))
+	}
+	if err := writeF64(x.centroids); err != nil {
+		return cleanup(err)
+	}
+	if err := writeI32(x.counts); err != nil {
+		return cleanup(err)
+	}
+	if err := writeI32(x.ids); err != nil {
+		return cleanup(err)
+	}
+	switch x.quant {
+	case QuantI8:
+		if err := writeF64(x.scale); err != nil {
+			return cleanup(err)
+		}
+		if err := writeF64(x.offset); err != nil {
+			return cleanup(err)
+		}
+		buf := make([]byte, len(x.slab8))
+		for i, v := range x.slab8 {
+			buf[i] = byte(v)
+		}
+		if err := w(buf); err != nil {
+			return cleanup(err)
+		}
+		if err := pad(uint64(len(buf))); err != nil {
+			return cleanup(err)
+		}
+	default:
+		buf := make([]byte, 4*len(x.slab32))
+		for i, v := range x.slab32 {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if err := w(buf); err != nil {
+			return cleanup(err)
+		}
+		if err := pad(uint64(len(buf))); err != nil {
+			return cleanup(err)
+		}
+	}
+	copy(hdr[0:4], fbixMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], FBIXVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(x.n))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(x.dim))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(x.nlist))
+	binary.LittleEndian.PutUint32(hdr[32:36], uint32(x.quant))
+	binary.LittleEndian.PutUint32(hdr[36:40], uint32(x.nprobe))
+	binary.LittleEndian.PutUint64(hdr[40:48], uint64(x.seed))
+	binary.LittleEndian.PutUint32(hdr[48:52], uint32(x.rerank))
+	binary.LittleEndian.PutUint32(hdr[52:56], 0)
+	binary.LittleEndian.PutUint32(hdr[56:60], crc.Sum32())
+	binary.LittleEndian.PutUint32(hdr[60:64], crc32.ChecksumIEEE(hdr[:60]))
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// parseFBIXHeader validates the header block of an FBIX image, returning
+// a skeleton Index carrying the decoded parameters (no payload sections
+// yet) plus the layout and payload checksum. size is the total file (or
+// buffer) length, checked for an exact match against the layout before
+// any caller allocates. All failures wrap store.ErrCorrupt.
+func parseFBIXHeader(data []byte, size int64) (*Index, fbixLayout, uint32, error) {
+	fail := func(format string, args ...any) (*Index, fbixLayout, uint32, error) {
+		return nil, fbixLayout{}, 0, fmt.Errorf("%w: "+format, append([]any{store.ErrCorrupt}, args...)...)
+	}
+	if len(data) < fbixHeaderSize {
+		return fail("FBIX header is %d bytes, want at least %d", len(data), fbixHeaderSize)
+	}
+	if [4]byte(data[0:4]) != fbixMagic {
+		return fail("bad FBIX magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != FBIXVersion {
+		return fail("unsupported FBIX version %d", v)
+	}
+	if want, got := binary.LittleEndian.Uint32(data[60:64]), crc32.ChecksumIEEE(data[:60]); want != got {
+		return fail("FBIX header checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	un := binary.LittleEndian.Uint64(data[8:16])
+	udim := binary.LittleEndian.Uint64(data[16:24])
+	unlist := binary.LittleEndian.Uint64(data[24:32])
+	if un == 0 || udim == 0 || unlist == 0 || un >= maxFBIXSide || udim >= maxFBIXSide || unlist > un {
+		return fail("implausible FBIX shape n=%d dim=%d nlist=%d", un, udim, unlist)
+	}
+	if un*udim >= maxFBIXElems {
+		return fail("implausible FBIX slab of %d elements", un*udim)
+	}
+	quant := Quant(binary.LittleEndian.Uint32(data[32:36]))
+	if quant != QuantF32 && quant != QuantI8 {
+		return fail("unknown FBIX quantization %d", uint32(quant))
+	}
+	nprobe := binary.LittleEndian.Uint32(data[36:40])
+	rerank := binary.LittleEndian.Uint32(data[48:52])
+	if nprobe == 0 || nprobe >= maxFBIXSide || rerank == 0 || rerank >= maxFBIXSide {
+		return fail("implausible FBIX nprobe=%d rerank=%d", nprobe, rerank)
+	}
+	l := layoutFor(un, udim, unlist, quant)
+	if size < fbixHeaderPage || uint64(size-fbixHeaderPage) != l.total {
+		return fail("FBIX file is %d bytes, want %d for shape n=%d dim=%d nlist=%d quant=%s",
+			size, uint64(fbixHeaderPage)+l.total, un, udim, unlist, quant)
+	}
+	x := &Index{
+		n: int(un), dim: int(udim),
+		nlist:  int(unlist),
+		nprobe: int(nprobe),
+		quant:  quant,
+		seed:   int64(binary.LittleEndian.Uint64(data[40:48])),
+		rerank: int(rerank),
+	}
+	return x, l, binary.LittleEndian.Uint32(data[56:60]), nil
+}
+
+// validatePostings checks the structural invariants the search paths
+// rely on: non-negative counts summing to n, and ids forming a
+// permutation of 0..n-1 that is ascending within each partition. Called
+// with counts and ids populated; fills starts.
+func (x *Index) validatePostings() error {
+	var total uint64
+	for c, cnt := range x.counts {
+		if cnt < 0 {
+			return fmt.Errorf("%w: FBIX partition %d has negative count %d", store.ErrCorrupt, c, cnt)
+		}
+		total += uint64(cnt)
+	}
+	if total != uint64(x.n) {
+		return fmt.Errorf("%w: FBIX posting lists hold %d ids, want %d", store.ErrCorrupt, total, x.n)
+	}
+	x.buildStarts()
+	seen := make([]uint64, (x.n+63)/64)
+	for c := 0; c < x.nlist; c++ {
+		prev := int32(-1)
+		for pos := x.starts[c]; pos < x.starts[c+1]; pos++ {
+			id := x.ids[pos]
+			if id < 0 || int(id) >= x.n {
+				return fmt.Errorf("%w: FBIX posting id %d out of range [0,%d)", store.ErrCorrupt, id, x.n)
+			}
+			if id <= prev {
+				return fmt.Errorf("%w: FBIX partition %d posting list not ascending (%d after %d)", store.ErrCorrupt, c, id, prev)
+			}
+			prev = id
+			if seen[id/64]&(1<<(uint(id)%64)) != 0 {
+				return fmt.Errorf("%w: FBIX posting id %d appears twice", store.ErrCorrupt, id)
+			}
+			seen[id/64] |= 1 << (uint(id) % 64)
+		}
+	}
+	return nil
+}
+
+// DecodeFBIX parses a complete FBIX image from memory into a fresh
+// heap-resident Index, verifying both checksums and every structural
+// invariant. The index is unbound: call Bind with the collection before
+// searching. It is the portable open path and the fuzzing target: any
+// input either decodes fully or returns an error wrapping
+// store.ErrCorrupt — never a panic, never an allocation beyond the
+// input's own size.
+func DecodeFBIX(data []byte) (*Index, error) {
+	if len(data) < fbixHeaderPage {
+		return nil, fmt.Errorf("%w: FBIX image is %d bytes, want at least the %d-byte header page", store.ErrCorrupt, len(data), fbixHeaderPage)
+	}
+	x, l, dataCRC, err := parseFBIXHeader(data, int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	payload := data[fbixHeaderPage:]
+	if got := crc32.ChecksumIEEE(payload); got != dataCRC {
+		return nil, fmt.Errorf("%w: FBIX payload checksum mismatch (stored %08x, computed %08x)", store.ErrCorrupt, dataCRC, got)
+	}
+	readF64 := func(off uint64, count int) []float64 {
+		out := make([]float64, count)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8*uint64(i):]))
+		}
+		return out
+	}
+	readI32 := func(off uint64, count int) []int32 {
+		out := make([]int32, count)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(payload[off+4*uint64(i):]))
+		}
+		return out
+	}
+	x.centroids = readF64(l.centroids, x.nlist*x.dim)
+	x.counts = readI32(l.counts, x.nlist)
+	x.ids = readI32(l.ids, x.n)
+	switch x.quant {
+	case QuantI8:
+		x.scale = readF64(l.scale, x.dim)
+		x.offset = readF64(l.offset, x.dim)
+		x.slab8 = make([]int8, x.n*x.dim)
+		for i := range x.slab8 {
+			x.slab8[i] = int8(payload[l.slab+uint64(i)])
+		}
+	default:
+		x.slab32 = make([]float32, x.n*x.dim)
+		for i := range x.slab32 {
+			x.slab32[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[l.slab+4*uint64(i):]))
+		}
+	}
+	if err := x.validatePostings(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

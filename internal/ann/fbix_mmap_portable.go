@@ -1,0 +1,22 @@
+// Portable OpenFBIX fallback for platforms without the mmap fast path
+// (or with a big-endian word order, where the little-endian sections
+// cannot be viewed in place): read the whole file and decode it into the
+// heap. Semantics are identical to the mapped open except residency.
+
+//go:build !((linux || darwin || freebsd || netbsd || openbsd || dragonfly) && (amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mips64le || mipsle))
+
+package ann
+
+import "os"
+
+// OpenFBIX opens the FBIX sidecar at path by decoding it into the heap.
+// The returned index is unbound: call Bind with the collection before
+// searching. All format failures wrap store.ErrCorrupt; a missing file
+// satisfies errors.Is(err, os.ErrNotExist).
+func OpenFBIX(path string) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFBIX(data)
+}

@@ -1,0 +1,85 @@
+// Memory-mapped FBIX open path, gated exactly like the store package's
+// FBMX mapping: unix-like platforms with a little-endian word order,
+// where the file's centroid, posting and slab sections can be viewed in
+// place. Every section is written zero-padded to an 8-byte boundary of a
+// page-aligned mapping, so all views are naturally aligned.
+
+//go:build (linux || darwin || freebsd || netbsd || openbsd || dragonfly) && (amd64 || arm64 || 386 || arm || riscv64 || loong64 || ppc64le || mips64le || mipsle)
+
+package ann
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"syscall"
+	"unsafe"
+
+	"repro/internal/store"
+)
+
+// OpenFBIX opens the FBIX sidecar at path as a read-only file mapping:
+// the quantized probe slab is served straight from the page cache, so a
+// restart costs no retraining and no heap proportional to the index.
+// Unlike the collection mapping, the payload checksum is verified
+// eagerly — an index is consulted on every query and a latent corruption
+// would silently skew recall rather than fail loudly. The returned index
+// is unbound: call Bind with the collection before searching, and Close
+// when done. All format failures wrap store.ErrCorrupt; a missing file
+// satisfies errors.Is(err, os.ErrNotExist).
+func OpenFBIX(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if info.Size() < fbixHeaderPage {
+		return nil, fmt.Errorf("%w: FBIX file %s is %d bytes, want at least the %d-byte header page", store.ErrCorrupt, path, info.Size(), fbixHeaderPage)
+	}
+	var hdr [fbixHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("ann: reading FBIX header of %s: %w", path, err)
+	}
+	x, l, dataCRC, err := parseFBIXHeader(hdr[:], info.Size())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	mapped, err := syscall.Mmap(int(f.Fd()), 0, int(info.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("ann: mmap %s: %w", path, err)
+	}
+	fail := func(err error) (*Index, error) {
+		_ = syscall.Munmap(mapped)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	payload := mapped[fbixHeaderPage:]
+	if got := crc32.ChecksumIEEE(payload); got != dataCRC {
+		return fail(fmt.Errorf("%w: FBIX payload checksum mismatch (stored %08x, computed %08x)", store.ErrCorrupt, dataCRC, got))
+	}
+	viewF64 := func(off uint64, count int) []float64 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&payload[off])), count)
+	}
+	viewI32 := func(off uint64, count int) []int32 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&payload[off])), count)
+	}
+	x.centroids = viewF64(l.centroids, x.nlist*x.dim)
+	x.counts = viewI32(l.counts, x.nlist)
+	x.ids = viewI32(l.ids, x.n)
+	switch x.quant {
+	case QuantI8:
+		x.scale = viewF64(l.scale, x.dim)
+		x.offset = viewF64(l.offset, x.dim)
+		x.slab8 = unsafe.Slice((*int8)(unsafe.Pointer(&payload[l.slab])), x.n*x.dim)
+	default:
+		x.slab32 = unsafe.Slice((*float32)(unsafe.Pointer(&payload[l.slab])), x.n*x.dim)
+	}
+	if err := x.validatePostings(); err != nil {
+		return fail(err)
+	}
+	x.close = func() error { return syscall.Munmap(mapped) }
+	return x, nil
+}

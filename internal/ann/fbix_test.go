@@ -1,0 +1,256 @@
+package ann
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/faultfs"
+	"repro/internal/store"
+)
+
+// buildTestIndex returns a small index plus its collection backend.
+func buildTestIndex(t *testing.T, quant Quant) (*Index, store.Backend) {
+	t.Helper()
+	rng := newTestRNG(91)
+	rows := clusteredRows(600, 9, 6, rng)
+	b := backendFor(t, rows)
+	x, err := Build(b, Options{NList: 12, NProbe: 3, Quant: quant, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, b
+}
+
+// sameResults runs a handful of queries through both indexes and
+// requires identical answers.
+func sameResults(t *testing.T, ctx string, a, b *Index, backend store.Backend) {
+	t.Helper()
+	rng := newTestRNG(37)
+	for qi := 0; qi < 8; qi++ {
+		q := backend.Row(rng.intn(backend.Len()))
+		ra, err := a.Search(q, 10, distance.Euclidean{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Search(q, 10, distance.Euclidean{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("%s: query %d answers differ", ctx, qi)
+		}
+	}
+}
+
+func TestFBIXRoundtrip(t *testing.T) {
+	for _, quant := range []Quant{QuantF32, QuantI8} {
+		x, b := buildTestIndex(t, quant)
+		path := filepath.Join(t.TempDir(), "col.fbix")
+		if err := WriteFBIX(path, x); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := DecodeFBIX(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y.n != x.n || y.dim != x.dim || y.nlist != x.nlist || y.nprobe != x.nprobe ||
+			y.quant != x.quant || y.seed != x.seed || y.rerank != x.rerank {
+			t.Fatalf("decoded parameters differ: %+v", y.Describe())
+		}
+		if !reflect.DeepEqual(y.centroids, x.centroids) || !reflect.DeepEqual(y.ids, x.ids) ||
+			!reflect.DeepEqual(y.counts, x.counts) {
+			t.Fatal("decoded sections differ from built index")
+		}
+		if quant == QuantI8 {
+			if !reflect.DeepEqual(y.slab8, x.slab8) || !reflect.DeepEqual(y.scale, x.scale) ||
+				!reflect.DeepEqual(y.offset, x.offset) {
+				t.Fatal("decoded i8 slab differs")
+			}
+		} else if !reflect.DeepEqual(y.slab32, x.slab32) {
+			t.Fatal("decoded f32 slab differs")
+		}
+		// Unbound index must refuse to search, then serve after Bind.
+		if _, err := y.Search(b.Row(0), 5, distance.Euclidean{}); err == nil {
+			t.Fatal("unbound index accepted a search")
+		}
+		if err := y.Bind(b); err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "decode/"+quant.String(), y, x, b)
+	}
+}
+
+func TestFBIXOpenMmap(t *testing.T) {
+	for _, quant := range []Quant{QuantF32, QuantI8} {
+		x, b := buildTestIndex(t, quant)
+		path := filepath.Join(t.TempDir(), "col.fbix")
+		if err := WriteFBIX(path, x); err != nil {
+			t.Fatal(err)
+		}
+		y, err := OpenFBIX(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := y.Bind(b); err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "open/"+quant.String(), y, x, b)
+		if err := y.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := y.Close(); err != nil { // idempotent
+			t.Fatal(err)
+		}
+	}
+	if _, err := OpenFBIX(filepath.Join(t.TempDir(), "absent.fbix")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestFBIXBindShapeCheck(t *testing.T) {
+	x, _ := buildTestIndex(t, QuantF32)
+	wrong, err := store.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Bind(wrong); err == nil {
+		t.Fatal("Bind accepted a backend of the wrong shape")
+	}
+	if err := x.Bind(nil); err == nil {
+		t.Fatal("Bind accepted a nil backend")
+	}
+}
+
+// refreshCRCs recomputes both checksums of an FBIX image after a test
+// mutated the payload, so structural validation (not the CRC) is what
+// rejects it.
+func refreshCRCs(img []byte) {
+	binary.LittleEndian.PutUint32(img[56:60], crc32.ChecksumIEEE(img[fbixHeaderPage:]))
+	binary.LittleEndian.PutUint32(img[60:64], crc32.ChecksumIEEE(img[:60]))
+}
+
+func TestFBIXCorruption(t *testing.T) {
+	x, _ := buildTestIndex(t, QuantI8)
+	path := filepath.Join(t.TempDir(), "col.fbix")
+	if err := WriteFBIX(path, x); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := layoutFor(uint64(x.n), uint64(x.dim), uint64(x.nlist), x.quant)
+
+	cases := []struct {
+		name   string
+		mutate func(img []byte) []byte
+	}{
+		{"empty", func(img []byte) []byte { return nil }},
+		{"truncated header", func(img []byte) []byte { return img[:40] }},
+		{"truncated payload", func(img []byte) []byte { return img[:len(img)-8] }},
+		{"bad magic", func(img []byte) []byte { img[0] = 'X'; return img }},
+		{"bad version", func(img []byte) []byte { img[4] = 99; refreshHdrOnly(img); return img }},
+		{"flipped header bit", func(img []byte) []byte { img[20] ^= 1; return img }},
+		{"flipped payload bit", func(img []byte) []byte { img[fbixHeaderPage+5] ^= 1; return img }},
+		{"zero nlist", func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[24:32], 0)
+			refreshHdrOnly(img)
+			return img
+		}},
+		{"huge shape", func(img []byte) []byte {
+			binary.LittleEndian.PutUint64(img[8:16], 1<<40)
+			refreshHdrOnly(img)
+			return img
+		}},
+		{"bad quant", func(img []byte) []byte {
+			binary.LittleEndian.PutUint32(img[32:36], 7)
+			refreshHdrOnly(img)
+			return img
+		}},
+		{"posting id out of range", func(img []byte) []byte {
+			binary.LittleEndian.PutUint32(img[fbixHeaderPage+int(l.ids):], uint32(0x7fffffff))
+			refreshCRCs(img)
+			return img
+		}},
+		{"duplicate posting id", func(img []byte) []byte {
+			first := binary.LittleEndian.Uint32(img[fbixHeaderPage+int(l.ids):])
+			binary.LittleEndian.PutUint32(img[fbixHeaderPage+int(l.ids)+4*(x.n-1):], first)
+			refreshCRCs(img)
+			return img
+		}},
+		{"counts do not sum to n", func(img []byte) []byte {
+			c0 := binary.LittleEndian.Uint32(img[fbixHeaderPage+int(l.counts):])
+			binary.LittleEndian.PutUint32(img[fbixHeaderPage+int(l.counts):], c0+1)
+			refreshCRCs(img)
+			return img
+		}},
+	}
+	for _, tc := range cases {
+		img := append([]byte(nil), good...)
+		mut := tc.mutate(img)
+		if _, err := DecodeFBIX(mut); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want store.ErrCorrupt", tc.name, err)
+		}
+	}
+	// The pristine image still decodes (the cases above worked on copies).
+	if _, err := DecodeFBIX(good); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func refreshHdrOnly(img []byte) {
+	binary.LittleEndian.PutUint32(img[60:64], crc32.ChecksumIEEE(img[:60]))
+}
+
+// TestFBIXWriteFaults drives WriteFBIXFS through the fault-injection
+// plane: any failed write, sync, or rename must surface an error and
+// leave no index file (and no temp debris) behind; the atomic rename
+// means a crash mid-write is invisible to a later open.
+func TestFBIXWriteFaults(t *testing.T) {
+	x, _ := buildTestIndex(t, QuantF32)
+	faults := []faultfs.Rule{
+		{Op: faultfs.OpWrite, Nth: 1, Kind: faultfs.Fail},
+		{Op: faultfs.OpWrite, Nth: 3, Kind: faultfs.ShortWrite},
+		{Op: faultfs.OpSync, Nth: 1, Kind: faultfs.Fail},
+		{Op: faultfs.OpRename, Nth: 1, Kind: faultfs.Fail},
+		{Op: faultfs.OpWrite, Nth: 2, Kind: faultfs.ENOSPC},
+	}
+	for i, rule := range faults {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "col.fbix")
+		fs := faultfs.New(nil)
+		fs.AddRule(rule)
+		if err := WriteFBIXFS(fs, path, x); err == nil {
+			t.Fatalf("fault %d: write succeeded despite injected %v", i, rule.Op)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("fault %d: index file exists after failed write", i)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("fault %d: debris left behind: %v", i, entries)
+		}
+	}
+	// No faults through the same seam: the write lands and decodes.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "col.fbix")
+	if err := WriteFBIXFS(faultfs.New(nil), path, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFBIX(path); err != nil {
+		t.Fatal(err)
+	}
+}

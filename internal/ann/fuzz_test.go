@@ -1,0 +1,71 @@
+package ann
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// fuzzSeedImage builds a tiny valid FBIX image for the fuzz corpus.
+func fuzzSeedImage(tb testing.TB, quant Quant) []byte {
+	tb.Helper()
+	rows := [][]float64{
+		{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {1, 1, 1}, {0, 2, 4}, {9, 9, 9},
+	}
+	b, err := store.FromRows(rows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	x, err := Build(b, Options{NList: 2, Quant: quant, Seed: 5})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	path := filepath.Join(tb.TempDir(), "seed.fbix")
+	if err := WriteFBIX(path, x); err != nil {
+		tb.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// FuzzFBIX is the parse-hardening gate of the sidecar format: any input
+// whatsoever either decodes into a structurally valid index or returns
+// an error wrapping store.ErrCorrupt — never a panic, never an index
+// violating the posting-permutation invariants, and (by construction of
+// DecodeFBIX, which checks the exact size before allocating sections)
+// never an allocation beyond the input's own size. The committed seed
+// corpus under testdata/fuzz/FuzzFBIX covers both quantizations, a
+// truncation, and a bit flip.
+func FuzzFBIX(f *testing.F) {
+	good := fuzzSeedImage(f, QuantF32)
+	f.Add(good)
+	f.Add(fuzzSeedImage(f, QuantI8))
+	f.Add(good[:len(good)-5])
+	flipped := append([]byte(nil), good...)
+	flipped[fbixHeaderPage+17] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("FBIX"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := DecodeFBIX(data)
+		if err != nil {
+			if !errors.Is(err, store.ErrCorrupt) {
+				t.Fatalf("DecodeFBIX error does not wrap store.ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// A successful decode must satisfy the structural invariants the
+		// search paths index by without bounds checks failing.
+		if x.n <= 0 || x.dim <= 0 || x.nlist <= 0 || len(x.ids) != x.n {
+			t.Fatalf("decoded index has implausible shape n=%d dim=%d nlist=%d", x.n, x.dim, x.nlist)
+		}
+		if err := x.validatePostings(); err != nil {
+			t.Fatalf("decoded index fails posting validation: %v", err)
+		}
+	})
+}

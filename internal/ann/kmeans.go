@@ -1,0 +1,205 @@
+// Deterministic k-means for the IVF coarse quantizer. Everything that
+// could perturb the result is pinned: the PRNG is a private splitmix64
+// (not math/rand, whose stream is not guaranteed across Go releases),
+// k-means++ seeding and Lloyd iterations visit rows in ascending order
+// with sequential float64 accumulation, nearest-centroid ties break to
+// the lowest centroid index, and empty clusters are reseeded from the
+// farthest row by the same total order. Training twice with one seed
+// therefore yields bit-identical centroids — the golden test pins this —
+// which in turn makes FBIX sidecars reproducible from their recorded
+// (seed, nlist) alone.
+package ann
+
+import (
+	"math"
+
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// splitmix64 is the pinned training PRNG (Steele et al., "Fast
+// Splittable Pseudorandom Number Generators").
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix64) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+func (r *splitmix64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// trainSample returns the row ids k-means trains on: all rows when the
+// collection fits the budget, otherwise a partial Fisher–Yates sample
+// (deterministic given the PRNG state), returned in ascending order so
+// the accumulation order is independent of the shuffle.
+func trainSample(n, budget int, rng *splitmix64) []int32 {
+	if budget >= n {
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		return ids
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := 0; i < budget; i++ {
+		j := i + rng.intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	sample := perm[:budget]
+	// Insertion-free ascending order via a counting pass would need O(n);
+	// a simple sort keeps it O(budget log budget).
+	sortInt32(sample)
+	return sample
+}
+
+func sortInt32(s []int32) {
+	// Shell sort: no dependency on sort's unstable algorithm details, and
+	// n is at most the training budget.
+	for gap := len(s) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(s); i++ {
+			v := s[i]
+			j := i
+			for ; j >= gap && s[j-gap] > v; j -= gap {
+				s[j] = s[j-gap]
+			}
+			s[j] = v
+		}
+	}
+}
+
+// nearestCentroid returns the index and squared Euclidean distance of
+// the centroid closest to row, ties broken by the lowest index: the
+// abandoning comparison is strict and a later centroid replaces the
+// incumbent only on a strictly smaller sum.
+func nearestCentroid(row, centroids []float64, dim int) (int, float64) {
+	best := math.Inf(1)
+	bestC := 0
+	for c := 0; c*dim < len(centroids); c++ {
+		s, abandoned := vec.SqDistAbandon(row, centroids[c*dim:(c+1)*dim], best)
+		if !abandoned && s < best {
+			best, bestC = s, c
+		}
+	}
+	return bestC, best
+}
+
+// trainKMeans runs k-means++ seeding plus at most iters Lloyd rounds
+// over the sampled rows of b and returns nlist×dim centroids.
+func trainKMeans(b store.Backend, sample []int32, nlist, iters int, rng *splitmix64) []float64 {
+	dim := b.Dim()
+	centroids := make([]float64, nlist*dim)
+
+	// k-means++ seeding: first centroid uniform, then D²-weighted.
+	first := b.Row(int(sample[rng.intn(len(sample))]))
+	copy(centroids[:dim], first)
+	d2 := make([]float64, len(sample)) // distance to nearest chosen centroid
+	for i, id := range sample {
+		d2[i] = vec.SqDist(b.Row(int(id)), centroids[:dim])
+	}
+	for c := 1; c < nlist; c++ {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		pick := 0
+		if total > 0 && !math.IsInf(total, 0) && !math.IsNaN(total) {
+			x := rng.float64() * total
+			var cum float64
+			for i, v := range d2 {
+				cum += v
+				if cum >= x {
+					pick = i
+					break
+				}
+				pick = i // rounding can leave cum < x at the end; keep last
+			}
+		} else {
+			pick = rng.intn(len(sample))
+		}
+		cent := centroids[c*dim : (c+1)*dim]
+		copy(cent, b.Row(int(sample[pick])))
+		for i, id := range sample {
+			if s, abandoned := vec.SqDistAbandon(b.Row(int(id)), cent, d2[i]); !abandoned && s < d2[i] {
+				d2[i] = s
+			}
+		}
+	}
+
+	assign := make([]int32, len(sample))
+	for i := range assign {
+		assign[i] = -1
+	}
+	sums := make([]float64, nlist*dim)
+	counts := make([]int, nlist)
+	rowD2 := make([]float64, len(sample))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, id := range sample {
+			c, s := nearestCentroid(b.Row(int(id)), centroids, dim)
+			rowD2[i] = s
+			if int32(c) != assign[i] {
+				assign[i] = int32(c)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Sequential centroid update in ascending row order: the FP
+		// accumulation order is part of the determinism contract.
+		clear(sums)
+		clear(counts)
+		for i, id := range sample {
+			c := int(assign[i])
+			row := b.Row(int(id))
+			acc := sums[c*dim : (c+1)*dim]
+			for j, x := range row {
+				acc[j] += x
+			}
+			counts[c]++
+		}
+		for c := 0; c < nlist; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			cent := centroids[c*dim : (c+1)*dim]
+			for j := range cent {
+				cent[j] = sums[c*dim+j] * inv
+			}
+		}
+		// Reseed empty clusters from the farthest assigned rows, ascending
+		// cluster index, strict > so the lowest row id wins distance ties.
+		for c := 0; c < nlist; c++ {
+			if counts[c] != 0 {
+				continue
+			}
+			far, farD := -1, -1.0
+			for i := range sample {
+				if rowD2[i] > farD {
+					far, farD = i, rowD2[i]
+				}
+			}
+			if far < 0 {
+				break
+			}
+			copy(centroids[c*dim:(c+1)*dim], b.Row(int(sample[far])))
+			rowD2[far] = -2 // cannot be chosen by a later empty cluster
+			assign[far] = int32(c)
+			counts[c] = 1
+		}
+	}
+	return centroids
+}

@@ -1,0 +1,41 @@
+// Golden centroid test, amd64-only: the determinism contract in
+// kmeans.go pins the accumulation order, but the Go compiler on arm64
+// may contract a*b+c into a fused multiply-add, which rounds once where
+// amd64 rounds twice — the bits of the trained centroids are therefore
+// per-architecture. The double-build determinism test covers every
+// platform; this golden hash additionally pins amd64 against regressions
+// in the training pipeline itself (PRNG stream, seeding walk, Lloyd
+// update order).
+
+//go:build amd64
+
+package ann
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+func TestKMeansGoldenAMD64(t *testing.T) {
+	rng := newTestRNG(2001)
+	rows := clusteredRows(800, 6, 5, rng)
+	b := backendFor(t, rows)
+	trainRNG := &splitmix64{s: 42}
+	sample := trainSample(800, 512, trainRNG)
+	centroids := trainKMeans(b, sample, 16, 10, trainRNG)
+
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range centroids {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	const want = uint64(0x07433af546b96a9b)
+	if got := h.Sum64(); got != want {
+		t.Fatalf("k-means golden hash = %016x, want %016x — the deterministic training pipeline changed", got, want)
+	}
+}

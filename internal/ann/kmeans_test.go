@@ -1,0 +1,118 @@
+package ann
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitmix64Pinned(t *testing.T) {
+	// Reference values of splitmix64 from seed 0 (Steele et al.); the
+	// training stream must never drift across refactors or Go releases.
+	r := &splitmix64{s: 0}
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := r.next(); got != w {
+			t.Fatalf("splitmix64 output %d = %016x, want %016x", i, got, w)
+		}
+	}
+}
+
+func TestTrainSample(t *testing.T) {
+	rng := &splitmix64{s: 9}
+	s := trainSample(100, 200, rng)
+	if len(s) != 100 {
+		t.Fatalf("over-budget sample has %d rows, want all 100", len(s))
+	}
+	rng = &splitmix64{s: 9}
+	s = trainSample(1000, 64, rng)
+	if len(s) != 64 {
+		t.Fatalf("sample has %d rows, want 64", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("sample not strictly ascending at %d: %d after %d", i, s[i], s[i-1])
+		}
+	}
+	rng2 := &splitmix64{s: 9}
+	s2 := trainSample(1000, 64, rng2)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("sampling is not deterministic under a fixed seed")
+		}
+	}
+}
+
+// TestBuildDeterminism pins the package determinism contract: two builds
+// from one seed are bit-identical in every component.
+func TestBuildDeterminism(t *testing.T) {
+	rng := newTestRNG(55)
+	rows := clusteredRows(1500, 10, 11, rng)
+	b := backendFor(t, rows)
+	opts := Options{NList: 32, Quant: QuantI8, Seed: 77}
+	x1, err := Build(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := Build(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1.centroids {
+		if math.Float64bits(x1.centroids[i]) != math.Float64bits(x2.centroids[i]) {
+			t.Fatalf("centroid element %d differs between identical builds", i)
+		}
+	}
+	for i := range x1.ids {
+		if x1.ids[i] != x2.ids[i] {
+			t.Fatalf("posting id %d differs between identical builds", i)
+		}
+	}
+	for i := range x1.slab8 {
+		if x1.slab8[i] != x2.slab8[i] {
+			t.Fatalf("slab byte %d differs between identical builds", i)
+		}
+	}
+	// A different seed must (on real data) train different centroids.
+	x3, err := Build(b, Options{NList: 32, Quant: QuantI8, Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range x1.centroids {
+		if x1.centroids[i] != x3.centroids[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds trained identical centroids")
+	}
+}
+
+// TestEmptyClusterReseed forces empty partitions (nlist close to the
+// number of distinct points) and checks every partition ends non-empty
+// enough to keep the posting lists a permutation.
+func TestEmptyClusterReseed(t *testing.T) {
+	// 12 distinct points, many duplicates, 8 clusters: duplicates collapse
+	// assignments and empty clusters must be reseeded deterministically.
+	rows := make([][]float64, 60)
+	for i := range rows {
+		v := float64(i % 12)
+		rows[i] = []float64{v, -v, v * v}
+	}
+	b := backendFor(t, rows)
+	x, err := Build(b, Options{NList: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int32
+	for _, c := range x.counts {
+		total += c
+	}
+	if int(total) != len(rows) {
+		t.Fatalf("posting lists hold %d rows, want %d", total, len(rows))
+	}
+	if err := x.validatePostings(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,7 +35,8 @@ const NoFeedbackLoop = -1
 type Engine struct {
 	ds       *dataset.Dataset
 	scan     *knn.Scan
-	index    *vptree.Tree // optional: Euclidean VP-tree for weighted lower-bound search
+	searcher knn.BatchSearcher // the serving tier: the scan, or an injected index (e.g. ann.Index)
+	index    *vptree.Tree      // optional: Euclidean VP-tree for weighted lower-bound search
 	fb       *feedback.Engine
 	maxIters int
 }
@@ -60,6 +61,11 @@ type Options struct {
 	UseIndex bool
 	// IndexSeed seeds vantage-point selection when UseIndex is set.
 	IndexSeed int64
+	// Searcher injects a pre-built retrieval tier — typically an IVF
+	// ann.Index over the dataset's backend — in place of the exact scan.
+	// The tier must cover exactly the dataset's rows. Mutually exclusive
+	// with UseIndex.
+	Searcher knn.BatchSearcher
 }
 
 // New builds an engine over the dataset. Sequential scan is the default
@@ -85,7 +91,16 @@ func New(ds *dataset.Dataset, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{ds: ds, scan: scan, fb: fb, maxIters: opts.MaxIterations}
+	e := &Engine{ds: ds, scan: scan, searcher: scan, fb: fb, maxIters: opts.MaxIterations}
+	if opts.Searcher != nil {
+		if opts.UseIndex {
+			return nil, errors.New("engine: UseIndex and Searcher are mutually exclusive")
+		}
+		if opts.Searcher.Len() != ds.Len() {
+			return nil, fmt.Errorf("engine: injected searcher covers %d rows, dataset has %d", opts.Searcher.Len(), ds.Len())
+		}
+		e.searcher = opts.Searcher
+	}
 	if opts.UseIndex {
 		idx, err := vptree.Build(ds.Features(), distance.Euclidean{}, opts.IndexSeed)
 		if err != nil {
@@ -117,7 +132,17 @@ func (e *Engine) Retrieve(q, w []float64, k int) ([]knn.Result, error) {
 	if e.index != nil {
 		return e.index.SearchWeighted(q, k, m)
 	}
-	return e.scan.Search(q, k, m)
+	return e.searcher.Search(q, k, m)
+}
+
+// Retrieval names the active retrieval tier — "scan", "vptree", or the
+// injected searcher's own description (e.g. "ivf(nlist=…,nprobe=…)") —
+// for the serving layer's stats surface.
+func (e *Engine) Retrieval() string {
+	if e.index != nil {
+		return "vptree"
+	}
+	return e.searcher.Describe()
 }
 
 // WeightedQuery pairs a query point with the weight vector of its
@@ -156,7 +181,7 @@ func (e *Engine) RetrieveBatch(qs []WeightedQuery, k int) ([][]knn.Result, error
 		points[i] = wq.Q
 		metrics[i] = m
 	}
-	return e.scan.SearchBatchMulti(points, k, metrics)
+	return e.searcher.SearchBatchMulti(points, k, metrics)
 }
 
 // Score applies the automatic relevance oracle of §5: an item scores

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+
+	"repro/internal/vec"
+)
+
+// Envelope is the shared metadata block every committed benchmark
+// artifact carries. Numbers without provenance are noise: recall and
+// latency depend on the kernel tier that actually ran (AVX2 vs
+// fallback), on GOMAXPROCS, and on the Go release, so the envelope pins
+// all of them next to the figures instead of leaving them in a shell
+// transcript.
+type Envelope struct {
+	Host       string `json:"host,omitempty"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// AVX2 reports the dispatch decision, not raw CPUID: it is false
+	// when GODEBUG=cpu.avx2=off forced the fallback kernels.
+	AVX2 bool `json:"avx2"`
+}
+
+// CollectEnvelope snapshots the current process environment.
+func CollectEnvelope() Envelope {
+	host, _ := os.Hostname()
+	return Envelope{
+		Host:       host,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		AVX2:       vec.HasAVX2(),
+	}
+}

@@ -27,15 +27,12 @@ import (
 // spawn/merge overhead dominates the scan itself.
 const minShardRows = 1024
 
-// rowTile is the number of rows per cache block of the tiled batch scan:
-// 512 rows × 32 dims × 8 B = 128 KiB, comfortably L2-resident while the
-// batch's query vectors stay in L1.
-const rowTile = 512
-
-// tileMask masks tile-buffer cursors: cursors never exceed the row index
-// being processed, so idx&tileMask == idx, and the mask lets the compiler
-// drop the bounds check on every buffer access.
-const tileMask = rowTile - 1
+// DefaultBatchTile is the default number of rows per cache block of the
+// tiled batch scan: 512 rows × 32 dims × 8 B = 128 KiB, comfortably
+// L2-resident while the batch's query vectors stay in L1. Callers whose
+// working set differs — the ANN rerank path scans much shorter row runs —
+// can tune it per Scan with SetBatchTile.
+const DefaultBatchTile = 512
 
 // scanWorkers returns how many shards to scan n rows with.
 func scanWorkers(n int) int {
@@ -368,13 +365,13 @@ type tileBufs struct {
 	surv           []int32
 }
 
-func newTileBufs() *tileBufs {
+func newTileBufs(tile int) *tileBufs {
 	return &tileBufs{
-		s0:   make([]float64, rowTile),
-		s1:   make([]float64, rowTile),
-		s2:   make([]float64, rowTile),
-		s3:   make([]float64, rowTile),
-		surv: make([]int32, rowTile),
+		s0:   make([]float64, tile),
+		s1:   make([]float64, tile),
+		s2:   make([]float64, tile),
+		s3:   make([]float64, tile),
+		surv: make([]int32, tile),
 	}
 }
 
@@ -402,12 +399,13 @@ func (s *Scan) scanBatchTiled(qs [][]float64, k int, kerns []distance.Kernel, ou
 	for i := range states {
 		states[i] = newScanState(k)
 	}
+	tile := s.tile()
 	var bufs *tileBufs
 	if dim == 32 {
-		bufs = newTileBufs()
+		bufs = newTileBufs(tile)
 	}
-	for blockLo := 0; blockLo < n; blockLo += rowTile {
-		blockHi := blockLo + rowTile
+	for blockLo := 0; blockLo < n; blockLo += tile {
+		blockHi := blockLo + tile
 		if blockHi > n {
 			blockHi = n
 		}
@@ -439,10 +437,10 @@ func scanTile32(mat store.Backend, q []float64, blockLo, blockHi int, st *scanSt
 	q = q[:32]
 	s0b, s1b, s2b, s3b := b.s0, b.s1, b.s2, b.s3
 	surv := b.surv
-	c := phase1x32(&q[0], &slab[0], rows, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], &surv[0])
-	c = phaseNext8(&q[8], &slab[8], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
-	c = phaseNext8(&q[16], &slab[16], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
-	c = phaseNext8(&q[24], &slab[24], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c := phase1x32Sel(&q[0], &slab[0], rows, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], &surv[0])
+	c = phaseNext8Sel(&q[8], &slab[8], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c = phaseNext8Sel(&q[16], &slab[16], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c = phaseNext8Sel(&q[24], &slab[24], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
 	for j := 0; j < c; j++ {
 		if sum := (s0b[j] + s1b[j]) + (s2b[j] + s3b[j]); sum <= bound2 {
 			st.offer(blockLo+int(surv[j]), sum)
@@ -461,10 +459,10 @@ func scanTile32W(mat store.Backend, q, w []float64, blockLo, blockHi int, st *sc
 	w = w[:32]
 	s0b, s1b, s2b, s3b := b.s0, b.s1, b.s2, b.s3
 	surv := b.surv
-	c := phase1x32w(&q[0], &w[0], &slab[0], rows, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], &surv[0])
-	c = phaseNext8w(&q[8], &w[8], &slab[8], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
-	c = phaseNext8w(&q[16], &w[16], &slab[16], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
-	c = phaseNext8w(&q[24], &w[24], &slab[24], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c := phase1x32wSel(&q[0], &w[0], &slab[0], rows, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], &surv[0])
+	c = phaseNext8wSel(&q[8], &w[8], &slab[8], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c = phaseNext8wSel(&q[16], &w[16], &slab[16], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
+	c = phaseNext8wSel(&q[24], &w[24], &slab[24], &surv[0], c, bound2, &s0b[0], &s1b[0], &s2b[0], &s3b[0], rows)
 	for j := 0; j < c; j++ {
 		if sum := (s0b[j] + s1b[j]) + (s2b[j] + s3b[j]); sum <= bound2 {
 			st.offer(blockLo+int(surv[j]), sum)

@@ -30,6 +30,20 @@ type Searcher interface {
 	Len() int
 }
 
+// BatchSearcher is a Searcher that also answers positionally-aligned
+// query batches, each under its own metric, in one call — the retrieval
+// surface the engine consumes, implemented by the exact Scan and by the
+// approximate ann.Index. Results must be identical to calling Search per
+// query; batching changes throughput, never answers.
+type BatchSearcher interface {
+	Searcher
+	// SearchBatchMulti answers qs[i] under ms[i]; results are positionally
+	// aligned with qs.
+	SearchBatchMulti(qs [][]float64, k int, ms []distance.Metric) ([][]Result, error)
+	// Describe names the retrieval tier for stats surfaces.
+	Describe() string
+}
+
 // Scan is the exact scan searcher: it supports *any* metric, including
 // the per-query re-weighted distances of the feedback loop, which
 // fixed-metric indexes cannot serve directly. Features live behind a
@@ -40,6 +54,9 @@ type Searcher interface {
 // DESIGN.md, "Retrieval core").
 type Scan struct {
 	mat store.Backend
+	// batchTile is the row count per cache block of the tiled batch scan;
+	// 0 means DefaultBatchTile (see SetBatchTile).
+	batchTile int
 }
 
 // NewScan builds a scan searcher over the given vectors (copied into a
@@ -50,6 +67,31 @@ func NewScan(data [][]float64) (*Scan, error) {
 		return nil, fmt.Errorf("knn: %w", err)
 	}
 	return &Scan{mat: mat}, nil
+}
+
+// SetBatchTile sets the number of rows per cache block of the tiled
+// batch scan (SearchBatch / SearchBatchMulti). The default,
+// DefaultBatchTile, suits a full-collection scan on a typical L2; the
+// ANN rerank path and unusual cache hierarchies can tune it. Any
+// positive value returns identical results — tiling never changes which
+// candidates are offered, only the streaming granularity. Not safe to
+// call concurrently with searches.
+func (s *Scan) SetBatchTile(rows int) error {
+	if rows <= 0 {
+		return fmt.Errorf("knn: batch tile must be positive, got %d", rows)
+	}
+	s.batchTile = rows
+	return nil
+}
+
+// BatchTile returns the active batch tile size.
+func (s *Scan) BatchTile() int { return s.tile() }
+
+func (s *Scan) tile() int {
+	if s.batchTile <= 0 {
+		return DefaultBatchTile
+	}
+	return s.batchTile
 }
 
 // NewScanBackend builds a scan searcher directly over any feature
@@ -74,6 +116,9 @@ func NewScanMatrix(mat *store.FlatMatrix) (*Scan, error) {
 
 // Len implements Searcher.
 func (s *Scan) Len() int { return s.mat.Len() }
+
+// Describe implements BatchSearcher: the exact tier has no parameters.
+func (s *Scan) Describe() string { return "scan" }
 
 // Matrix returns the underlying feature backend.
 func (s *Scan) Matrix() store.Backend { return s.mat }

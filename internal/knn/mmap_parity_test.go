@@ -116,7 +116,7 @@ func TestMmapParityAllPaths(t *testing.T) {
 func TestMmapParityTiledBatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(911))
 	for _, dim := range []int{6, 32} {
-		for _, n := range []int{40, rowTile + 37, 2*rowTile + 11} {
+		for _, n := range []int{40, DefaultBatchTile + 37, 2*DefaultBatchTile + 11} {
 			data := randomCollection(rng, n, dim)
 			heap, mapped := mmapTwin(t, data)
 			qs := make([][]float64, 9)

@@ -134,7 +134,7 @@ func TestKernelParityWeighted(t *testing.T) {
 func TestSearchBatchParity(t *testing.T) {
 	rng := rand.New(rand.NewSource(303))
 	for _, dim := range []int{6, 32} {
-		for _, n := range []int{40, rowTile + 37, 3*rowTile + 1} {
+		for _, n := range []int{40, DefaultBatchTile + 37, 3*DefaultBatchTile + 1} {
 			data := randomCollection(rng, n, dim)
 			scan, err := NewScan(data)
 			if err != nil {

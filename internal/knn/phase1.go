@@ -29,8 +29,8 @@ func phase1x32Go(q, slab []float64, rows int, bound2 float64, s0b, s1b, s2b, s3b
 		s2 += d6 * d6
 		d7 := q[7] - row[7]
 		s3 += d7 * d7
-		s0b[c1&tileMask], s1b[c1&tileMask], s2b[c1&tileMask], s3b[c1&tileMask] = s0, s1, s2, s3
-		surv[c1&tileMask] = int32(r)
+		s0b[c1], s1b[c1], s2b[c1], s3b[c1] = s0, s1, s2, s3
+		surv[c1] = int32(r)
 		inc := 0
 		if (s0+s1)+(s2+s3) <= bound2 {
 			inc = 1
@@ -63,8 +63,8 @@ func phase1x32wGo(q, w, slab []float64, rows int, bound2 float64, s0b, s1b, s2b,
 		s2 += w[6] * d6 * d6
 		d7 := q[7] - row[7]
 		s3 += w[7] * d7 * d7
-		s0b[c1&tileMask], s1b[c1&tileMask], s2b[c1&tileMask], s3b[c1&tileMask] = s0, s1, s2, s3
-		surv[c1&tileMask] = int32(r)
+		s0b[c1], s1b[c1], s2b[c1], s3b[c1] = s0, s1, s2, s3
+		surv[c1] = int32(r)
 		inc := 0
 		if (s0+s1)+(s2+s3) <= bound2 {
 			inc = 1
@@ -83,9 +83,9 @@ func phaseNext8Go(q8, slab8 []float64, surv []int32, count int, bound2 float64, 
 	q8 = q8[:8]
 	c := 0
 	for j := 0; j < count; j++ {
-		r := int(surv[j&tileMask])
+		r := int(surv[j])
 		row := slab8[r*32 : r*32+8 : r*32+8]
-		s0, s1, s2, s3 := s0b[j&tileMask], s1b[j&tileMask], s2b[j&tileMask], s3b[j&tileMask]
+		s0, s1, s2, s3 := s0b[j], s1b[j], s2b[j], s3b[j]
 		d0 := q8[0] - row[0]
 		s0 += d0 * d0
 		d1 := q8[1] - row[1]
@@ -102,8 +102,8 @@ func phaseNext8Go(q8, slab8 []float64, surv []int32, count int, bound2 float64, 
 		s2 += d6 * d6
 		d7 := q8[7] - row[7]
 		s3 += d7 * d7
-		s0b[c&tileMask], s1b[c&tileMask], s2b[c&tileMask], s3b[c&tileMask] = s0, s1, s2, s3
-		surv[c&tileMask] = int32(r)
+		s0b[c], s1b[c], s2b[c], s3b[c] = s0, s1, s2, s3
+		surv[c] = int32(r)
 		inc := 0
 		if (s0+s1)+(s2+s3) <= bound2 {
 			inc = 1
@@ -119,9 +119,9 @@ func phaseNext8wGo(q8, w8, slab8 []float64, surv []int32, count int, bound2 floa
 	w8 = w8[:8]
 	c := 0
 	for j := 0; j < count; j++ {
-		r := int(surv[j&tileMask])
+		r := int(surv[j])
 		row := slab8[r*32 : r*32+8 : r*32+8]
-		s0, s1, s2, s3 := s0b[j&tileMask], s1b[j&tileMask], s2b[j&tileMask], s3b[j&tileMask]
+		s0, s1, s2, s3 := s0b[j], s1b[j], s2b[j], s3b[j]
 		d0 := q8[0] - row[0]
 		s0 += w8[0] * d0 * d0
 		d1 := q8[1] - row[1]
@@ -138,8 +138,8 @@ func phaseNext8wGo(q8, w8, slab8 []float64, surv []int32, count int, bound2 floa
 		s2 += w8[6] * d6 * d6
 		d7 := q8[7] - row[7]
 		s3 += w8[7] * d7 * d7
-		s0b[c&tileMask], s1b[c&tileMask], s2b[c&tileMask], s3b[c&tileMask] = s0, s1, s2, s3
-		surv[c&tileMask] = int32(r)
+		s0b[c], s1b[c], s2b[c], s3b[c] = s0, s1, s2, s3
+		surv[c] = int32(r)
 		inc := 0
 		if (s0+s1)+(s2+s3) <= bound2 {
 			inc = 1

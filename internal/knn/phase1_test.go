@@ -13,7 +13,7 @@ import (
 func TestPhase1AsmMatchesGo(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 50; trial++ {
-		rows := 1 + rng.Intn(rowTile)
+		rows := 1 + rng.Intn(DefaultBatchTile)
 		slab := make([]float64, rows*32)
 		for i := range slab {
 			slab[i] = rng.NormFloat64()
@@ -43,16 +43,16 @@ func TestPhase1AsmMatchesGo(t *testing.T) {
 				surv           []int32
 				c              int
 			}{
-				make([]float64, rowTile), make([]float64, rowTile), make([]float64, rowTile),
-				make([]float64, rowTile), make([]int32, rowTile), 0,
+				make([]float64, DefaultBatchTile), make([]float64, DefaultBatchTile), make([]float64, DefaultBatchTile),
+				make([]float64, DefaultBatchTile), make([]int32, DefaultBatchTile), 0,
 			}
 			got := struct {
 				s0, s1, s2, s3 []float64
 				surv           []int32
 				c              int
 			}{
-				make([]float64, rowTile), make([]float64, rowTile), make([]float64, rowTile),
-				make([]float64, rowTile), make([]int32, rowTile), 0,
+				make([]float64, DefaultBatchTile), make([]float64, DefaultBatchTile), make([]float64, DefaultBatchTile),
+				make([]float64, DefaultBatchTile), make([]int32, DefaultBatchTile), 0,
 			}
 			if weighted {
 				ref.c = phase1x32wGo(q, w, slab, rows, bound2, ref.s0, ref.s1, ref.s2, ref.s3, ref.surv)

@@ -1,0 +1,95 @@
+package knn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+func TestSetBatchTileValidation(t *testing.T) {
+	s, err := NewScan([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BatchTile(); got != DefaultBatchTile {
+		t.Fatalf("default batch tile = %d, want %d", got, DefaultBatchTile)
+	}
+	for _, bad := range []int{0, -1, -512} {
+		if err := s.SetBatchTile(bad); err == nil {
+			t.Fatalf("SetBatchTile(%d) accepted, want error", bad)
+		}
+	}
+	if got := s.BatchTile(); got != DefaultBatchTile {
+		t.Fatalf("rejected SetBatchTile changed tile to %d", got)
+	}
+	if err := s.SetBatchTile(64); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BatchTile(); got != 64 {
+		t.Fatalf("batch tile = %d, want 64", got)
+	}
+}
+
+// TestBatchTileParity asserts SearchBatch results are identical for every
+// tile size — including tiles larger than the collection, non-powers of
+// two, and 1 — at both the D=32 fast path and a generic dimensionality.
+func TestBatchTileParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, dim := range []int{32, 7} {
+		n := 1200
+		rows := make([][]float64, n)
+		for i := range rows {
+			r := make([]float64, dim)
+			for j := range r {
+				r[j] = float64(rng.Intn(40)) / 4
+			}
+			rows[i] = r
+		}
+		qs := make([][]float64, 9)
+		ms := make([]distance.Metric, len(qs))
+		for qi := range qs {
+			q := make([]float64, dim)
+			w := make([]float64, dim)
+			for j := range q {
+				q[j] = float64(rng.Intn(40)) / 4
+				w[j] = float64(rng.Intn(5))
+			}
+			qs[qi] = q
+			if qi%2 == 0 {
+				ms[qi] = distance.Euclidean{}
+			} else {
+				wm, err := distance.NewWeightedEuclidean(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms[qi] = wm
+			}
+		}
+		ref, err := NewScan(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.SearchBatchMulti(qs, 10, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tile := range []int{1, 3, 64, 100, 511, 512, 513, 5000} {
+			s, err := NewScan(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetBatchTile(tile); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.SearchBatchMulti(qs, 10, ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("dim %d tile %d: batch results differ from default tile", dim, tile)
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package vec
+
+import "strings"
+
+// godebugDisables reports whether the GODEBUG value disables key
+// (key=off or key=0). Like the runtime's handling, the last setting of a
+// repeated key wins.
+func godebugDisables(godebug, key string) bool {
+	off := false
+	for _, kv := range strings.Split(godebug, ",") {
+		if k, v, ok := strings.Cut(kv, "="); ok && k == key {
+			off = v == "off" || v == "0"
+		}
+	}
+	return off
+}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package vec
+
+// HasAVX2 reports whether the AVX2 kernels are active; off amd64 there
+// are none, so it is always false and the portable paths run.
+func HasAVX2() bool { return false }

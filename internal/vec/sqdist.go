@@ -15,21 +15,19 @@
 // compiler drops per-element bounds checks.
 package vec
 
-import "math"
-
-// SqDist returns the squared Euclidean distance Σ (aᵢ−bᵢ)².
+// SqDist returns the squared Euclidean distance Σ (aᵢ−bᵢ)². Full sums
+// dispatch through sqDistFull (AVX2 when available); every
+// implementation is bitwise identical.
 func SqDist(a, b []float64) float64 {
 	mustSameLen(a, b)
-	s, _ := sqDistAbandon(a, b, math.Inf(1))
-	return s
+	return sqDistFull(a, b)
 }
 
 // SqDistW returns the weighted squared distance Σ wᵢ(aᵢ−bᵢ)².
 func SqDistW(a, b, w []float64) float64 {
 	mustSameLen(a, b)
 	mustSameLen(a, w)
-	s, _ := sqDistWAbandon(a, b, w, math.Inf(1))
-	return s
+	return sqDistWFull(a, b, w)
 }
 
 // SqDistAbandon accumulates SqDist(a, b) but gives up once the partial
