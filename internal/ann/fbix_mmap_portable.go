@@ -14,6 +14,7 @@ import "os"
 // searching. All format failures wrap store.ErrCorrupt; a missing file
 // satisfies errors.Is(err, os.ErrNotExist).
 func OpenFBIX(path string) (*Index, error) {
+	//fbvet:ok portable fallback of the mmap open path; read-only, outside the faultfs crash schedules
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

@@ -72,7 +72,18 @@ func (osFS) Remove(name string) error                     { return os.Remove(nam
 func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
 func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
-func (osFS) SyncDir(dir string) error                     { return SyncDir(dir) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}
 
 // OrOS returns fs, or OSFS when fs is nil — the default-filling idiom of
 // every entry point that takes an optional FS.

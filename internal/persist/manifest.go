@@ -24,7 +24,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 )
 
@@ -139,15 +138,7 @@ func DecodeManifest(data []byte) (Manifest, error) {
 // SyncDir fsyncs a directory, making the creations and renames inside it
 // durable. Every layer that needs a directory entry to survive power
 // loss (snapshot renames, manifest writes, shard-directory creation)
-// shares this one implementation.
+// shares the one implementation behind OSFS.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	if err := d.Sync(); err != nil {
-		_ = d.Close()
-		return err
-	}
-	return d.Close()
+	return OSFS.SyncDir(dir)
 }

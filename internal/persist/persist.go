@@ -31,7 +31,6 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 
 	"repro/internal/simplextree"
 )
@@ -84,9 +83,11 @@ func Save(w io.Writer, tree *simplextree.Tree) error {
 	return bw.Flush()
 }
 
-// SaveFile writes the tree to the named file, creating or truncating it.
+// SaveFile writes the tree to the named file, creating or truncating
+// it. The write flows through the OSFS seam so it stays visible to the
+// same accounting as every other persistence op.
 func SaveFile(path string, tree *simplextree.Tree) error {
-	f, err := os.Create(path)
+	f, err := CreateFile(nil, path)
 	if err != nil {
 		return err
 	}
@@ -105,7 +106,7 @@ func Load(r io.Reader) (*simplextree.Tree, error) {
 
 	var gotMagic [4]byte
 	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading magic: %w", ErrCorrupt, err)
 	}
 	if gotMagic != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic[:])
@@ -113,7 +114,7 @@ func Load(r io.Reader) (*simplextree.Tree, error) {
 	var version, dim, oqpDim, points, nVerts uint32
 	var epsilon, tol float64
 	if err := readAll(br, &version, &dim, &oqpDim, &epsilon, &tol, &points, &nVerts); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
 	}
 	if version != Version {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
@@ -131,11 +132,11 @@ func Load(r io.Reader) (*simplextree.Tree, error) {
 	for i := uint32(0); i < nVerts; i++ {
 		point, err := readFloats(br, int(dim))
 		if err != nil {
-			return nil, fmt.Errorf("%w: vertex %d point: %v", ErrCorrupt, i, err)
+			return nil, fmt.Errorf("%w: vertex %d point: %w", ErrCorrupt, i, err)
 		}
 		value, err := readFloats(br, int(oqpDim))
 		if err != nil {
-			return nil, fmt.Errorf("%w: vertex %d value: %v", ErrCorrupt, i, err)
+			return nil, fmt.Errorf("%w: vertex %d value: %w", ErrCorrupt, i, err)
 		}
 		snap.Vertices = append(snap.Vertices, simplextree.SnapshotVertex{Point: point, Value: value})
 	}
@@ -148,14 +149,14 @@ func Load(r io.Reader) (*simplextree.Tree, error) {
 	var gotSum uint32
 	// The trailing checksum is read outside the checksummed stream.
 	if err := binary.Read(br.r, binary.LittleEndian, &gotSum); err != nil {
-		return nil, fmt.Errorf("%w: reading checksum: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading checksum: %w", ErrCorrupt, err)
 	}
 	if gotSum != wantSum {
 		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, gotSum, wantSum)
 	}
 	tree, err := simplextree.FromSnapshot(snap)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return tree, nil
 }
@@ -211,12 +212,12 @@ func readNode(r io.Reader, dim, depth int) (*simplextree.SnapshotNode, error) {
 	n := &simplextree.SnapshotNode{Split: -1}
 	verts, err := readInts(r, dim+1)
 	if err != nil {
-		return nil, fmt.Errorf("%w: node vertices: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: node vertices: %w", ErrCorrupt, err)
 	}
 	n.Verts = verts
 	var nChildren uint32
 	if err := binary.Read(r, binary.LittleEndian, &nChildren); err != nil {
-		return nil, fmt.Errorf("%w: child count: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: child count: %w", ErrCorrupt, err)
 	}
 	if nChildren == 0 {
 		return n, nil
@@ -225,17 +226,17 @@ func readNode(r io.Reader, dim, depth int) (*simplextree.SnapshotNode, error) {
 		return nil, fmt.Errorf("%w: node claims %d children in dimension %d", ErrCorrupt, nChildren, dim)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &n.Split); err != nil {
-		return nil, fmt.Errorf("%w: split index: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: split index: %w", ErrCorrupt, err)
 	}
 	mu, err := readFloats(r, dim+1)
 	if err != nil {
-		return nil, fmt.Errorf("%w: split coordinates: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: split coordinates: %w", ErrCorrupt, err)
 	}
 	n.Mu = mu
 	for i := uint32(0); i < nChildren; i++ {
 		var replaced int32
 		if err := binary.Read(r, binary.LittleEndian, &replaced); err != nil {
-			return nil, fmt.Errorf("%w: replaced index: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: replaced index: %w", ErrCorrupt, err)
 		}
 		child, err := readNode(r, dim, depth+1)
 		if err != nil {

@@ -190,7 +190,7 @@ func scanWAL(f File, dim, oqpDim int) (validEnd int64, records int, err error) {
 func readWALHeader(r io.Reader, dim, oqpDim int) error {
 	var hdr [walHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("%w: reading WAL header: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: reading WAL header: %w", ErrCorrupt, err)
 	}
 	if [4]byte(hdr[0:4]) != walMagic {
 		return fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, hdr[0:4])
@@ -264,11 +264,11 @@ func (w *WAL) Append(q, value []float64) error {
 // fails its checksum and turns every later record into ErrCorrupt).
 func (w *WAL) rollback(cause error) error {
 	if terr := w.f.Truncate(w.off); terr != nil {
-		w.broken = fmt.Errorf("persist: WAL append failed (%v) and rollback failed (%v); log closed to appends", cause, terr)
+		w.broken = fmt.Errorf("persist: WAL append failed (%w) and rollback failed (%w); log closed to appends", cause, terr)
 		return w.broken
 	}
 	if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
-		w.broken = fmt.Errorf("persist: WAL append failed (%v) and reposition failed (%v); log closed to appends", cause, serr)
+		w.broken = fmt.Errorf("persist: WAL append failed (%w) and reposition failed (%w); log closed to appends", cause, serr)
 		return w.broken
 	}
 	return cause

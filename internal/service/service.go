@@ -501,7 +501,7 @@ func (s *Service) Feedback(ctx context.Context, id uint64, scores []float64) (Se
 	if err != nil {
 		// The session's own state is validated; a refine failure means the
 		// scores were malformed (NaN, negative, ...) — a client error.
-		return SessionState{}, fmt.Errorf("%v: %w", err, ErrInvalidArgument)
+		return SessionState{}, fmt.Errorf("%w: %w", err, ErrInvalidArgument)
 	}
 	// As in Open: abort before the collection-sized scan if the client is
 	// gone or the deadline has passed. The session is unchanged (q, w and

@@ -17,6 +17,7 @@ import (
 // heap. Unlike the mapped path, the payload checksum is verified here
 // eagerly — the bytes are all in hand anyway.
 func OpenMmap(path string) (*MmapMatrix, error) {
+	//fbvet:ok portable fallback of the mmap open path; read-only, outside the faultfs crash schedules
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,15 @@
+package errgate_test
+
+import (
+	"testing"
+
+	"repro/tools/fbvet/analyzers/errgate"
+	"repro/tools/fbvet/internal/vettest"
+)
+
+func TestDiscardsWaiversAndRefinement(t *testing.T) {
+	vettest.Run(t, errgate.Analyzer, vettest.Pkg{
+		Dir:  "testdata/src/gate",
+		Path: "fixture/cmd/gate",
+	})
+}

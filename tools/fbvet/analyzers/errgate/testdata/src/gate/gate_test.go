@@ -1,0 +1,8 @@
+// Test files are exempt, as in the standalone walker.
+package gate
+
+import "os"
+
+func testOnlyDiscard(f *os.File) {
+	f.Close()
+}

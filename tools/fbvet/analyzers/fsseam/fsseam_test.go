@@ -1,0 +1,22 @@
+package fsseam_test
+
+import (
+	"testing"
+
+	"repro/tools/fbvet/analyzers/fsseam"
+	"repro/tools/fbvet/internal/vettest"
+)
+
+func TestSeamViolationsAndWaivers(t *testing.T) {
+	vettest.Run(t, fsseam.Analyzer, vettest.Pkg{
+		Dir:  "testdata/src/seam",
+		Path: "fixture/internal/persist",
+	})
+}
+
+func TestOutOfScopePackageIsIgnored(t *testing.T) {
+	vettest.Run(t, fsseam.Analyzer, vettest.Pkg{
+		Dir:  "testdata/src/outofscope",
+		Path: "fixture/internal/other",
+	})
+}

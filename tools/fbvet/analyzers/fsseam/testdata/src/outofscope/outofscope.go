@@ -1,0 +1,9 @@
+// Fixture type-checked under "fixture/internal/other" — outside the
+// seam domains, so direct os calls are fine here.
+package other
+
+import "os"
+
+func free(path string) error {
+	return os.Remove(path)
+}

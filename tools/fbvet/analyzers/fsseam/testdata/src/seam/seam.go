@@ -1,0 +1,47 @@
+// Fixture for the fsseam analyzer: type-checked under the import path
+// "fixture/internal/persist", so the seam rules apply.
+package persist
+
+import "os"
+
+// FS is a stand-in for the real persist.FS seam.
+type FS interface {
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+func direct(path string) error {
+	return os.Rename(path, path+".new") // want `direct os\.Rename bypasses the persist\.FS seam`
+}
+
+func directCreate(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create bypasses the persist\.FS seam`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func waivedTrailing(path string) error {
+	return os.Remove(path) //fbvet:ok fixture: cleanup outside the crash schedules
+}
+
+func waivedPreceding(path string) error {
+	//fbvet:ok fixture: read-only open outside the crash schedules
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// routed is the sanctioned shape: filesystem access through the seam.
+func routed(fs FS, oldpath, newpath string) error {
+	return fs.Rename(oldpath, newpath)
+}
+
+// osFS mirrors the production seam bottom; its methods are exempt.
+type osFS struct{}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }

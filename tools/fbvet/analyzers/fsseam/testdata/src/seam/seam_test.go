@@ -1,0 +1,9 @@
+// Test files are exempt from the seam: they build fixtures and verify
+// on-disk bytes out-of-band. No diagnostics expected here.
+package persist
+
+import "os"
+
+func testOnlyHelper(path string) error {
+	return os.Rename(path, path+".bak")
+}

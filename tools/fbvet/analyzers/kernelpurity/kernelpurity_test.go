@@ -1,0 +1,22 @@
+package kernelpurity_test
+
+import (
+	"testing"
+
+	"repro/tools/fbvet/analyzers/kernelpurity"
+	"repro/tools/fbvet/internal/vettest"
+)
+
+func TestPurityViolationsAndWaivers(t *testing.T) {
+	vettest.Run(t, kernelpurity.Analyzer, vettest.Pkg{
+		Dir:  "testdata/src/kernel",
+		Path: "fixture/internal/vec",
+	})
+}
+
+func TestOutOfScopePackageIsIgnored(t *testing.T) {
+	vettest.Run(t, kernelpurity.Analyzer, vettest.Pkg{
+		Dir:  "testdata/src/outofscope",
+		Path: "fixture/internal/experiments",
+	})
+}

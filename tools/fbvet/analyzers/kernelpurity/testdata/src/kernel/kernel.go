@@ -1,0 +1,45 @@
+// Fixture for the kernelpurity analyzer: type-checked under
+// "fixture/internal/vec", so the determinism contract applies.
+package vec
+
+import (
+	"math"
+	"math/rand" // want `import math/rand is forbidden in kernel packages`
+	"time"
+)
+
+func fused(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math\.FMA is forbidden in kernel packages`
+}
+
+func unfused(a, b, c float64) float64 {
+	return a*b + c
+}
+
+func seed() int64 {
+	return time.Now().UnixNano() // want `time\.Now is forbidden in kernel packages`
+}
+
+func draw() float64 {
+	return rand.Float64()
+}
+
+func mapOrdered(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+func sliceOrdered(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func waivedClock() time.Time {
+	return time.Now() //fbvet:ok fixture: wall clock feeds a log line, not a kernel result
+}

@@ -1,0 +1,13 @@
+// Fixture type-checked under "fixture/internal/experiments" — outside
+// the kernel domains, so clocks and maps are fine.
+package experiments
+
+import "time"
+
+func stamp(m map[string]int) (time.Time, int) {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return time.Now(), n
+}

@@ -1,0 +1,15 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/tools/fbvet/analyzers/lockdiscipline"
+	"repro/tools/fbvet/internal/vettest"
+)
+
+func TestLockViolationsAndWaivers(t *testing.T) {
+	vettest.Run(t, lockdiscipline.Analyzer, vettest.Pkg{
+		Dir:  "testdata/src/locks",
+		Path: "fixture/internal/service",
+	})
+}

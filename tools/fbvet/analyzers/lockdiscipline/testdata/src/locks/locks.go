@@ -1,0 +1,80 @@
+// Fixture for the lockdiscipline analyzer. Scope is repo-wide, so the
+// import path does not matter; "fixture/internal/service" keeps it
+// realistic.
+package service
+
+import (
+	"os"
+	"sync"
+)
+
+type syncer interface {
+	Sync() error
+}
+
+type guarded struct {
+	mu   sync.RWMutex
+	file syncer
+	ch   chan int
+	n    int
+}
+
+func (g *guarded) leakedLock() {
+	g.mu.Lock() // want `g\.mu\.Lock\(\) has no matching Unlock`
+	g.n++
+}
+
+func (g *guarded) mismatchedKind() int {
+	g.mu.RLock() // want `g\.mu\.RLock\(\) released with Unlock`
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (g *guarded) ioUnderReadLock() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.file.Sync() // want `Sync\(\) while holding an RLock`
+}
+
+func (g *guarded) osCallUnderReadLock(path string) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return os.Remove(path) // want `os\.Remove while holding an RLock`
+}
+
+func (g *guarded) sendUnderReadLock(v int) {
+	g.mu.RLock()
+	g.ch <- v // want `channel send while holding an RLock`
+	g.mu.RUnlock()
+}
+
+func (g *guarded) sendAfterRelease(v int) {
+	g.mu.RLock()
+	n := g.n
+	g.mu.RUnlock()
+	g.ch <- n + v
+}
+
+// ioUnderWriteLock is the write-ahead design: fsync under the exclusive
+// lock is deliberate and not policed.
+func (g *guarded) ioUnderWriteLock() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.file.Sync()
+}
+
+func (g *guarded) goroutineBodyNotHeld() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	go func() {
+		g.ch <- 1
+	}()
+}
+
+func (g *guarded) lockHelper() {
+	g.mu.Lock() //fbvet:ok fixture: released by unlockHelper
+}
+
+func (g *guarded) unlockHelper() {
+	g.mu.Unlock()
+}

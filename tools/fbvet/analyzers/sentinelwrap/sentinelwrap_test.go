@@ -1,0 +1,22 @@
+package sentinelwrap_test
+
+import (
+	"testing"
+
+	"repro/tools/fbvet/analyzers/sentinelwrap"
+	"repro/tools/fbvet/internal/vettest"
+)
+
+func TestWrapViolationsAndWaivers(t *testing.T) {
+	vettest.Run(t, sentinelwrap.Analyzer, vettest.Pkg{
+		Dir:  "testdata/src/wrap",
+		Path: "fixture/internal/store",
+	})
+}
+
+func TestOutOfScopePackageIsIgnored(t *testing.T) {
+	vettest.Run(t, sentinelwrap.Analyzer, vettest.Pkg{
+		Dir:  "testdata/src/outofscope",
+		Path: "fixture/internal/experiments",
+	})
+}

@@ -1,0 +1,9 @@
+// Fixture type-checked under "fixture/internal/experiments" — outside
+// the sentinel domains, so %v on an error is tolerated.
+package experiments
+
+import "fmt"
+
+func report(err error) error {
+	return fmt.Errorf("figure failed: %v", err)
+}

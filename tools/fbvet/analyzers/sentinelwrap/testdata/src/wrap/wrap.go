@@ -1,0 +1,44 @@
+// Fixture for the sentinelwrap analyzer: type-checked under
+// "fixture/internal/store", so the errors.Is-ability contract applies.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt mirrors the production sentinel.
+var ErrCorrupt = errors.New("store: corrupt")
+
+func flattened(err error) error {
+	return fmt.Errorf("parse failed: %v", err) // want `error err formatted with %v; use %w`
+}
+
+func flattenedString(err error) error {
+	return fmt.Errorf("parse failed: %s", err) // want `error err formatted with %s; use %w`
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("parse failed: %s", err.Error()) // want `err\.Error\(\) stringifies the error`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("%w: parse failed: %w", ErrCorrupt, err)
+}
+
+func noErrorOperand(n, dim int) error {
+	return fmt.Errorf("bad shape %dx%d", n, dim)
+}
+
+func widthArgs(pad int, err error) error {
+	return fmt.Errorf("%*d uses: %w", pad, pad, err)
+}
+
+func explicitIndexSkipped(err error) error {
+	// Explicit argument indexes are outside the analyzer's model.
+	return fmt.Errorf("%[1]v", err)
+}
+
+func waived(err error) error {
+	return fmt.Errorf("cause: %v", err) //fbvet:ok fixture: message deliberately flattens an untrusted error
+}

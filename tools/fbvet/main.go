@@ -1,0 +1,76 @@
+// Command fbvet is the repository's invariant-enforcement plane: a
+// go/analysis multichecker bundling the five repo-native analyzers
+// (fsseam, kernelpurity, sentinelwrap, lockdiscipline, errgate) with
+// the upstream copylocks/atomic/lostcancel passes.
+//
+// It runs two ways:
+//
+//	go run ./tools/fbvet ./...          # standalone over package patterns
+//	go vet -vettool=$(which fbvet) ./... # as a standard vet tool
+//
+// Both are the same binary: invoked with plain package patterns it
+// re-executes itself through `go vet -vettool`, so the standard
+// toolchain (build cache, package loading, per-package .cfg protocol
+// via unitchecker) does the driving either way, and CI exercises
+// exactly the integration developers use locally.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/tools/fbvet/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	if standaloneInvocation(args) {
+		os.Exit(standalone(args))
+	}
+	// vet protocol: -V=full fingerprinting, `help`, or a unit.cfg.
+	unitchecker.Main(analyzers.All()...)
+}
+
+// standaloneInvocation reports whether args look like package patterns
+// (`./...`, `./internal/persist`) rather than the vet tool protocol
+// (flags, `help`, or a *.cfg file).
+func standaloneInvocation(args []string) bool {
+	if len(args) == 0 {
+		return true
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") || a == "help" {
+			return false
+		}
+	}
+	return true
+}
+
+// standalone re-invokes this binary through `go vet -vettool` over the
+// given patterns (default ./...) and returns the exit code.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fbvet: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdin = os.Stdin
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "fbvet: running go vet: %v\n", err)
+		return 2
+	}
+	return 0
+}
