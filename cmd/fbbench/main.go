@@ -33,13 +33,14 @@ import (
 	"repro/internal/histogram"
 	"repro/internal/imagegen"
 	"repro/internal/knn"
+	"repro/internal/obsv"
 	"repro/internal/persist"
 	"repro/internal/simplextree"
 )
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), store (heap vs mmap feature-store backends), chaos (fault-injection: crash-schedule sweep, degraded-mode and quota governance), or ann (IVF approximate tier: recall/latency/bandwidth sweep over nlist, nprobe and quantization)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), store (heap vs mmap feature-store backends), chaos (fault-injection: crash-schedule sweep, degraded-mode and quota governance), ann (IVF approximate tier: recall/latency/bandwidth sweep over nlist, nprobe and quantization), or soak (duration-bounded load with registry/runtime sampling and interactivity-budget report)")
 		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
 		queries  = flag.Int("queries", 700, "training queries to process")
 		k        = flag.Int("k", 15, "results per query (paper: 50)")
@@ -48,6 +49,10 @@ func main() {
 		numEval  = flag.Int("eval", 80, "evaluation queries for the k-sweep figures")
 		save     = flag.String("save", "", "persist the trained Simplex Tree to this file (inspect with fbtree)")
 		jsonPath = flag.String("json", "", "additionally write every printed series as machine-readable JSON to this file")
+
+		soakDur     = flag.Duration("soak-duration", 10*time.Second, "soak figure: run length")
+		soakClients = flag.Int("soak-clients", 8, "soak figure: closed-loop client count")
+		soakSample  = flag.Duration("soak-sample", time.Second, "soak figure: registry/runtime sampling interval")
 	)
 	flag.Parse()
 
@@ -111,6 +116,12 @@ func main() {
 	}
 	if *figure == "ann" {
 		runANNBench(*k, *seed)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *figure == "soak" {
+		runSoakBench(*scale, *k, *seed, *epsilon, *soakClients, *soakDur, *soakSample)
 		writeReport(*jsonPath)
 		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
 		return
@@ -196,6 +207,7 @@ type jsonReport struct {
 	Store  *experiments.StoreResult   `json:"store,omitempty"`
 	Chaos  *experiments.ChaosResult   `json:"chaos,omitempty"`
 	ANN    *experiments.ANNResult     `json:"ann,omitempty"`
+	Soak   *experiments.SoakResult    `json:"soak,omitempty"`
 }
 
 type reportMeta struct {
@@ -207,6 +219,11 @@ type reportMeta struct {
 	Figure    string               `json:"figure"`
 	Timestamp string               `json:"timestamp"`
 	Env       experiments.Envelope `json:"env"`
+	// Metrics snapshots the benchmark process's observability registry at
+	// report-write time: for instrumented figures (soak) it carries every
+	// series /metrics would have served; for the rest it records that no
+	// instruments fired — either way the artifact is self-describing.
+	Metrics *obsv.Snapshot `json:"metrics,omitempty"`
 }
 
 type jsonSeries struct {
@@ -236,10 +253,13 @@ type treeBenchResult struct {
 }
 
 // report is nil unless -json was given; section names the figure being
-// printed so recorded series land under it.
+// printed so recorded series land under it. benchReg is the process's
+// observability registry: instrumented figures register into it, and
+// its snapshot lands in every JSON artifact's provenance envelope.
 var (
-	report  *jsonReport
-	section string
+	report   *jsonReport
+	section  string
+	benchReg = obsv.NewRegistry()
 )
 
 func record(xLabel string, series ...*eval.Series) {
@@ -257,6 +277,7 @@ func writeReport(path string) {
 	if report == nil || path == "" {
 		return
 	}
+	report.Meta.Metrics = benchReg.Snapshot()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fail(err)
@@ -526,6 +547,65 @@ func runServeBench(scale float64, k, sessions int, seed int64, epsilon float64) 
 		st.Opened, st.Feedbacks, st.CacheHits, st.Predictions, st.Inserts, st.Tree.Points, st.Tree.Depth)
 	if report != nil {
 		report.Serve = &res
+	}
+}
+
+// runSoakBench runs the soak instrument: duration-bounded closed-loop
+// load over an instrumented service, with the interactivity-budget
+// report and the sampled registry/runtime time series.
+func runSoakBench(scale float64, k int, seed int64, epsilon float64, clients int, dur, sample time.Duration) {
+	cfg := experiments.DefaultSoakConfig()
+	cfg.Seed = seed
+	cfg.Scale = scale
+	cfg.K = k
+	cfg.Epsilon = epsilon
+	if clients > 0 {
+		cfg.Clients = clients
+	}
+	if dur > 0 {
+		cfg.Duration = dur
+	}
+	if sample > 0 {
+		cfg.SampleEvery = sample
+	}
+	cfg.Obs = benchReg
+	header(fmt.Sprintf("Soak: %d closed-loop clients for %s (scale %.2f, k = %d, sample %s)",
+		cfg.Clients, cfg.Duration, scale, k, cfg.SampleEvery))
+	res, err := experiments.RunSoak(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# collection: %d images (%d bins)\n", res.Collection, res.Dim)
+	fmt.Printf("# %d sessions (%d service calls) in %.1fs — %.1f sessions/s\n",
+		res.Sessions, res.Ops, res.DurationSecs, res.SessionsPerSec)
+
+	fmt.Printf("\n# interactivity budgets (complete sessions within wall-clock budget)\n")
+	fmt.Printf("%-12s %10s %10s\n", "budget", "sessions", "fraction")
+	for _, b := range res.Budgets {
+		fmt.Printf("%-12s %10d %9.1f%%\n",
+			fmt.Sprintf("%.0fms", 1000*b.BudgetSecs), b.Sessions, 100*b.Fraction)
+	}
+
+	fmt.Printf("\n# per-operation latency (from the observability registry)\n")
+	fmt.Printf("%-10s %10s %12s %12s %12s\n", "op", "count", "p50(us)", "p95(us)", "p99(us)")
+	for _, ol := range res.OpLatencies {
+		fmt.Printf("%-10s %10d %12.0f %12.0f %12.0f\n",
+			ol.Op, ol.Count, 1e6*ol.P50Secs, 1e6*ol.P95Secs, 1e6*ol.P99Secs)
+	}
+
+	fmt.Printf("\n# samples (cumulative counters + process state)\n")
+	fmt.Printf("%-10s %10s %10s %12s %12s %11s %6s\n",
+		"elapsed", "sessions", "ops", "heap(MB)", "rss(MB)", "goroutines", "gc")
+	for _, s := range res.Samples {
+		fmt.Printf("%-10s %10d %10d %12.1f %12.1f %11d %6d\n",
+			fmt.Sprintf("%.1fs", s.ElapsedSecs), s.Sessions, s.Ops,
+			float64(s.HeapAllocBytes)/(1<<20), float64(s.RSSBytes)/(1<<20), s.Goroutines, s.GCCycles)
+	}
+	st := res.FinalStats
+	fmt.Printf("# final: %d sessions opened, %d feedback rounds, %d inserts, tree %d points depth %d\n\n",
+		st.Opened, st.Feedbacks, st.Inserts, st.Tree.Points, st.Tree.Depth)
+	if report != nil {
+		report.Soak = &res
 	}
 }
 

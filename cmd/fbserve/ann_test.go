@@ -60,7 +60,7 @@ func TestANNServing(t *testing.T) {
 	if c.ann == nil || c.annSrc != "built" {
 		t.Fatalf("collection has no built ANN tier (src %q)", c.annSrc)
 	}
-	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default"))
+	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default", nil, false))
 	defer srv.Close()
 
 	var stats struct {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faultfs"
 	"repro/internal/histogram"
 	"repro/internal/imagegen"
+	"repro/internal/obsv"
 	"repro/internal/service"
 )
 
@@ -48,7 +49,7 @@ func newFaultyTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *fau
 		t.Fatal(err)
 	}
 	c := &collection{name: "default", backend: "heap", source: "synth:test", ds: ds, svc: svc, durable: durable}
-	srv := httptest.NewServer(hardened(newMux(map[string]*collection{"default": c}, "default"), 0))
+	srv := httptest.NewServer(hardened(newMux(map[string]*collection{"default": c}, "default", nil, false), 0, nil))
 	t.Cleanup(srv.Close)
 	return srv, ds, fs
 }
@@ -169,17 +170,28 @@ func TestDegradedServingHTTP(t *testing.T) {
 // 500 without killing the server, and the per-request deadline surfaces
 // as 503 + Retry-After through the service's context path.
 func TestHardenedMiddleware(t *testing.T) {
+	reg := obsv.NewRegistry()
 	h := hardened(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("handler bug")
-	}), 0)
+	}), 0, reg)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler: status %d, want 500", rec.Code)
 	}
+	rid := rec.Header().Get("X-Request-Id")
+	if rid == "" {
+		t.Fatal("panicking handler: no X-Request-Id header")
+	}
 	var errResp errorResponse
 	if err := json.NewDecoder(rec.Body).Decode(&errResp); err != nil || errResp.Error == "" {
 		t.Fatalf("panicking handler body: %v %+v", err, errResp)
+	}
+	if errResp.RequestID != rid {
+		t.Fatalf("panic body request_id = %q, want header's %q", errResp.RequestID, rid)
+	}
+	if m := reg.Snapshot().Find("fb_http_panics_total"); m == nil || m.Value != 1 {
+		t.Fatalf("fb_http_panics_total = %+v, want 1", m)
 	}
 
 	// A request that outlives its deadline gets the context error mapped:
@@ -194,8 +206,8 @@ func TestHardenedMiddleware(t *testing.T) {
 		}
 		<-r.Context().Done()
 		err := fmt.Errorf("open: %w", r.Context().Err())
-		writeError(w, statusFor(err), err)
-	}), 5*time.Millisecond)
+		writeError(w, r, statusFor(err), err)
+	}), 5*time.Millisecond, reg)
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/slow", nil))
 	if rec.Code != http.StatusServiceUnavailable {
@@ -203,5 +215,16 @@ func TestHardenedMiddleware(t *testing.T) {
 	}
 	if ra := rec.Header().Get("Retry-After"); ra != "1" {
 		t.Fatalf("expired request Retry-After = %q, want \"1\"", ra)
+	}
+	// The timeout response body names the request too.
+	var toResp errorResponse
+	if err := json.NewDecoder(rec.Body).Decode(&toResp); err != nil || toResp.RequestID == "" {
+		t.Fatalf("timeout body: %v %+v, want request_id set", err, toResp)
+	}
+	if toResp.RequestID != rec.Header().Get("X-Request-Id") {
+		t.Fatalf("timeout body request_id %q != header %q", toResp.RequestID, rec.Header().Get("X-Request-Id"))
+	}
+	if m := reg.Snapshot().Find("fb_http_timeouts_total"); m == nil || m.Value != 1 {
+		t.Fatalf("fb_http_timeouts_total = %+v, want 1", m)
 	}
 }

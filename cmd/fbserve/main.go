@@ -78,18 +78,25 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -100,10 +107,52 @@ import (
 	"repro/internal/histogram"
 	"repro/internal/imagegen"
 	"repro/internal/knn"
+	"repro/internal/obsv"
 	"repro/internal/service"
 	"repro/internal/shardedbypass"
 	"repro/internal/store"
 )
+
+// processStart anchors the uptime reported by /stats and /healthz.
+var processStart = time.Now()
+
+// Request IDs: a per-process random prefix plus an atomic counter, so
+// every response (including timeouts and panics) is correlatable in logs
+// without coordination and without math/rand in a pinned-determinism
+// repo. The prefix is drawn once at startup.
+var (
+	ridPrefix  = newRIDPrefix()
+	ridCounter atomic.Uint64
+)
+
+func newRIDPrefix() string {
+	var b [4]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// A broken entropy source should not stop the server; PID keeps
+		// prefixes distinct across processes well enough for logs.
+		return fmt.Sprintf("%08x", os.Getpid())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// newRequestID returns a process-unique request ID like "3fa9c12b-42".
+func newRequestID() string {
+	return fmt.Sprintf("%s-%d", ridPrefix, ridCounter.Add(1))
+}
+
+// ridKey carries the request ID through the request context so every
+// error body can echo it.
+type ridKey struct{}
+
+// requestIDFrom extracts the request ID, "" when the request did not
+// pass through hardened (direct handler tests).
+func requestIDFrom(r *http.Request) string {
+	if r == nil {
+		return ""
+	}
+	id, _ := r.Context().Value(ridKey{}).(string)
+	return id
+}
 
 // errUnknownCollection is the sentinel behind the 404 for routes naming
 // a collection this process does not serve.
@@ -126,6 +175,7 @@ type serveConfig struct {
 	maxBytes    int64
 	multi       bool     // more than one collection: durable state nests under dir/<name>/
 	ann         annSpecs // -ann flags: approximate retrieval tiers per collection
+	obs         *obsv.Registry
 }
 
 // annSpec is one parsed -ann flag: the IVF build/probe parameters for a
@@ -270,6 +320,7 @@ func main() {
 		exportFBIX  = flag.String("export-fbix", "", "name=path: build the named collection's IVF index (per -ann, or defaults) and write it as an FBIX sidecar, then exit")
 		maxVertices = flag.Int("max-vertices", 0, "per-collection Simplex Tree vertex quota; at the bound inserts get 507, reads stay live (0 = unlimited)")
 		maxBytes    = flag.Int64("max-bytes", 0, "per-collection tree heap-footprint quota in bytes; same 507 semantics (0 = unlimited)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints expose internals)")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server.ReadHeaderTimeout (0 disables)")
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server.ReadTimeout (0 disables)")
@@ -291,12 +342,14 @@ func main() {
 			log.Fatalf("fbserve: %v", err)
 		}
 	}
+	reg := obsv.NewRegistry()
+	registerProcessMetrics(reg)
 	cfg := serveConfig{
 		scale: *scale, seed: *seed, k: *k, epsilon: *epsilon,
 		dir: *dir, syncWAL: *syncWAL, compactEach: *compactEach,
 		maxSessions: *maxSessions, iterBudget: *iterBudget, cacheSize: *cacheSize,
 		shards: *shards, maxVertices: *maxVertices, maxBytes: *maxBytes,
-		multi: len(specs) > 1, ann: annFlags,
+		multi: len(specs) > 1, ann: annFlags, obs: reg,
 	}
 
 	if *exportFBMX != "" {
@@ -384,7 +437,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           hardened(newMux(colls, defaultName), timeouts.request),
+		Handler:           hardened(newMux(colls, defaultName, reg, *pprofOn), timeouts.request, reg),
 		ReadHeaderTimeout: timeouts.readHeader,
 		ReadTimeout:       timeouts.read,
 		WriteTimeout:      timeouts.write,
@@ -590,6 +643,12 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 	if err != nil {
 		return fail(err)
 	}
+	// Every instrument this collection registers carries its name, so a
+	// multi-collection process stays separable at the scrape.
+	obsLabels := []obsv.Label{obsv.L("collection", name)}
+	if idx != nil && cfg.obs != nil {
+		idx.Observe(cfg.obs, obsLabels...)
+	}
 	engOpts := engine.Options{}
 	if idx != nil {
 		engOpts.Searcher = idx
@@ -636,8 +695,10 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 		// Durable sharded: shards recover their WALs in parallel while
 		// the server comes up; requests hitting a replaying shard get 503.
 		c.sharded, err = shardedbypass.OpenAsync(dir, codec.D(), codec.P(), treeCfg, shardedbypass.Options{
-			Shards:  cfg.shards,
-			Durable: core.DurableOptions{CompactEvery: cfg.compactEach, Sync: cfg.syncWAL},
+			Shards:    cfg.shards,
+			Durable:   core.DurableOptions{CompactEvery: cfg.compactEach, Sync: cfg.syncWAL},
+			Obs:       cfg.obs,
+			ObsLabels: obsLabels,
 		})
 		if err != nil {
 			return fail(fmt.Errorf("opening sharded module: %w", err))
@@ -656,7 +717,9 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 				name, dir, sharded.NumShards(), sharded.Stats().Points, sharded.Journaled())
 		}(name, c.sharded, dir)
 	case cfg.shards > 1:
-		c.sharded, err = shardedbypass.New(codec.D(), codec.P(), treeCfg, shardedbypass.Options{Shards: cfg.shards})
+		c.sharded, err = shardedbypass.New(codec.D(), codec.P(), treeCfg, shardedbypass.Options{
+			Shards: cfg.shards, Obs: cfg.obs, ObsLabels: obsLabels,
+		})
 		if err != nil {
 			return fail(err)
 		}
@@ -673,6 +736,8 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 		c.durable, err = core.OpenDurable(dir, codec.D(), codec.P(), treeCfg, core.DurableOptions{
 			CompactEvery: cfg.compactEach,
 			Sync:         cfg.syncWAL,
+			Obs:          cfg.obs,
+			ObsLabels:    obsLabels,
 		})
 		if err != nil {
 			return fail(fmt.Errorf("opening durable module: %w", err))
@@ -693,6 +758,8 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 		IterationBudget: cfg.iterBudget,
 		CacheSize:       cfg.cacheSize,
 		DefaultK:        cfg.k,
+		Obs:             cfg.obs,
+		ObsLabels:       obsLabels,
 	})
 	if err != nil {
 		return fail(err)
@@ -748,6 +815,9 @@ type closeResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the X-Request-Id the hardened wrapper assigned;
+	// empty only for handlers mounted without the wrapper (unit tests).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // collectionInfo identifies a collection and its retrieval substrate in
@@ -772,9 +842,88 @@ type collectionStats struct {
 	service.Stats
 }
 
-// statsResponse is the global /stats shape: one block per collection.
+// statsResponse is the global /stats shape: one block per collection
+// plus the process-identity block.
 type statsResponse struct {
+	Server      serverInfo                 `json:"server"`
 	Collections map[string]collectionStats `json:"collections"`
+}
+
+// serverInfo identifies the process behind a /stats or /healthz reply:
+// operators correlate scrapes and incident timelines against the exact
+// build and start time, and a changed PID or start time reveals a
+// restart that load balancers would otherwise hide.
+type serverInfo struct {
+	StartTime     string  `json:"start_time"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+	PID           int     `json:"pid"`
+}
+
+// buildRevision reads the VCS revision stamped into the binary at build
+// time ("" for go test binaries and builds outside a checkout).
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+var buildRev = buildRevision()
+
+func currentServerInfo() serverInfo {
+	return serverInfo{
+		StartTime:     processStart.UTC().Format(time.RFC3339),
+		UptimeSeconds: time.Since(processStart).Seconds(),
+		GoVersion:     runtime.Version(),
+		Revision:      buildRev,
+		PID:           os.Getpid(),
+	}
+}
+
+// registerProcessMetrics exposes process-level runtime series next to
+// the request-path instruments, so one scrape answers both "is it slow"
+// and "is it leaking".
+func registerProcessMetrics(reg *obsv.Registry) {
+	reg.GaugeFunc("fb_process_start_time_seconds",
+		"Unix time the process started.",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+	reg.GaugeFunc("fb_process_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("fb_process_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("fb_process_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
 }
 
 // shardHealth is the slice of the sharded bypass the health endpoint
@@ -804,8 +953,31 @@ func statsFor(c *collection) collectionStats {
 // httptest. Per-collection routes live under /c/<name>/; the bare
 // legacy routes serve defaultName (usually "default") when it is
 // non-empty.
-func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
+func newMux(colls map[string]*collection, defaultName string, reg *obsv.Registry, pprofOn bool) *http.ServeMux {
 	mux := http.NewServeMux()
+
+	// Prometheus text exposition of the whole registry. The output is
+	// staged through a buffer so a marshalling failure never yields a
+	// half-written 200. Nil registry (unit tests) serves an empty page.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			writeError(w, r, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+
+	// Profiling endpoints are opt-in (-pprof): they expose heap contents
+	// and symbol names, so they stay off unless an operator asks.
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 
 	// Global liveness: a failed shard recovery anywhere is terminal
 	// (500); any replaying shard holds traffic (503); otherwise ok with
@@ -818,7 +990,10 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 			st, code := collectionHealth(c)
 			switch code {
 			case http.StatusInternalServerError:
-				writeJSON(w, code, map[string]any{"status": "failed", "collection": name, "error": st["error"]})
+				writeJSON(w, code, map[string]any{
+					"status": "failed", "collection": name, "error": st["error"],
+					"server": currentServerInfo(),
+				})
 				return
 			case http.StatusServiceUnavailable:
 				replaying[name] = st["replaying"].([]int)
@@ -833,6 +1008,7 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"status":    "replaying",
 				"replaying": replaying,
+				"server":    currentServerInfo(),
 			})
 			return
 		}
@@ -845,6 +1021,7 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 				"degraded":    degraded,
 				"collections": len(colls),
 				"sessions":    sessions,
+				"server":      currentServerInfo(),
 			})
 			return
 		}
@@ -852,11 +1029,15 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 			"status":      "ok",
 			"collections": len(colls),
 			"sessions":    sessions,
+			"server":      currentServerInfo(),
 		})
 	})
 
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		out := statsResponse{Collections: make(map[string]collectionStats, len(colls))}
+		out := statsResponse{
+			Server:      currentServerInfo(),
+			Collections: make(map[string]collectionStats, len(colls)),
+		}
 		for name, c := range colls {
 			out.Collections[name] = statsFor(c)
 		}
@@ -869,7 +1050,7 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 		name, op, _ := strings.Cut(rest, "/")
 		c := colls[name]
 		if c == nil {
-			writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", errUnknownCollection, name))
+			writeError(w, r, http.StatusNotFound, fmt.Errorf("%w %q", errUnknownCollection, name))
 			return
 		}
 		serveCollection(c, op, w, r)
@@ -881,7 +1062,7 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 		mux.HandleFunc("/"+op, func(w http.ResponseWriter, r *http.Request) {
 			c := colls[defaultName]
 			if c == nil {
-				writeError(w, http.StatusNotFound,
+				writeError(w, r, http.StatusNotFound,
 					fmt.Errorf("%w: no default collection; use /c/<name>/%s", errUnknownCollection, op))
 				return
 			}
@@ -891,27 +1072,49 @@ func newMux(colls map[string]*collection, defaultName string) *http.ServeMux {
 	return mux
 }
 
-// hardened wraps the route mux with the serving edge's two blanket
+// hardened wraps the route mux with the serving edge's blanket
 // protections: a panic recovery barrier (one handler bug must not kill
 // every collection's sessions with the process) and an optional
 // per-request deadline, delivered to handlers through the request
 // context so the service layer can abort before its expensive stages.
-func hardened(h http.Handler, requestTimeout time.Duration) http.Handler {
+// Every request gets a generated ID — set as the X-Request-Id response
+// header before the handler runs and threaded through the context so
+// error bodies (including the timeout and panic responses this wrapper
+// itself writes) carry it. Panics and expired deadlines are counted in
+// the registry; reg may be nil (counters degrade to no-ops).
+func hardened(h http.Handler, requestTimeout time.Duration, reg *obsv.Registry) http.Handler {
+	panics := reg.Counter("fb_http_panics_total",
+		"HTTP requests that hit the panic recovery barrier.")
+	timeouts := reg.Counter("fb_http_timeouts_total",
+		"HTTP requests whose per-request deadline expired while being served.")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := newRequestID()
+		// Header first: it reaches the client even when the handler later
+		// streams a body or panics after WriteHeader.
+		w.Header().Set("X-Request-Id", rid)
+		ctx := context.WithValue(r.Context(), ridKey{}, rid)
+		if requestTimeout > 0 {
+			tctx, cancel := context.WithTimeout(ctx, requestTimeout)
+			defer cancel()
+			ctx = tctx
+		}
+		r = r.WithContext(ctx)
 		defer func() {
 			if p := recover(); p != nil {
-				log.Printf("fbserve: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				panics.Inc()
+				log.Printf("fbserve: panic serving %s %s (request %s): %v", r.Method, r.URL.Path, rid, p)
 				// Best effort: if the handler already wrote headers this is
 				// a no-op on the status line, but the connection still dies
 				// with the response truncated — which is the right signal.
-				writeError(w, http.StatusInternalServerError, errors.New("internal server error"))
+				writeError(w, r, http.StatusInternalServerError, errors.New("internal server error"))
+				return
+			}
+			if ctx.Err() == context.DeadlineExceeded {
+				// The deadline fired while the handler ran; the handler's
+				// own error path wrote the 503, this just keeps score.
+				timeouts.Inc()
 			}
 		}()
-		if requestTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), requestTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
-		}
 		h.ServeHTTP(w, r)
 	})
 }
@@ -968,7 +1171,7 @@ func serveCollection(c *collection, op string, w http.ResponseWriter, r *http.Re
 	case "close":
 		c.handleClose(w, r)
 	default:
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q for collection %s", op, c.name))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown operation %q for collection %s", op, c.name))
 	}
 }
 
@@ -998,12 +1201,12 @@ func (c *collection) stateResponse(st service.SessionState) stateJSON {
 
 func (c *collection) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		writeError(w, r, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	feature := req.Feature
@@ -1012,18 +1215,18 @@ func (c *collection) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// errors.Is-able store.ErrOutOfRange → 400, never a panic.
 		f, err := c.ds.Feature(*req.Item)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeError(w, r, statusFor(err), err)
 			return
 		}
 		feature = f
 	}
 	if feature == nil {
-		writeError(w, http.StatusBadRequest, errors.New("need item or feature"))
+		writeError(w, r, http.StatusBadRequest, errors.New("need item or feature"))
 		return
 	}
 	st, err := c.svc.Open(r.Context(), feature, req.K)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, c.stateResponse(st))
@@ -1032,12 +1235,12 @@ func (c *collection) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (c *collection) handleSession(w http.ResponseWriter, r *http.Request) {
 	var id uint64
 	if _, err := fmt.Sscan(r.URL.Query().Get("id"), &id); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad session id: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad session id: %w", err))
 		return
 	}
 	st, err := c.svc.Query(r.Context(), id)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, c.stateResponse(st))
@@ -1045,17 +1248,17 @@ func (c *collection) handleSession(w http.ResponseWriter, r *http.Request) {
 
 func (c *collection) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		writeError(w, r, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	var req feedbackRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	st, err := c.svc.Feedback(r.Context(), req.Session, req.Scores)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, c.stateResponse(st))
@@ -1063,17 +1266,17 @@ func (c *collection) handleFeedback(w http.ResponseWriter, r *http.Request) {
 
 func (c *collection) handleClose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		writeError(w, r, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	var req closeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	res, err := c.svc.Close(r.Context(), req.Session)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, closeResponse{
@@ -1159,9 +1362,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError renders an error body carrying the request ID the hardened
+// wrapper minted, so a client holding only the JSON error (not the
+// X-Request-Id header) can still quote the exact request to operators.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	if ra := retryAfterFor(err); ra != "" {
 		w.Header().Set("Retry-After", ra)
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: requestIDFrom(r)})
 }

@@ -60,7 +60,7 @@ func newTestCollection(t *testing.T, name string, seed int64) (*collection, *cor
 func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *core.DurableBypass) {
 	t.Helper()
 	c, durable := newTestCollection(t, "default", 5)
-	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default"))
+	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default", nil, false))
 	t.Cleanup(srv.Close)
 	return srv, c.ds, durable
 }
@@ -352,7 +352,7 @@ func newShardedTestServer(t *testing.T, shards int) (*httptest.Server, *dataset.
 		t.Fatal(err)
 	}
 	c := &collection{name: "default", backend: "heap", ds: ds, svc: svc, sharded: sharded, health: sharded}
-	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default"))
+	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default", nil, false))
 	t.Cleanup(srv.Close)
 	return srv, ds, sharded
 }
@@ -482,7 +482,7 @@ func TestReplayingReturns503(t *testing.T) {
 	}
 	c := &collection{name: "default", backend: "heap", ds: ds, svc: svc,
 		health: &fakeShardHealth{readyShards: []bool{true, false, true}}}
-	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default"))
+	srv := httptest.NewServer(newMux(map[string]*collection{"default": c}, "default", nil, false))
 	defer srv.Close()
 
 	var health struct {
@@ -561,7 +561,7 @@ func TestStatusForMapping(t *testing.T) {
 		}
 		// writeError must put the hint on the wire, not just compute it.
 		rec := httptest.NewRecorder()
-		writeError(rec, tc.want, tc.err)
+		writeError(rec, httptest.NewRequest(http.MethodGet, "/", nil), tc.want, tc.err)
 		if got := rec.Header().Get("Retry-After"); got != tc.retryAfter {
 			t.Errorf("%s: Retry-After header = %q, want %q", tc.name, got, tc.retryAfter)
 		}
@@ -616,7 +616,7 @@ func TestMultiCollectionServing(t *testing.T) {
 	birds, _ := newTestCollection(t, "birds", 5)
 	photos := newMmapTestCollection(t, "photos", birds.ds)
 	colls := map[string]*collection{"birds": birds, "photos": photos}
-	srv := httptest.NewServer(newMux(colls, ""))
+	srv := httptest.NewServer(newMux(colls, "", nil, false))
 	t.Cleanup(srv.Close)
 
 	// Unknown collection → 404 with a JSON error.

@@ -19,9 +19,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/distance"
 	"repro/internal/knn"
+	"repro/internal/obsv"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -122,6 +124,26 @@ type Index struct {
 	scale, offset []float64 // QuantI8 per-dimension dequantization
 
 	close func() error // releases mmap backing, nil when heap-resident
+
+	// Optional instruments (see Observe). All are nil-safe atomics, so
+	// the search path stays lock-free; the rerank clock read is skipped
+	// entirely while rerankH is nil.
+	nprobeH *obsv.Histogram // probe counts per query
+	shortH  *obsv.Histogram // shortlist sizes handed to the exact rerank
+	rerankH *obsv.Histogram // exact-rerank latency
+}
+
+// Observe registers the index's search instruments in reg with the given
+// labels: probe counts, shortlist sizes, and exact-rerank latency. Call
+// before serving; not safe to call concurrently with searches. A nil
+// registry leaves the index uninstrumented (no clock reads on search).
+func (x *Index) Observe(reg *obsv.Registry, labels ...obsv.Label) {
+	if reg == nil {
+		return
+	}
+	x.nprobeH = reg.Histogram("fb_ann_nprobe", "Partitions probed per ANN query.", obsv.CountBounds(), labels...)
+	x.shortH = reg.Histogram("fb_ann_shortlist_size", "Candidates handed to the exact rerank per ANN query.", obsv.CountBounds(), labels...)
+	x.rerankH = reg.Histogram("fb_ann_rerank_seconds", "Exact-rerank latency per ANN query.", obsv.LatencyBounds(), labels...)
 }
 
 // Build trains an IVF index over the backend's rows.
@@ -393,12 +415,24 @@ func (x *Index) SearchNProbe(q []float64, k int, m distance.Metric, nprobe int) 
 }
 
 func (x *Index) searchKern(q []float64, k int, kern distance.Kernel, nprobe int) []knn.Result {
+	x.nprobeH.Observe(float64(nprobe))
 	if nprobe >= x.nlist {
 		return x.rerankRange(q, k, kern, 0, x.n)
 	}
 	probes := x.probeCentroids(q, kern, nprobe)
 	short := x.shortlist(q, k, kern, probes)
-	return x.rerankShortlist(q, k, kern, short)
+	x.shortH.Observe(float64(len(short)))
+	var t0 time.Time
+	if x.rerankH != nil {
+		// The wall clock never feeds a distance computation or result
+		// ordering — it only times the rerank for the metrics plane.
+		t0 = time.Now() //fbvet:ok observability: rerank latency histogram, no effect on kernel output
+	}
+	res := x.rerankShortlist(q, k, kern, short)
+	if x.rerankH != nil {
+		x.rerankH.ObserveSince(t0)
+	}
+	return res
 }
 
 // probeCentroids returns the nprobe partitions whose centroids are

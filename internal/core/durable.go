@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/persist"
 	"repro/internal/simplextree"
 )
@@ -46,6 +48,14 @@ type DurableOptions struct {
 	// fault-injection plane (internal/faultfs) substitutes scripted
 	// failures here.
 	FS persist.FS
+	// Obs, when non-nil, registers persistence instruments (WAL append
+	// and fsync latency, snapshot duration) in the given registry, each
+	// carrying ObsLabels. Nil disables instrumentation entirely — the
+	// hot paths then take no clock readings.
+	Obs *obsv.Registry
+	// ObsLabels are attached to every instrument this module registers
+	// (typically collection and shard).
+	ObsLabels []obsv.Label
 }
 
 // DurableBypass is a Bypass whose learned mapping survives crashes: every
@@ -76,6 +86,7 @@ type DurableBypass struct {
 	snapPath  string
 	journaled int // inserts journaled since the last compaction
 	opts      DurableOptions
+	snapH     *obsv.Histogram // optional: compaction snapshot duration
 
 	// degMu guards degraded separately from mu: the WAL observer that
 	// flips it runs under the tree's exclusive lock while mu is already
@@ -149,6 +160,13 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 		snapPath:  snapPath,
 		journaled: replayed,
 		opts:      opts,
+	}
+	if opts.Obs != nil {
+		wal.SetMetrics(
+			opts.Obs.Histogram("fb_wal_append_seconds", "WAL append latency (encode + write + any per-append fsync).", obsv.LatencyBounds(), opts.ObsLabels...),
+			opts.Obs.Histogram("fb_wal_fsync_seconds", "WAL fsync latency.", obsv.LatencyBounds(), opts.ObsLabels...),
+		)
+		db.snapH = opts.Obs.Histogram("fb_snapshot_seconds", "Compaction snapshot duration (write + fsync + rename + journal reset).", obsv.LatencyBounds(), opts.ObsLabels...)
 	}
 	// Journal every accepted insert before the tree mutates (the
 	// observer runs under the tree's exclusive lock, after the insert is
@@ -281,6 +299,10 @@ func (db *DurableBypass) compactLocked() error {
 }
 
 func (db *DurableBypass) compactOnceLocked() error {
+	var t0 time.Time
+	if db.snapH != nil {
+		t0 = time.Now()
+	}
 	tmp := db.snapPath + ".tmp"
 	f, err := persist.CreateFile(db.fs, tmp)
 	if err != nil {
@@ -314,6 +336,9 @@ func (db *DurableBypass) compactOnceLocked() error {
 		return err
 	}
 	db.journaled = 0
+	if db.snapH != nil {
+		db.snapH.ObserveSince(t0)
+	}
 	return nil
 }
 

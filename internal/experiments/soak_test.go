@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+func TestRunSoakSmall(t *testing.T) {
+	cfg := SoakConfig{
+		Seed:        1,
+		Scale:       0.05,
+		K:           5,
+		Epsilon:     0.05,
+		Clients:     2,
+		Duration:    300 * time.Millisecond,
+		SampleEvery: 50 * time.Millisecond,
+	}
+	res, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions == 0 {
+		t.Fatal("soak completed no sessions")
+	}
+	if res.Ops < res.Sessions*2 {
+		t.Fatalf("ops %d < 2 per session (%d sessions): every session is at least Open+Close", res.Ops, res.Sessions)
+	}
+	if len(res.Samples) < 2 {
+		t.Fatalf("got %d samples, want >= 2 (interval + terminal)", len(res.Samples))
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Sessions != res.Sessions {
+		t.Fatalf("terminal sample sessions %d != total %d", last.Sessions, res.Sessions)
+	}
+	if last.HeapAllocBytes == 0 || last.Goroutines == 0 {
+		t.Fatalf("runtime fields empty: %+v", last)
+	}
+
+	// Budgets: both rows present, monotone (500ms admits at least the
+	// 100ms cohort), fractions in [0, 1].
+	if len(res.Budgets) != 2 || res.Budgets[0].BudgetSecs != 0.1 || res.Budgets[1].BudgetSecs != 0.5 {
+		t.Fatalf("budgets = %+v", res.Budgets)
+	}
+	if res.Budgets[1].Sessions < res.Budgets[0].Sessions {
+		t.Fatalf("budget rows not monotone: %+v", res.Budgets)
+	}
+	for _, b := range res.Budgets {
+		if b.Fraction < 0 || b.Fraction > 1 {
+			t.Fatalf("fraction out of range: %+v", b)
+		}
+	}
+
+	// The registry snapshot rode along, and the op latencies were read
+	// from it.
+	if res.Metrics == nil {
+		t.Fatal("no registry snapshot in result")
+	}
+	if m := res.Metrics.Find("fb_service_requests_total", obsv.L("op", "open"), obsv.L("outcome", "ok")); m == nil || m.Value == 0 {
+		t.Fatalf("open/ok counter = %+v", m)
+	}
+	var sawOpen bool
+	for _, ol := range res.OpLatencies {
+		if ol.Op == "open" {
+			sawOpen = true
+			if ol.Count == 0 || !(ol.P50Secs <= ol.P95Secs && ol.P95Secs <= ol.P99Secs) {
+				t.Fatalf("open latency row inconsistent: %+v", ol)
+			}
+		}
+	}
+	if !sawOpen {
+		t.Fatalf("no open row in op latencies: %+v", res.OpLatencies)
+	}
+}
+
+func TestRunSoakValidation(t *testing.T) {
+	bad := []SoakConfig{
+		{Scale: 0, K: 5, Clients: 1, Duration: time.Second},
+		{Scale: 0.1, K: 0, Clients: 1, Duration: time.Second},
+		{Scale: 0.1, K: 5, Clients: 0, Duration: time.Second},
+		{Scale: 0.1, K: 5, Clients: 1, Duration: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := RunSoak(cfg); err == nil {
+			t.Errorf("config %d: want error, got nil", i)
+		}
+	}
+}

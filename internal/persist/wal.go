@@ -32,6 +32,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
+
+	"repro/internal/obsv"
 )
 
 var walMagic = [4]byte{'F', 'B', 'W', 'L'}
@@ -57,6 +60,9 @@ type WAL struct {
 	off     int64  // offset just past the last valid record
 	sync    bool   // fsync after every append
 	broken  error  // set when a failed append could not be rolled back
+
+	appendH *obsv.Histogram // optional: whole-append latency
+	fsyncH  *obsv.Histogram // optional: fsync latency (per-append and explicit)
 }
 
 func walRecordSize(dim, oqpDim int) int { return 8*(dim+oqpDim) + 4 }
@@ -140,6 +146,16 @@ func OpenWALFS(fsys FS, path string, dim, oqpDim int) (*WAL, error) {
 // SetSyncOnAppend makes every Append fsync before acknowledging, giving
 // power-loss durability per record instead of process-kill durability.
 func (w *WAL) SetSyncOnAppend(sync bool) { w.sync = sync }
+
+// SetMetrics attaches optional latency histograms: appendH observes the
+// full Append (encode + write + any per-append fsync), fsyncH observes
+// every fsync (per-append and explicit Sync). Either may be nil; with
+// both nil the hot path takes no clock readings at all. Not safe to
+// call concurrently with Append — wire metrics up before serving.
+func (w *WAL) SetMetrics(appendH, fsyncH *obsv.Histogram) {
+	w.appendH = appendH
+	w.fsyncH = fsyncH
+}
 
 // writeHeader writes the log header at the current (zero) offset.
 func (w *WAL) writeHeader() error {
@@ -234,6 +250,10 @@ func (w *WAL) Append(q, value []float64) error {
 	if len(value) != w.oqpDim {
 		return fmt.Errorf("persist: WAL append value has dimension %d, want %d", len(value), w.oqpDim)
 	}
+	var t0 time.Time
+	if w.appendH != nil {
+		t0 = time.Now()
+	}
 	off := 0
 	for _, x := range q {
 		binary.LittleEndian.PutUint64(w.buf[off:], math.Float64bits(x))
@@ -248,13 +268,28 @@ func (w *WAL) Append(q, value []float64) error {
 		return w.rollback(err)
 	}
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.syncTimed(); err != nil {
 			return w.rollback(err)
 		}
 	}
 	w.off += int64(len(w.buf))
 	w.records++
+	if w.appendH != nil {
+		w.appendH.ObserveSince(t0)
+	}
 	return nil
+}
+
+// syncTimed fsyncs the log, observing the latency when a metrics
+// histogram is attached.
+func (w *WAL) syncTimed() error {
+	if w.fsyncH == nil {
+		return w.f.Sync()
+	}
+	t0 := time.Now()
+	err := w.f.Sync()
+	w.fsyncH.ObserveSince(t0)
+	return err
 }
 
 // rollback restores the log to the last record boundary after a failed
@@ -283,7 +318,7 @@ func (w *WAL) Records() int { return w.records }
 func (w *WAL) Size() int64 { return w.off }
 
 // Sync flushes the log to stable storage.
-func (w *WAL) Sync() error { return w.f.Sync() }
+func (w *WAL) Sync() error { return w.syncTimed() }
 
 // Reset truncates the log back to an empty header — the log-compaction
 // step after the tree state has been captured in a snapshot. A

@@ -37,11 +37,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/feedback"
 	"repro/internal/knn"
+	"repro/internal/obsv"
 	"repro/internal/shardedbypass"
 	"repro/internal/simplextree"
 	"repro/internal/vec"
@@ -115,6 +117,15 @@ type Options struct {
 	// DefaultK is the result-list size used when Open is called with
 	// k <= 0. Default 10.
 	DefaultK int
+	// Obs, when non-nil, registers the serving-layer instruments
+	// (request latency histograms, per-outcome request counters, cache
+	// hit/miss counters, live-session and cache-size gauges) in the
+	// given registry. Nil disables instrumentation: the request path
+	// then takes no clock readings at all.
+	Obs *obsv.Registry
+	// ObsLabels are attached to every instrument the service registers
+	// (typically the collection name).
+	ObsLabels []obsv.Label
 }
 
 func (o *Options) fill() {
@@ -164,6 +175,102 @@ type Service struct {
 	// itself completed normally — only the learning was lost.
 	quotaRejects    atomic.Int64
 	degradedRejects atomic.Int64
+
+	met *svcMetrics // nil when Options.Obs is nil
+}
+
+// Request-path operations and outcomes, indexing the pre-created
+// instrument arrays of svcMetrics so the hot path never allocates or
+// hashes a label set.
+const (
+	opOpen = iota
+	opFeedback
+	opClose
+	opQuery
+	opPredict
+	numOps
+)
+
+var opNames = [numOps]string{"open", "feedback", "close", "query", "predict"}
+
+const (
+	outOK = iota
+	outInvalid
+	outOverloaded
+	outNotFound
+	outCanceled
+	outDeadline
+	outQuota
+	outDegraded
+	outReplaying
+	outError
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{
+	"ok", "invalid_argument", "overloaded", "not_found", "canceled",
+	"deadline_exceeded", "quota_exceeded", "degraded", "replaying", "error",
+}
+
+// classifyOutcome maps a request error to its outcome bucket using the
+// same sentinel taxonomy transports use for HTTP status codes.
+func classifyOutcome(err error) int {
+	switch {
+	case err == nil:
+		return outOK
+	case errors.Is(err, ErrInvalidArgument), errors.Is(err, core.ErrOutOfDomain):
+		return outInvalid
+	case errors.Is(err, ErrOverloaded):
+		return outOverloaded
+	case errors.Is(err, ErrSessionNotFound):
+		return outNotFound
+	case errors.Is(err, context.Canceled):
+		return outCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return outDeadline
+	case errors.Is(err, core.ErrQuotaExceeded):
+		return outQuota
+	case errors.Is(err, core.ErrDegraded):
+		return outDegraded
+	case errors.Is(err, shardedbypass.ErrReplaying):
+		return outReplaying
+	default:
+		return outError
+	}
+}
+
+// svcMetrics holds every pre-created serving-layer instrument. Creating
+// them once at New time keeps the request path allocation-free: an
+// observation is two atomic adds plus (for histograms) a CAS loop.
+type svcMetrics struct {
+	lat       [numOps]*obsv.Histogram
+	req       [numOps][numOutcomes]*obsv.Counter
+	cacheHit  *obsv.Counter
+	cacheMiss *obsv.Counter
+}
+
+func newSvcMetrics(reg *obsv.Registry, labels []obsv.Label) *svcMetrics {
+	m := &svcMetrics{}
+	for op := 0; op < numOps; op++ {
+		ls := append(append([]obsv.Label(nil), labels...), obsv.L("op", opNames[op]))
+		m.lat[op] = reg.Histogram("fb_service_request_seconds", "Serving-layer request latency by operation.", obsv.LatencyBounds(), ls...)
+		for out := 0; out < numOutcomes; out++ {
+			rls := append(append([]obsv.Label(nil), ls...), obsv.L("outcome", outcomeNames[out]))
+			m.req[op][out] = reg.Counter("fb_service_requests_total", "Serving-layer requests by operation and outcome.", rls...)
+		}
+	}
+	m.cacheHit = reg.Counter("fb_service_cache_requests_total", "Prediction-cache lookups by result.",
+		append(append([]obsv.Label(nil), labels...), obsv.L("result", "hit"))...)
+	m.cacheMiss = reg.Counter("fb_service_cache_requests_total", "Prediction-cache lookups by result.",
+		append(append([]obsv.Label(nil), labels...), obsv.L("result", "miss"))...)
+	return m
+}
+
+// done records one finished request: latency into the op's histogram and
+// a count into the (op, outcome) counter.
+func (m *svcMetrics) done(op int, t0 time.Time, err error) {
+	m.lat[op].ObserveSince(t0)
+	m.req[op][classifyOutcome(err)].Inc()
 }
 
 // session is one user's in-flight interactive loop.
@@ -229,6 +336,21 @@ func New(eng *engine.Engine, byp Bypass, opts Options) (*Service, error) {
 	}
 	if opts.CacheSize > 0 {
 		s.cache = newPredictionCache(opts.CacheSize, shards)
+	}
+	if opts.Obs != nil {
+		s.met = newSvcMetrics(opts.Obs, opts.ObsLabels)
+		opts.Obs.GaugeFunc("fb_service_sessions_active", "Sessions currently open.", func() float64 {
+			s.mu.RLock()
+			n := len(s.sessions)
+			s.mu.RUnlock()
+			return float64(n)
+		}, opts.ObsLabels...)
+		opts.Obs.GaugeFunc("fb_service_cache_entries", "Prediction-cache entries resident.", func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.Len())
+		}, opts.ObsLabels...)
 	}
 	return s, nil
 }
@@ -297,13 +419,25 @@ func (sess *session) stateLocked() SessionState {
 // tree at all.
 func (s *Service) predict(qp []float64) (core.OQP, bool, error) {
 	s.predictions.Add(1)
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	if s.cache == nil {
 		oqp, err := s.byp.Predict(qp)
+		if s.met != nil {
+			s.met.done(opPredict, t0, err)
+			s.met.cacheMiss.Inc()
+		}
 		return oqp, false, err
 	}
 	sig := engine.QuerySignature(qp)
 	if oqp, ok := s.cache.Get(sig, qp); ok {
 		s.cacheHits.Add(1)
+		if s.met != nil {
+			s.met.done(opPredict, t0, nil)
+			s.met.cacheHit.Inc()
+		}
 		return oqp, true, nil
 	}
 	// The shard is the signature reduced mod S (the pinned partition
@@ -315,6 +449,10 @@ func (s *Service) predict(qp []float64) (core.OQP, bool, error) {
 	}
 	gen := s.cache.Generation(shard)
 	oqp, err := s.byp.Predict(qp)
+	if s.met != nil {
+		s.met.done(opPredict, t0, err)
+		s.met.cacheMiss.Inc()
+	}
 	if err != nil {
 		return core.OQP{}, false, err
 	}
@@ -351,6 +489,16 @@ func isDefaultOQP(oqp core.OQP) bool {
 // context.DeadlineExceeded), so transports can map client disconnects
 // and deadline overruns distinctly.
 func (s *Service) Open(ctx context.Context, feature []float64, k int) (SessionState, error) {
+	if s.met == nil {
+		return s.open(ctx, feature, k)
+	}
+	t0 := time.Now()
+	st, err := s.open(ctx, feature, k)
+	s.met.done(opOpen, t0, err)
+	return st, err
+}
+
+func (s *Service) open(ctx context.Context, feature []float64, k int) (SessionState, error) {
 	if err := ctx.Err(); err != nil {
 		return SessionState{}, err
 	}
@@ -449,6 +597,16 @@ func (s *Service) lookup(id uint64) (*session, error) {
 
 // Query returns the session's current state without advancing it.
 func (s *Service) Query(ctx context.Context, id uint64) (SessionState, error) {
+	if s.met == nil {
+		return s.query(ctx, id)
+	}
+	t0 := time.Now()
+	st, err := s.query(ctx, id)
+	s.met.done(opQuery, t0, err)
+	return st, err
+}
+
+func (s *Service) query(ctx context.Context, id uint64) (SessionState, error) {
 	if err := ctx.Err(); err != nil {
 		return SessionState{}, err
 	}
@@ -471,6 +629,16 @@ func (s *Service) Query(ctx context.Context, id uint64) (SessionState, error) {
 // exhausted iteration budget — is returned unchanged with Converged set;
 // the client should Close it.
 func (s *Service) Feedback(ctx context.Context, id uint64, scores []float64) (SessionState, error) {
+	if s.met == nil {
+		return s.feedback(ctx, id, scores)
+	}
+	t0 := time.Now()
+	st, err := s.feedback(ctx, id, scores)
+	s.met.done(opFeedback, t0, err)
+	return st, err
+}
+
+func (s *Service) feedback(ctx context.Context, id uint64, scores []float64) (SessionState, error) {
 	if err := ctx.Err(); err != nil {
 		return SessionState{}, err
 	}
@@ -553,6 +721,16 @@ type CloseResult struct {
 // commits to removing the session it finishes the insert even if the
 // client disconnects, so a learned outcome is never dropped halfway.
 func (s *Service) Close(ctx context.Context, id uint64) (CloseResult, error) {
+	if s.met == nil {
+		return s.closeSession(ctx, id)
+	}
+	t0 := time.Now()
+	res, err := s.closeSession(ctx, id)
+	s.met.done(opClose, t0, err)
+	return res, err
+}
+
+func (s *Service) closeSession(ctx context.Context, id uint64) (CloseResult, error) {
 	if err := ctx.Err(); err != nil {
 		return CloseResult{}, err
 	}

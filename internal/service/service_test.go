@@ -16,7 +16,7 @@ import (
 
 // newTestService builds a small IMSI-like collection and a service over a
 // fresh in-memory Bypass — the identical wiring cmd/fbserve performs.
-func newTestService(t *testing.T, opts Options) (*Service, *dataset.Dataset) {
+func newTestService(t testing.TB, opts Options) (*Service, *dataset.Dataset) {
 	t.Helper()
 	ds, err := dataset.Build(imagegen.IMSILike(7, 0.03), histogram.DefaultExtractor)
 	if err != nil {

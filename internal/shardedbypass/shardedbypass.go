@@ -36,11 +36,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obsv"
 	"repro/internal/persist"
 	"repro/internal/simplextree"
 )
@@ -68,6 +71,15 @@ type Options struct {
 	// CompactEvery is per shard: S shards compact independently, each
 	// after its own CompactEvery journaled inserts.
 	Durable core.DurableOptions
+	// Obs, when non-nil, registers per-shard instruments (insert
+	// latency histograms, tree-size and WAL-size gauges) and is
+	// propagated into each shard's DurableOptions for the WAL and
+	// snapshot histograms. Every instrument carries ObsLabels plus a
+	// shard="N" label.
+	Obs *obsv.Registry
+	// ObsLabels are attached to every instrument this module registers
+	// (typically the collection name).
+	ObsLabels []obsv.Label
 }
 
 // shard is one partition: an independent Bypass plus its durability and
@@ -80,6 +92,44 @@ type shard struct {
 	durable *core.DurableBypass // nil in memory mode
 	err     error               // recovery failure, set before ready closes
 	inserts atomic.Int64        // accepted (tree-changing) inserts since open
+	insertH *obsv.Histogram     // optional: per-shard insert latency
+}
+
+// observe registers this shard's instruments in reg. The gauge callbacks
+// tolerate every shard state: they report zero until recovery settles
+// and after a recovery failure.
+func (p *shard) observe(reg *obsv.Registry, labels []obsv.Label) {
+	if reg == nil {
+		return
+	}
+	ls := append(append([]obsv.Label(nil), labels...), obsv.L("shard", strconv.Itoa(p.id)))
+	p.insertH = reg.Histogram("fb_shard_insert_seconds", "Per-shard bypass insert latency (tree insert + WAL append).", obsv.LatencyBounds(), ls...)
+	live := func() bool {
+		select {
+		case <-p.ready:
+			return p.err == nil
+		default:
+			return false
+		}
+	}
+	reg.GaugeFunc("fb_tree_points", "Simplex Tree stored points per shard.", func() float64 {
+		if !live() {
+			return 0
+		}
+		return float64(p.byp.Stats().Points)
+	}, ls...)
+	reg.GaugeFunc("fb_tree_depth", "Simplex Tree depth per shard.", func() float64 {
+		if !live() {
+			return 0
+		}
+		return float64(p.byp.Stats().Depth)
+	}, ls...)
+	reg.GaugeFunc("fb_wal_bytes", "Journal on-disk size per shard (recovery debt).", func() float64 {
+		if !live() || p.durable == nil {
+			return 0
+		}
+		return float64(p.durable.WALSize())
+	}, ls...)
 }
 
 // Sharded is an S-way partitioned bypass. It satisfies the serving
@@ -161,6 +211,7 @@ func New(d, p int, cfg core.Config, opts Options) (*Sharded, error) {
 		ready := make(chan struct{})
 		close(ready)
 		sh.shards[i] = &shard{id: i, ready: ready, byp: b}
+		sh.shards[i].observe(opts.Obs, opts.ObsLabels)
 	}
 	return sh, nil
 }
@@ -233,12 +284,18 @@ func OpenAsync(dir string, d, p int, cfg core.Config, opts Options) (*Sharded, e
 	sh := &Sharded{d: d, p: p, dir: dir, shards: make([]*shard, s)}
 	for i := range sh.shards {
 		sh.shards[i] = &shard{id: i, ready: make(chan struct{})}
+		sh.shards[i].observe(opts.Obs, opts.ObsLabels)
 	}
 	for _, p0 := range sh.shards {
 		go func(p0 *shard) {
 			defer close(p0.ready)
 			sd := shardDir(dir, p0.id)
-			db, err := core.OpenDurable(sd, d, p, shardCfg, opts.Durable)
+			dopts := opts.Durable
+			if opts.Obs != nil {
+				dopts.Obs = opts.Obs
+				dopts.ObsLabels = append(append([]obsv.Label(nil), opts.ObsLabels...), obsv.L("shard", strconv.Itoa(p0.id)))
+			}
+			db, err := core.OpenDurable(sd, d, p, shardCfg, dopts)
 			if err != nil {
 				p0.err = fmt.Errorf("shardedbypass: shard %d: %w", p0.id, err)
 				return
@@ -370,6 +427,10 @@ func (s *Sharded) Predict(q []float64) (core.OQP, error) {
 // insert applies one insert to a live shard through its durable write
 // path when present.
 func (p *shard) insert(q []float64, oqp core.OQP) (bool, error) {
+	var t0 time.Time
+	if p.insertH != nil {
+		t0 = time.Now()
+	}
 	var (
 		changed bool
 		err     error
@@ -381,6 +442,9 @@ func (p *shard) insert(q []float64, oqp core.OQP) (bool, error) {
 	}
 	if changed {
 		p.inserts.Add(1)
+	}
+	if p.insertH != nil {
+		p.insertH.ObserveSince(t0)
 	}
 	return changed, err
 }

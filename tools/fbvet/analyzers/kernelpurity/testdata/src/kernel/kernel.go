@@ -43,3 +43,23 @@ func sliceOrdered(xs []float64) float64 {
 func waivedClock() time.Time {
 	return time.Now() //fbvet:ok fixture: wall clock feeds a log line, not a kernel result
 }
+
+// hist mimics an observability latency histogram: the waived clock read
+// below is the instrumentation shape internal/ann uses — guarded by a
+// nil check so disabled instrumentation takes no clock reads, and never
+// feeding a kernel result.
+type hist struct{}
+
+func (h *hist) observeSince(time.Time) {}
+
+func timedSection(h *hist) float64 {
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now() //fbvet:ok fixture: latency histogram observation, no effect on kernel output
+	}
+	out := unfused(1, 2, 3)
+	if h != nil {
+		h.observeSince(t0)
+	}
+	return out
+}
