@@ -385,7 +385,7 @@ func BenchmarkWALAppend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v[0] = float64(i)
-		if err := wal.Append(q, v); err != nil {
+		if err := wal.Append(q, v, uint64(i+1)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), store (heap vs mmap feature-store backends), chaos (fault-injection: crash-schedule sweep, degraded-mode and quota governance), ann (IVF approximate tier: recall/latency/bandwidth sweep over nlist, nprobe and quantization), or soak (duration-bounded load with registry/runtime sampling and interactivity-budget report)")
+		figure   = flag.String("figure", "all", "figure to regenerate: all, 1, 9, 10, 11, 12, 13, 14, 15, 16, knn (retrieval-core micro-benchmark), tree (Simplex Tree concurrency/throughput series), serve (closed-loop multi-session serving benchmark), shard (sharded bypass plane sweep over S=1/2/4/8), store (heap vs mmap feature-store backends), chaos (fault-injection: crash-schedule sweep, degraded-mode and quota governance), ann (IVF approximate tier: recall/latency/bandwidth sweep over nlist, nprobe and quantization), soak (duration-bounded load with registry/runtime sampling and interactivity-budget report), or lifecycle (bypass aging: drifting soak with aging on vs off, plus a compaction crash-schedule sweep on both durable layouts)")
 		scale    = flag.Float64("scale", 0.3, "collection scale (1 = the paper's ~10,000 images)")
 		queries  = flag.Int("queries", 700, "training queries to process")
 		k        = flag.Int("k", 15, "results per query (paper: 50)")
@@ -53,6 +53,10 @@ func main() {
 		soakDur     = flag.Duration("soak-duration", 10*time.Second, "soak figure: run length")
 		soakClients = flag.Int("soak-clients", 8, "soak figure: closed-loop client count")
 		soakSample  = flag.Duration("soak-sample", time.Second, "soak figure: registry/runtime sampling interval")
+
+		lcInserts = flag.Int("lifecycle-inserts", 0, "lifecycle figure: drifting inserts per soak mode (0 = default)")
+		lcHorizon = flag.Int("lifecycle-horizon", 0, "lifecycle figure: aging horizon in logical inserts (0 = default)")
+		lcCompact = flag.Int("lifecycle-compact-every", 0, "lifecycle figure: inserts between aging compactions (0 = default)")
 	)
 	flag.Parse()
 
@@ -122,6 +126,12 @@ func main() {
 	}
 	if *figure == "soak" {
 		runSoakBench(*scale, *k, *seed, *epsilon, *soakClients, *soakDur, *soakSample)
+		writeReport(*jsonPath)
+		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *figure == "lifecycle" {
+		runLifecycleBench(*seed, *lcInserts, uint64(*lcHorizon), *lcCompact)
 		writeReport(*jsonPath)
 		fmt.Printf("# total %.1fs\n", time.Since(start).Seconds())
 		return
@@ -198,16 +208,17 @@ func main() {
 
 // jsonReport accumulates everything printed for the -json flag.
 type jsonReport struct {
-	Meta   reportMeta                 `json:"meta"`
-	Series map[string][]jsonSeries    `json:"series,omitempty"`
-	KNN    map[string]knnBenchResult  `json:"knn,omitempty"`
-	Tree   map[string]treeBenchResult `json:"tree,omitempty"`
-	Serve  *experiments.ServeResult   `json:"serve,omitempty"`
-	Shard  *experiments.ShardResult   `json:"shard,omitempty"`
-	Store  *experiments.StoreResult   `json:"store,omitempty"`
-	Chaos  *experiments.ChaosResult   `json:"chaos,omitempty"`
-	ANN    *experiments.ANNResult     `json:"ann,omitempty"`
-	Soak   *experiments.SoakResult    `json:"soak,omitempty"`
+	Meta      reportMeta                   `json:"meta"`
+	Series    map[string][]jsonSeries      `json:"series,omitempty"`
+	KNN       map[string]knnBenchResult    `json:"knn,omitempty"`
+	Tree      map[string]treeBenchResult   `json:"tree,omitempty"`
+	Serve     *experiments.ServeResult     `json:"serve,omitempty"`
+	Shard     *experiments.ShardResult     `json:"shard,omitempty"`
+	Store     *experiments.StoreResult     `json:"store,omitempty"`
+	Chaos     *experiments.ChaosResult     `json:"chaos,omitempty"`
+	ANN       *experiments.ANNResult       `json:"ann,omitempty"`
+	Soak      *experiments.SoakResult      `json:"soak,omitempty"`
+	Lifecycle *experiments.LifecycleResult `json:"lifecycle,omitempty"`
 }
 
 type reportMeta struct {
@@ -499,7 +510,7 @@ func runTreeBench(queries int, epsilon float64, seed int64) {
 	defer wal.Close()
 	t0 = time.Now()
 	for i := 0; i < points; i++ {
-		if err := wal.Append(insertQs[i], insertVs[i]); err != nil {
+		if err := wal.Append(insertQs[i], insertVs[i], uint64(i+1)); err != nil {
 			fail(err)
 		}
 	}
@@ -748,6 +759,54 @@ func runChaosBench(seed int64) {
 	fmt.Println()
 	if report != nil {
 		report.Chaos = &res
+	}
+}
+
+// runLifecycleBench runs the bypass-lifecycle figure: the drifting soak
+// with aging+compaction against an aging-off control (bounded memory at
+// stable hit rate vs unbounded growth), then the compaction
+// crash-schedule sweep on both durable layouts (recovery must land on a
+// pre- or post-compaction census bitwise — never a hybrid).
+func runLifecycleBench(seed int64, inserts int, horizon uint64, compactEvery int) {
+	cfg := experiments.DefaultLifecycleConfig()
+	cfg.Seed = seed
+	if inserts > 0 {
+		cfg.Inserts = inserts
+	}
+	if horizon > 0 {
+		cfg.AgeHorizon = horizon
+	}
+	if compactEvery > 0 {
+		cfg.CompactEvery = compactEvery
+	}
+	header(fmt.Sprintf("Lifecycle: aging horizon %d, compaction every %d of %d drifting inserts (D=%d P=%d)",
+		cfg.AgeHorizon, cfg.CompactEvery, cfg.Inserts, cfg.D, cfg.P))
+	res, err := experiments.RunLifecycle(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("# drifting soak: query window moves across the simplex; old vertices stop being reinforced")
+	for _, s := range []experiments.LifecycleSeries{res.Aging, res.Control} {
+		fmt.Printf("\n# mode %s (horizon %d): %d compactions reclaimed %d vertices; peak %d points, final %d\n",
+			s.Mode, s.AgeHorizon, s.Compactions, s.Reclaimed, s.PeakPoints, s.FinalPoints)
+		fmt.Printf("%-10s %10s %12s %12s %12s %9s\n", "inserts", "points", "bytes(KB)", "heap(MB)", "rss(MB)", "hit-rate")
+		for _, p := range s.Samples {
+			fmt.Printf("%-10d %10d %12.1f %12.1f %12.1f %8.1f%%\n",
+				p.Inserts, p.Points, float64(p.SizeBytes)/1024,
+				float64(p.HeapAllocBytes)/(1<<20), float64(p.RSSBytes)/(1<<20), 100*p.HitRate)
+		}
+	}
+	fmt.Println("\n# compaction crash sweep: one fresh module + injected kill per mutating fs op, recovery checked against the healthy census sequence")
+	fmt.Printf("%-14s %13s %10s %10s %8s %10s %10s\n",
+		"layout", "crash-points", "rec-fail", "acked-lost", "hybrid", "post-comp", "in-flight")
+	for _, sweep := range []experiments.LifecycleCrashSweep{res.SingleTree, res.Sharded} {
+		fmt.Printf("%-14s %13d %10d %10d %8d %10d %10d\n",
+			sweep.Layout, sweep.CrashPoints, sweep.RecoveryFailures, sweep.AckedLost,
+			sweep.HybridStates, sweep.PostCompaction, sweep.InFlightReplayed)
+	}
+	fmt.Println()
+	if report != nil {
+		report.Lifecycle = &res
 	}
 }
 

@@ -173,6 +173,7 @@ type serveConfig struct {
 	shards      int
 	maxVertices int
 	maxBytes    int64
+	ageHorizon  uint64
 	multi       bool     // more than one collection: durable state nests under dir/<name>/
 	ann         annSpecs // -ann flags: approximate retrieval tiers per collection
 	obs         *obsv.Registry
@@ -320,6 +321,8 @@ func main() {
 		exportFBIX  = flag.String("export-fbix", "", "name=path: build the named collection's IVF index (per -ann, or defaults) and write it as an FBIX sidecar, then exit")
 		maxVertices = flag.Int("max-vertices", 0, "per-collection Simplex Tree vertex quota; at the bound inserts get 507, reads stay live (0 = unlimited)")
 		maxBytes    = flag.Int64("max-bytes", 0, "per-collection tree heap-footprint quota in bytes; same 507 semantics (0 = unlimited)")
+		ageHorizon  = flag.Uint64("age-horizon", 0, "reclaim vertices not reinforced within this many accepted inserts; compaction drops them (0 = aging off)")
+		compactInt  = flag.Duration("compact-interval", 0, "run an aging compaction pass over every collection at this interval (0 = only on quota pressure)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints expose internals)")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server.ReadHeaderTimeout (0 disables)")
@@ -349,7 +352,8 @@ func main() {
 		dir: *dir, syncWAL: *syncWAL, compactEach: *compactEach,
 		maxSessions: *maxSessions, iterBudget: *iterBudget, cacheSize: *cacheSize,
 		shards: *shards, maxVertices: *maxVertices, maxBytes: *maxBytes,
-		multi: len(specs) > 1, ann: annFlags, obs: reg,
+		ageHorizon: *ageHorizon,
+		multi:      len(specs) > 1, ann: annFlags, obs: reg,
 	}
 
 	if *exportFBMX != "" {
@@ -454,6 +458,42 @@ func main() {
 		}
 	}()
 
+	// Scheduled lifecycle compaction: every -compact-interval each
+	// collection rebuilds its tree(s), dropping vertices not reinforced
+	// within -age-horizon; the service layer invalidates exactly the
+	// shards whose pass reclaimed something. Quota-pressure compaction
+	// inside the store fires regardless — the ticker bounds memory
+	// proactively instead of waiting for 507s.
+	compactDone := make(chan struct{})
+	if *compactInt > 0 {
+		go func() {
+			ticker := time.NewTicker(*compactInt)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-compactDone:
+					return
+				case <-ticker.C:
+					for _, name := range order {
+						stats, err := colls[name].svc.CompactAged(context.Background())
+						if err != nil && !errors.Is(err, service.ErrNotCompactable) {
+							log.Printf("fbserve: %s: compaction: %v", name, err)
+						}
+						var before, after, reclaimed int
+						for _, st := range stats {
+							before += st.Before
+							after += st.After
+							reclaimed += st.Reclaimed
+						}
+						if reclaimed > 0 {
+							log.Printf("%s: aging compaction reclaimed %d vertices (%d -> %d)", name, reclaimed, before, after)
+						}
+					}
+				}
+			}
+		}()
+	}
+
 	// Graceful shutdown: stop accepting, drain every collection's
 	// sessions (inserting their converged outcomes), then make each
 	// collection's learned state durable and release its backend.
@@ -461,6 +501,7 @@ func main() {
 	defer stop()
 	<-ctx.Done()
 	log.Print("shutting down ...")
+	close(compactDone)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -664,6 +705,7 @@ func buildCollection(name, spec string, cfg serveConfig) (*collection, error) {
 	treeCfg := core.Config{
 		Epsilon: cfg.epsilon, DefaultWeights: codec.DefaultWeights(),
 		MaxVertices: cfg.maxVertices, MaxBytes: cfg.maxBytes,
+		AgeHorizon: cfg.ageHorizon,
 	}
 
 	dir := cfg.dir

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/simplextree"
@@ -81,13 +83,26 @@ type Config struct {
 	// MaxBytes bounds the tree's approximate heap footprint
 	// (simplextree.Tree.SizeBytes); zero is unbounded.
 	MaxBytes int64
+	// AgeHorizon enables the lifecycle plane: a vertex not inserted or
+	// reinforced (touched by a prediction over its leaf) within this many
+	// logical ticks of the tree clock becomes reclaimable by CompactAged.
+	// Zero disables aging entirely — the read path then takes no stamp
+	// writes and the module behaves bitwise like one without a lifecycle.
+	AgeHorizon uint64
 }
 
 // Bypass is the FeedbackBypass module: a learned Mopt with Predict and
 // Insert, exactly the interface of Figure 5.
+//
+// The tree is held behind an atomic pointer so CompactAged can swap in a
+// rebuilt tree without stalling readers: predictions run against
+// whichever tree they loaded, writes serialize on insMu against the
+// swap so no accepted insert can land in a tree that is about to be
+// discarded.
 type Bypass struct {
-	tree *simplextree.Tree
-	d, p int
+	tree  atomic.Pointer[simplextree.Tree]
+	insMu sync.Mutex // serializes Insert/InsertBatch against CompactAged's swap
+	d, p  int
 }
 
 // New creates a module for a D-dimensional query domain and P distance
@@ -118,11 +133,14 @@ func New(d, p int, cfg Config) (*Bypass, error) {
 		Tol:         cfg.Tol,
 		MaxVertices: cfg.MaxVertices,
 		MaxBytes:    cfg.MaxBytes,
+		AgeHorizon:  cfg.AgeHorizon,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Bypass{tree: tree, d: d, p: p}, nil
+	b := &Bypass{d: d, p: p}
+	b.tree.Store(tree)
+	return b, nil
 }
 
 // FromTree wraps an existing Simplex Tree (e.g. one loaded from disk) as a
@@ -135,7 +153,9 @@ func FromTree(tree *simplextree.Tree, p int) (*Bypass, error) {
 	if tree.OQPDim() != d+p {
 		return nil, fmt.Errorf("core: tree stores %d-vectors, want D+P = %d+%d", tree.OQPDim(), d, p)
 	}
-	return &Bypass{tree: tree, d: d, p: p}, nil
+	b := &Bypass{d: d, p: p}
+	b.tree.Store(tree)
+	return b, nil
 }
 
 // D returns the query-domain dimensionality.
@@ -145,14 +165,16 @@ func (b *Bypass) D() int { return b.d }
 func (b *Bypass) P() int { return b.p }
 
 // Tree exposes the underlying Simplex Tree (for persistence and stats).
-func (b *Bypass) Tree() *simplextree.Tree { return b.tree }
+// After a CompactAged the returned tree is the rebuilt one; callers must
+// not cache the pointer across compactions.
+func (b *Bypass) Tree() *simplextree.Tree { return b.tree.Load() }
 
 // Predict returns the OQPs for query point q — the Mopt method of
 // Figure 5. Weight validity (positivity etc.) is the codec's concern at
 // decode time, since the stored parameterization is codec-defined.
 // Predictions are pure reads and run in parallel.
 func (b *Bypass) Predict(q []float64) (OQP, error) {
-	raw, err := b.tree.Predict(q)
+	raw, err := b.Tree().Predict(q)
 	if err != nil {
 		return OQP{}, err
 	}
@@ -163,7 +185,7 @@ func (b *Bypass) Predict(q []float64) (OQP, error) {
 // (the Figure 16 traversal series) alongside the OQPs.
 func (b *Bypass) PredictWithStats(q []float64) (OQP, simplextree.PredictStats, error) {
 	raw := make([]float64, b.d+b.p)
-	st, err := b.tree.PredictInto(raw, q)
+	st, err := b.Tree().PredictInto(raw, q)
 	if err != nil {
 		return OQP{}, st, err
 	}
@@ -177,7 +199,7 @@ func (b *Bypass) PredictWithStats(q []float64) (OQP, simplextree.PredictStats, e
 // query) the successful entries are still returned, with zero OQPs at
 // the failed indices.
 func (b *Bypass) PredictBatch(qs [][]float64) ([]OQP, error) {
-	raws, _, err := b.tree.PredictBatch(qs)
+	raws, _, err := b.Tree().PredictBatch(qs)
 	out := make([]OQP, len(raws))
 	for i, raw := range raws {
 		if raw == nil {
@@ -205,7 +227,9 @@ func (b *Bypass) Insert(q []float64, oqp OQP) (bool, error) {
 	if !vec.IsFinite(oqp.Delta) || !vec.IsFinite(oqp.Weights) {
 		return false, errors.New("core: OQP contains non-finite values")
 	}
-	return b.tree.Insert(q, oqp.Encode())
+	b.insMu.Lock()
+	defer b.insMu.Unlock()
+	return b.Tree().Insert(q, oqp.Encode())
 }
 
 // InsertBatch stores many converged feedback outcomes under one
@@ -230,11 +254,44 @@ func (b *Bypass) InsertBatch(qs [][]float64, oqps []OQP) (stored int, err error)
 		}
 		values[i] = oqp.Encode()
 	}
-	return b.tree.InsertBatch(qs, values)
+	b.insMu.Lock()
+	defer b.insMu.Unlock()
+	return b.Tree().InsertBatch(qs, values)
 }
 
 // Stats reports the shape of the underlying Simplex Tree.
-func (b *Bypass) Stats() simplextree.Stats { return b.tree.Stats() }
+func (b *Bypass) Stats() simplextree.Stats { return b.Tree().Stats() }
+
+// CompactionStats reports one tree's aged compaction: the vertex census
+// before and after, and the number reclaimed (aged out or ε-absorbed).
+type CompactionStats struct {
+	Before    int `json:"before"`
+	After     int `json:"after"`
+	Reclaimed int `json:"reclaimed"`
+}
+
+// CompactAged rebuilds the in-memory tree keeping only the vertices
+// still alive under the configured age horizon and swaps it in, freeing
+// the memory of everything reclaimed. Predictions racing the swap finish
+// against whichever tree they loaded; inserts serialize against it. The
+// one-element slice matches the sharded module's per-shard shape so
+// serving layers handle both uniformly.
+//
+// A DurableBypass must NOT be compacted through this method (its own
+// CompactAged shadows it): a memory-only swap would diverge from the
+// snapshot + WAL on disk, and the next recovery would resurrect every
+// reclaimed vertex.
+func (b *Bypass) CompactAged() ([]CompactionStats, error) {
+	b.insMu.Lock()
+	defer b.insMu.Unlock()
+	tree := b.Tree()
+	nt, st, err := tree.RebuildAged(tree.AgeHorizon())
+	if err != nil {
+		return nil, err
+	}
+	b.tree.Store(nt)
+	return []CompactionStats{{Before: st.Before, After: st.After, Reclaimed: st.Reclaimed}}, nil
+}
 
 // HistogramCodec translates between the retrieval engine's world —
 // full normalized histograms of Bins dimensions with Bins distance weights

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obsv"
@@ -84,9 +85,21 @@ type DurableBypass struct {
 	fs        persist.FS
 	wal       *persist.WAL
 	snapPath  string
-	journaled int // inserts journaled since the last compaction
+	journaled int    // inserts journaled since the last compaction
+	epoch     uint64 // current compaction epoch (snapshot and WAL agree)
 	opts      DurableOptions
 	snapH     *obsv.Histogram // optional: compaction snapshot duration
+
+	// Lifecycle instruments (nil without DurableOptions.Obs).
+	compactionsC *obsv.Counter   // fb_bypass_compactions_total
+	reclaimedC   *obsv.Counter   // fb_bypass_reclaimed_vertices_total
+	compactH     *obsv.Histogram // fb_bypass_compaction_seconds
+	pointsBefG   *obsv.Gauge     // fb_bypass_compaction_points_before
+	pointsAftG   *obsv.Gauge     // fb_bypass_compaction_points_after
+
+	// Lifecycle counters for Stats/ShardInfo exposure.
+	compactions atomic.Uint64
+	reclaimed   atomic.Uint64
 
 	// degMu guards degraded separately from mu: the WAL observer that
 	// flips it runs under the tree's exclusive lock while mu is already
@@ -112,11 +125,13 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 	walPath := filepath.Join(dir, JournalFile)
 
 	var b *Bypass
+	var snapEpoch uint64
 	if _, err := fsys.Stat(snapPath); err == nil {
-		tree, err := persist.LoadFileFS(fsys, snapPath)
+		tree, epoch, err := persist.LoadFileEpochFS(fsys, snapPath)
 		if err != nil {
 			return nil, fmt.Errorf("core: loading snapshot: %w", err)
 		}
+		snapEpoch = epoch
 		b, err = FromTree(tree, p)
 		if err != nil {
 			return nil, err
@@ -142,8 +157,51 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 	if err != nil {
 		return nil, err
 	}
-	replayed, err := wal.Replay(func(q, value []float64) error {
-		_, ierr := tree.Insert(q, value)
+	// Epoch reconciliation: the journal extends exactly the snapshot
+	// whose epoch it carries.
+	//
+	//   wal == snap  — the normal pair: replay the journal.
+	//   wal <  snap  — a crash hit between the snapshot rename and the
+	//                  journal reset: every journaled record is already
+	//                  inside the (newer) snapshot. Discard the stale
+	//                  journal; recovery lands on the post-compaction
+	//                  census. A crash *during* the reset (torn header)
+	//                  reopens as a fresh epoch-0 journal with no records
+	//                  and reconciles the same way.
+	//   wal >  snap  — impossible under the protocol (the snapshot's
+	//                  rename is directory-fsynced before the journal
+	//                  moves to its epoch): the snapshot was lost or
+	//                  swapped behind our back. Refuse.
+	switch walEpoch := wal.Epoch(); {
+	case walEpoch == snapEpoch:
+		// The normal pair; fall through to replay.
+	case wal.Records() == 0:
+		// No journaled inserts: adopting the snapshot's epoch loses
+		// nothing regardless of which side is ahead (this is also the
+		// torn-reset recovery path).
+		if err := wal.Reset(snapEpoch); err != nil {
+			_ = wal.Close()
+			return nil, fmt.Errorf("core: reconciling journal epoch: %w", err)
+		}
+	case walEpoch < snapEpoch:
+		if err := wal.Reset(snapEpoch); err != nil {
+			_ = wal.Close()
+			return nil, fmt.Errorf("core: discarding stale journal: %w", err)
+		}
+	default:
+		_ = wal.Close()
+		return nil, fmt.Errorf("%w: journal epoch %d is ahead of snapshot epoch %d", persist.ErrCorrupt, walEpoch, snapEpoch)
+	}
+	replayed, err := wal.Replay(func(q, value []float64, stamp uint64) error {
+		// Legacy (version-1) records predate stamps: replay them as fresh
+		// inserts so they age from the current clock instead of appearing
+		// infinitely old.
+		var ierr error
+		if stamp == 0 {
+			_, ierr = tree.Insert(q, value)
+		} else {
+			_, ierr = tree.InsertStamped(q, value, stamp)
+		}
 		return ierr
 	})
 	if err != nil {
@@ -153,12 +211,16 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 	// Recovery done; from here on cfg's quotas bind new inserts. A tree
 	// already past a lowered bound serves reads and rejects growth.
 	tree.SetQuota(cfg.MaxVertices, cfg.MaxBytes)
+	// The aging horizon is serving policy, not persisted state: apply the
+	// configured value to whatever tree recovery produced.
+	tree.SetAgeHorizon(cfg.AgeHorizon)
 	db := &DurableBypass{
 		Bypass:    b,
 		fs:        fsys,
 		wal:       wal,
 		snapPath:  snapPath,
 		journaled: replayed,
+		epoch:     wal.Epoch(),
 		opts:      opts,
 	}
 	if opts.Obs != nil {
@@ -167,6 +229,11 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 			opts.Obs.Histogram("fb_wal_fsync_seconds", "WAL fsync latency.", obsv.LatencyBounds(), opts.ObsLabels...),
 		)
 		db.snapH = opts.Obs.Histogram("fb_snapshot_seconds", "Compaction snapshot duration (write + fsync + rename + journal reset).", obsv.LatencyBounds(), opts.ObsLabels...)
+		db.compactionsC = opts.Obs.Counter("fb_bypass_compactions_total", "Aged tree compactions (rebuild + snapshot + swap) completed.", opts.ObsLabels...)
+		db.reclaimedC = opts.Obs.Counter("fb_bypass_reclaimed_vertices_total", "Vertices reclaimed by aged compactions (aged out or ε-absorbed).", opts.ObsLabels...)
+		db.compactH = opts.Obs.Histogram("fb_bypass_compaction_seconds", "Aged compaction duration (rebuild + snapshot + journal reset + swap).", obsv.LatencyBounds(), opts.ObsLabels...)
+		db.pointsBefG = opts.Obs.Gauge("fb_bypass_compaction_points_before", "Distinct vertices entering the last aged compaction.", opts.ObsLabels...)
+		db.pointsAftG = opts.Obs.Gauge("fb_bypass_compaction_points_after", "Distinct vertices surviving the last aged compaction.", opts.ObsLabels...)
 	}
 	// Journal every accepted insert before the tree mutates (the
 	// observer runs under the tree's exclusive lock, after the insert is
@@ -177,14 +244,20 @@ func OpenDurable(dir string, d, p int, cfg Config, opts DurableOptions) (*Durabl
 	// read-only degraded mode; client-side errors (dimension mismatch,
 	// out-of-domain queries, quota) never reach this hook.
 	wal.SetSyncOnAppend(opts.Sync)
-	tree.SetObserver(func(q, value []float64) error {
-		if err := db.wal.Append(q, value); err != nil {
+	db.attachObserver(tree)
+	return db, nil
+}
+
+// attachObserver wires the journaling hook to tree. CompactAged re-wires
+// it onto each rebuilt tree it swaps in.
+func (db *DurableBypass) attachObserver(tree *simplextree.Tree) {
+	tree.SetObserver(func(q, value []float64, stamp uint64) error {
+		if err := db.wal.Append(q, value, stamp); err != nil {
 			db.noteDegraded(err)
 			return err
 		}
 		return nil
 	})
-	return db, nil
 }
 
 // Degraded reports the sticky persistence failure that flipped the
@@ -217,6 +290,16 @@ func (db *DurableBypass) Insert(q []float64, oqp OQP) (bool, error) {
 	before := db.wal.Records()
 	changed, err := db.Bypass.Insert(q, oqp)
 	db.journaled += db.wal.Records() - before
+	if err != nil && db.retryAfterQuotaLocked(err) {
+		// Quota pressure with aging enabled: compact, then give the
+		// insert the one retry the reclaimed space earned. The module
+		// changed durably even if the retry is ε-skipped, so report
+		// changed=true either way (caches over this tree must refresh).
+		before = db.wal.Records()
+		_, err = db.Bypass.Insert(q, oqp)
+		db.journaled += db.wal.Records() - before
+		changed = true
+	}
 	if err != nil {
 		// If the failure was the journal append itself, the module just
 		// flipped degraded; report the joined error so callers can match
@@ -227,6 +310,20 @@ func (db *DurableBypass) Insert(q []float64, oqp OQP) (bool, error) {
 		return changed, err
 	}
 	return changed, db.maybeCompactLocked()
+}
+
+// retryAfterQuotaLocked implements compact-then-retry: when an insert
+// bounced off a quota and aging is enabled, run one aged compaction and
+// report whether it reclaimed anything (a retry without reclamation
+// would bounce identically). Compaction errors are swallowed here — the
+// caller returns the original quota error, and a persistence failure has
+// already flipped the module degraded for the retry to discover.
+func (db *DurableBypass) retryAfterQuotaLocked(err error) bool {
+	if !errors.Is(err, ErrQuotaExceeded) || db.Tree().AgeHorizon() == 0 {
+		return false
+	}
+	st, cerr := db.compactAgedLocked()
+	return cerr == nil && st.Reclaimed > 0
 }
 
 // InsertBatch durably stores many outcomes under one exclusive-lock
@@ -240,6 +337,17 @@ func (db *DurableBypass) InsertBatch(qs [][]float64, oqps []OQP) (int, error) {
 	before := db.wal.Records()
 	stored, err := db.Bypass.InsertBatch(qs, oqps)
 	db.journaled += db.wal.Records() - before
+	if err != nil && db.retryAfterQuotaLocked(err) {
+		// The batch stopped at the first pair over quota with earlier
+		// pairs applied; after a fruitful compaction, re-running the
+		// whole batch is safe (applied pairs re-skip by ε/duplicate
+		// idempotence) and picks up where the quota cut it off.
+		before = db.wal.Records()
+		more, rerr := db.Bypass.InsertBatch(qs, oqps)
+		db.journaled += db.wal.Records() - before
+		stored += more
+		err = rerr
+	}
 	if err != nil {
 		if derr := db.Degraded(); derr != nil {
 			return stored, derr
@@ -303,12 +411,30 @@ func (db *DurableBypass) compactOnceLocked() error {
 	if db.snapH != nil {
 		t0 = time.Now()
 	}
+	if err := db.persistSwapLocked(db.Tree()); err != nil {
+		return err
+	}
+	if db.snapH != nil {
+		db.snapH.ObserveSince(t0)
+	}
+	return nil
+}
+
+// persistSwapLocked makes tree the module's durable state under the next
+// compaction epoch: write it to a temporary snapshot, fsync, atomically
+// rename it over the current snapshot, fsync the directory entry, then
+// reset the journal to the new epoch. Every crash point leaves a
+// recoverable (snapshot, journal) pair — before the rename recovery sees
+// the old pair, after it the stale-journal reconciliation discards the
+// pre-compaction records the new snapshot already contains.
+func (db *DurableBypass) persistSwapLocked(tree *simplextree.Tree) error {
+	newEpoch := db.epoch + 1
 	tmp := db.snapPath + ".tmp"
 	f, err := persist.CreateFile(db.fs, tmp)
 	if err != nil {
 		return err
 	}
-	if err := persist.Save(f, db.Tree()); err != nil {
+	if err := persist.SaveEpoch(f, tree, newEpoch); err != nil {
 		_ = f.Close()
 		_ = db.fs.Remove(tmp)
 		return err
@@ -332,14 +458,87 @@ func (db *DurableBypass) compactOnceLocked() error {
 	if err := db.fs.SyncDir(filepath.Dir(db.snapPath)); err != nil {
 		return err
 	}
-	if err := db.wal.Reset(); err != nil {
+	if err := db.wal.Reset(newEpoch); err != nil {
 		return err
 	}
+	db.epoch = newEpoch
 	db.journaled = 0
-	if db.snapH != nil {
-		db.snapH.ObserveSince(t0)
-	}
 	return nil
+}
+
+// CompactAged rebuilds the tree keeping only vertices alive under the
+// configured age horizon, persists the rebuilt tree as the new snapshot
+// (same atomic rename + journal reset discipline as Compact), and swaps
+// it in. Until the swap, predictions and the snapshot both come from the
+// old tree, so a crash at any point recovers either the full
+// pre-compaction census or the exact rebuilt one — never a hybrid.
+// Persistence failures flip the module to degraded read-only mode, like
+// any failed compaction. The one-element slice matches the sharded
+// module's per-shard shape.
+func (db *DurableBypass) CompactAged() ([]CompactionStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.Degraded(); err != nil {
+		return nil, err
+	}
+	st, err := db.compactAgedLocked()
+	if err != nil {
+		return nil, err
+	}
+	return []CompactionStats{st}, nil
+}
+
+func (db *DurableBypass) compactAgedLocked() (CompactionStats, error) {
+	var t0 time.Time
+	if db.compactH != nil {
+		t0 = time.Now()
+	}
+	tree := db.Tree()
+	nt, rst, err := tree.RebuildAged(tree.AgeHorizon())
+	if err != nil {
+		// A rebuild failure is deterministic geometry, not a persistence
+		// failure: the module stays healthy on its current tree.
+		return CompactionStats{}, fmt.Errorf("core: aged rebuild: %w", err)
+	}
+	if err := db.persistSwapLocked(nt); err != nil {
+		db.noteDegraded(err)
+		return CompactionStats{}, db.Degraded()
+	}
+	// The rebuilt tree is durable and the journal restarted at its epoch:
+	// publish it. The swap holds insMu so a misrouted direct
+	// Bypass.Insert cannot land in the tree being retired; the retired
+	// tree's observer is detached so late readers of it cannot journal.
+	db.attachObserver(nt)
+	db.insMu.Lock()
+	db.tree.Store(nt)
+	db.insMu.Unlock()
+	tree.SetObserver(nil)
+	st := CompactionStats{Before: rst.Before, After: rst.After, Reclaimed: rst.Reclaimed}
+	db.compactions.Add(1)
+	db.reclaimed.Add(uint64(rst.Reclaimed))
+	if db.compactionsC != nil {
+		db.compactionsC.Inc()
+		db.reclaimedC.Add(uint64(rst.Reclaimed))
+		db.pointsBefG.Set(float64(rst.Before))
+		db.pointsAftG.Set(float64(rst.After))
+		db.compactH.ObserveSince(t0)
+	}
+	return st, nil
+}
+
+// Compactions reports the number of aged compactions completed since
+// open; Reclaimed the total vertices they reclaimed.
+func (db *DurableBypass) Compactions() uint64 { return db.compactions.Load() }
+
+// Reclaimed reports the total vertices reclaimed by aged compactions
+// since open.
+func (db *DurableBypass) Reclaimed() uint64 { return db.reclaimed.Load() }
+
+// Epoch reports the module's current compaction epoch.
+func (db *DurableBypass) Epoch() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.epoch
 }
 
 // Close flushes and closes the journal. The module must not be used

@@ -6,20 +6,28 @@
 // Format (little-endian):
 //
 //	magic   [4]byte  "FBSX"
-//	version uint32   currently 1
+//	version uint32   1 or 2
 //	dim     uint32   query-domain dimensionality D
 //	oqpDim  uint32   stored-vector dimensionality N
 //	epsilon float64
 //	tol     float64
 //	points  uint32   stored-point counter
+//	epoch   uint64   (version 2 only) compaction epoch
+//	clock   uint64   (version 2 only) logical insert clock
 //	nVerts  uint32   vertex table size
-//	  vertex: D float64 point, N float64 value      (× nVerts)
+//	  vertex: D float64 point, N float64 value,
+//	          stamp uint64 (version 2 only)         (× nVerts)
 //	node (recursive, pre-order):
 //	  verts    [D+1]int32
 //	  nChild   uint32            0 for leaves
 //	  if inner: split int32, mu [D+1]float64,
 //	            then per child: replaced int32, node
 //	crc32   uint32   IEEE checksum of everything before it
+//
+// Version 2 adds the lifecycle-plane fields: the compaction epoch pairs
+// the snapshot with the WAL that extends it, the clock and per-vertex
+// stamps carry the logical ages that aging decisions are made from.
+// Version 1 files load with epoch, clock, and all stamps zero.
 package persist
 
 import (
@@ -37,8 +45,9 @@ import (
 
 var magic = [4]byte{'F', 'B', 'S', 'X'}
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version. Version-1 files remain
+// loadable (their lifecycle fields read as zero).
+const Version = 2
 
 // maxSaneCount bounds table sizes read from untrusted files so a corrupt
 // length prefix cannot trigger an enormous allocation.
@@ -47,8 +56,16 @@ const maxSaneCount = 1 << 28
 // ErrCorrupt is wrapped by all errors caused by malformed input files.
 var ErrCorrupt = errors.New("persist: corrupt file")
 
-// Save writes the tree to w.
+// Save writes the tree to w with compaction epoch 0. Use SaveEpoch when
+// the snapshot must pair with an epoch-stamped WAL.
 func Save(w io.Writer, tree *simplextree.Tree) error {
+	return SaveEpoch(w, tree, 0)
+}
+
+// SaveEpoch writes the tree to w, stamping the snapshot with the given
+// compaction epoch (recovery matches it against the WAL header's epoch
+// to detect a stale pre-compaction journal).
+func SaveEpoch(w io.Writer, tree *simplextree.Tree, epoch uint64) error {
 	if tree == nil {
 		return errors.New("persist: nil tree")
 	}
@@ -62,7 +79,8 @@ func Save(w io.Writer, tree *simplextree.Tree) error {
 	}
 	if err := writeAll(mw,
 		uint32(Version), uint32(snap.Dim), uint32(snap.OQPDim),
-		snap.Epsilon, snap.Tol, uint32(snap.Points), uint32(len(snap.Vertices)),
+		snap.Epsilon, snap.Tol, uint32(snap.Points),
+		epoch, snap.Clock, uint32(len(snap.Vertices)),
 	); err != nil {
 		return err
 	}
@@ -71,6 +89,9 @@ func Save(w io.Writer, tree *simplextree.Tree) error {
 			return err
 		}
 		if err := writeFloats(mw, v.Value); err != nil {
+			return err
+		}
+		if err := writeAll(mw, v.Stamp); err != nil {
 			return err
 		}
 	}
@@ -101,26 +122,42 @@ func SaveFile(path string, tree *simplextree.Tree) error {
 // Load reads a tree from r, verifying the checksum and every structural
 // invariant.
 func Load(r io.Reader) (*simplextree.Tree, error) {
+	tree, _, err := LoadWithEpoch(r)
+	return tree, err
+}
+
+// LoadWithEpoch is Load returning also the compaction epoch stamped in
+// the snapshot (0 for version-1 files, which predate epochs).
+func LoadWithEpoch(r io.Reader) (*simplextree.Tree, uint64, error) {
 	crc := crc32.NewIEEE()
 	br := &checksumReader{r: bufio.NewReader(r), h: crc}
 
 	var gotMagic [4]byte
 	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading magic: %w", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: reading magic: %w", ErrCorrupt, err)
 	}
 	if gotMagic != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic[:])
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, gotMagic[:])
 	}
 	var version, dim, oqpDim, points, nVerts uint32
 	var epsilon, tol float64
-	if err := readAll(br, &version, &dim, &oqpDim, &epsilon, &tol, &points, &nVerts); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
+	var epoch, clock uint64
+	if err := readAll(br, &version, &dim, &oqpDim, &epsilon, &tol, &points); err != nil {
+		return nil, 0, fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
 	}
-	if version != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	if version < 1 || version > Version {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	}
+	if version >= 2 {
+		if err := readAll(br, &epoch, &clock); err != nil {
+			return nil, 0, fmt.Errorf("%w: reading lifecycle header: %w", ErrCorrupt, err)
+		}
+	}
+	if err := readAll(br, &nVerts); err != nil {
+		return nil, 0, fmt.Errorf("%w: reading vertex count: %w", ErrCorrupt, err)
 	}
 	if dim == 0 || dim > maxSaneCount || oqpDim == 0 || oqpDim > maxSaneCount || nVerts > maxSaneCount {
-		return nil, fmt.Errorf("%w: implausible header (D=%d N=%d verts=%d)", ErrCorrupt, dim, oqpDim, nVerts)
+		return nil, 0, fmt.Errorf("%w: implausible header (D=%d N=%d verts=%d)", ErrCorrupt, dim, oqpDim, nVerts)
 	}
 	snap := &simplextree.Snapshot{
 		Dim:     int(dim),
@@ -128,37 +165,44 @@ func Load(r io.Reader) (*simplextree.Tree, error) {
 		Epsilon: epsilon,
 		Tol:     tol,
 		Points:  int(points),
+		Clock:   clock,
 	}
 	for i := uint32(0); i < nVerts; i++ {
 		point, err := readFloats(br, int(dim))
 		if err != nil {
-			return nil, fmt.Errorf("%w: vertex %d point: %w", ErrCorrupt, i, err)
+			return nil, 0, fmt.Errorf("%w: vertex %d point: %w", ErrCorrupt, i, err)
 		}
 		value, err := readFloats(br, int(oqpDim))
 		if err != nil {
-			return nil, fmt.Errorf("%w: vertex %d value: %w", ErrCorrupt, i, err)
+			return nil, 0, fmt.Errorf("%w: vertex %d value: %w", ErrCorrupt, i, err)
 		}
-		snap.Vertices = append(snap.Vertices, simplextree.SnapshotVertex{Point: point, Value: value})
+		var stamp uint64
+		if version >= 2 {
+			if err := readAll(br, &stamp); err != nil {
+				return nil, 0, fmt.Errorf("%w: vertex %d stamp: %w", ErrCorrupt, i, err)
+			}
+		}
+		snap.Vertices = append(snap.Vertices, simplextree.SnapshotVertex{Point: point, Value: value, Stamp: stamp})
 	}
 	root, err := readNode(br, int(dim), 0)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	snap.Root = root
 	wantSum := crc.Sum32()
 	var gotSum uint32
 	// The trailing checksum is read outside the checksummed stream.
 	if err := binary.Read(br.r, binary.LittleEndian, &gotSum); err != nil {
-		return nil, fmt.Errorf("%w: reading checksum: %w", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: reading checksum: %w", ErrCorrupt, err)
 	}
 	if gotSum != wantSum {
-		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, gotSum, wantSum)
+		return nil, 0, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, gotSum, wantSum)
 	}
 	tree, err := simplextree.FromSnapshot(snap)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
-	return tree, nil
+	return tree, epoch, nil
 }
 
 // LoadFile reads a tree from the named file.
@@ -168,12 +212,19 @@ func LoadFile(path string) (*simplextree.Tree, error) {
 
 // LoadFileFS is LoadFile reading through fs (nil means OSFS).
 func LoadFileFS(fsys FS, path string) (*simplextree.Tree, error) {
+	tree, _, err := LoadFileEpochFS(fsys, path)
+	return tree, err
+}
+
+// LoadFileEpochFS is LoadFileFS returning also the snapshot's compaction
+// epoch (0 for version-1 files).
+func LoadFileEpochFS(fsys FS, path string) (*simplextree.Tree, uint64, error) {
 	f, err := OpenRead(fsys, path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadWithEpoch(f)
 }
 
 const maxTreeDepth = 1 << 20 // recursion guard against cyclic/corrupt files

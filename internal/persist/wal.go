@@ -10,13 +10,24 @@ package persist
 //
 //	header:
 //	  magic   [4]byte  "FBWL"
-//	  version uint32   currently 1
+//	  version uint32   1 or 2
 //	  dim     uint32   query-domain dimensionality D
 //	  oqpDim  uint32   stored-vector dimensionality N
-//	record (fixed size, repeated):
+//	  epoch   uint64   (version 2 only) compaction epoch of the module
+//	record (fixed size per version, repeated):
 //	  q       [D]float64
 //	  value   [N]float64
-//	  crc32   uint32   IEEE checksum of the record's q+value bytes
+//	  stamp   uint64   (version 2 only) logical insert timestamp
+//	  crc32   uint32   IEEE checksum of the record bytes before it
+//
+// Version 2 is the lifecycle-plane format: the header's epoch pairs the
+// log with the snapshot it extends (a log whose epoch trails the
+// snapshot's is a stale pre-compaction journal and is discarded on
+// recovery), and each record carries the logical timestamp its vertex
+// was stamped with, so replay reconstructs ages bitwise. Version 1 logs
+// (no epoch, no stamps) remain fully replayable — records surface with
+// stamp 0 and the log keeps appending in its own format until the next
+// Reset rewrites it as version 2.
 //
 // Records carry the same CRC-32/IEEE checksum the snapshot format uses,
 // but per record, so a torn final write (a crash mid-append) is
@@ -27,6 +38,7 @@ package persist
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -39,10 +51,20 @@ import (
 
 var walMagic = [4]byte{'F', 'B', 'W', 'L'}
 
-// WALVersion is the current log format version.
-const WALVersion = 1
+// WALVersion is the current log format version, written by every fresh
+// header. Version 1 logs are still read (see the format comment).
+const WALVersion = 2
 
-const walHeaderSize = 4 + 4 + 4 + 4
+const (
+	walHeaderSizeV1 = 4 + 4 + 4 + 4
+	walHeaderSizeV2 = walHeaderSizeV1 + 8
+)
+
+// errTornWALHeader marks a file too short to hold its own header — the
+// signature of a crash during header creation or mid-Reset. It wraps
+// ErrCorrupt for readers; the open path rewrites the header instead
+// (a file that short holds no records, so nothing is lost).
+var errTornWALHeader = fmt.Errorf("%w: torn WAL header", ErrCorrupt)
 
 // WAL is an append-only insert journal for one Simplex Tree. Appends are
 // single unbuffered writes, so every record acknowledged by Append has
@@ -55,6 +77,8 @@ type WAL struct {
 	path    string
 	dim     int
 	oqpDim  int
+	version uint32 // on-disk format of this log (v1 until a Reset upgrades it)
+	epoch   uint64 // header epoch (0 for v1 logs)
 	buf     []byte // reused record encoding buffer
 	records int    // valid records on disk
 	off     int64  // offset just past the last valid record
@@ -65,7 +89,20 @@ type WAL struct {
 	fsyncH  *obsv.Histogram // optional: fsync latency (per-append and explicit)
 }
 
-func walRecordSize(dim, oqpDim int) int { return 8*(dim+oqpDim) + 4 }
+func walHeaderSize(version uint32) int {
+	if version >= 2 {
+		return walHeaderSizeV2
+	}
+	return walHeaderSizeV1
+}
+
+func walRecordSize(version uint32, dim, oqpDim int) int {
+	size := 8*(dim+oqpDim) + 4
+	if version >= 2 {
+		size += 8 // stamp
+	}
+	return size
+}
 
 // OpenWAL opens (or creates) the write-ahead log at path for trees of
 // query dimension dim and OQP dimension oqpDim. An existing log is
@@ -89,23 +126,19 @@ func OpenWALFS(fsys FS, path string, dim, oqpDim int) (*WAL, error) {
 		return nil, err
 	}
 	w := &WAL{
-		fs:     fsys,
-		f:      f,
-		path:   path,
-		dim:    dim,
-		oqpDim: oqpDim,
-		buf:    make([]byte, walRecordSize(dim, oqpDim)),
+		fs:      fsys,
+		f:       f,
+		path:    path,
+		dim:     dim,
+		oqpDim:  oqpDim,
+		version: WALVersion,
 	}
 	info, err := f.Stat()
 	if err != nil {
 		_ = f.Close()
 		return nil, err
 	}
-	if info.Size() < walHeaderSize {
-		// Empty file, or a header torn by a crash during creation (or
-		// during Reset, between the truncate and the header rewrite). A
-		// file this short cannot hold records, so nothing is lost:
-		// rewrite the header instead of reporting corruption.
+	rewriteFresh := func() (*WAL, error) {
 		if err := f.Truncate(0); err != nil {
 			_ = f.Close()
 			return nil, err
@@ -118,10 +151,23 @@ func OpenWALFS(fsys FS, path string, dim, oqpDim int) (*WAL, error) {
 			_ = f.Close()
 			return nil, err
 		}
-		w.off = walHeaderSize
+		w.off = int64(walHeaderSize(w.version))
+		w.buf = make([]byte, walRecordSize(w.version, dim, oqpDim))
 		return w, nil
 	}
-	validEnd, records, err := scanWAL(f, dim, oqpDim)
+	if info.Size() < walHeaderSizeV1 {
+		// Empty file, or a header torn by a crash during creation (or
+		// during Reset, between the truncate and the header rewrite). A
+		// file this short cannot hold records, so nothing is lost:
+		// rewrite the header instead of reporting corruption.
+		return rewriteFresh()
+	}
+	validEnd, records, version, epoch, err := scanWAL(f, dim, oqpDim)
+	if errors.Is(err, errTornWALHeader) {
+		// A version-2 header torn after its fixed prefix: still too short
+		// for records, same recovery.
+		return rewriteFresh()
+	}
 	if err != nil {
 		_ = f.Close()
 		return nil, err
@@ -138,6 +184,9 @@ func OpenWALFS(fsys FS, path string, dim, oqpDim int) (*WAL, error) {
 		_ = f.Close()
 		return nil, err
 	}
+	w.version = version
+	w.epoch = epoch
+	w.buf = make([]byte, walRecordSize(version, dim, oqpDim))
 	w.records = records
 	w.off = validEnd
 	return w, nil
@@ -157,69 +206,90 @@ func (w *WAL) SetMetrics(appendH, fsyncH *obsv.Histogram) {
 	w.fsyncH = fsyncH
 }
 
+// Epoch reports the compaction epoch stamped in the log header (0 for
+// version-1 logs, which predate epochs).
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// Version reports the on-disk format version of this log.
+func (w *WAL) Version() uint32 { return w.version }
+
 // writeHeader writes the log header at the current (zero) offset.
 func (w *WAL) writeHeader() error {
-	var hdr [walHeaderSize]byte
+	hdr := make([]byte, walHeaderSize(w.version))
 	copy(hdr[0:4], walMagic[:])
-	binary.LittleEndian.PutUint32(hdr[4:8], WALVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], w.version)
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(w.dim))
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(w.oqpDim))
-	_, err := w.f.Write(hdr[:])
+	if w.version >= 2 {
+		binary.LittleEndian.PutUint64(hdr[16:24], w.epoch)
+	}
+	_, err := w.f.Write(hdr)
 	return err
 }
 
 // scanWAL validates the header and every record of r, returning the file
-// offset just past the last valid record and the record count. A
-// truncated tail is tolerated (the returned offset excludes it); a
-// complete record with a checksum mismatch is ErrCorrupt.
-func scanWAL(f File, dim, oqpDim int) (validEnd int64, records int, err error) {
+// offset just past the last valid record, the record count, and the
+// header's version and epoch. A truncated tail is tolerated (the
+// returned offset excludes it); a complete record with a checksum
+// mismatch is ErrCorrupt.
+func scanWAL(f File, dim, oqpDim int) (validEnd int64, records int, version uint32, epoch uint64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	br := bufio.NewReader(f)
-	if err := readWALHeader(br, dim, oqpDim); err != nil {
-		return 0, 0, err
+	version, epoch, err = readWALHeader(br, dim, oqpDim)
+	if err != nil {
+		return 0, 0, 0, 0, err
 	}
-	recSize := walRecordSize(dim, oqpDim)
+	recSize := walRecordSize(version, dim, oqpDim)
 	buf := make([]byte, recSize)
-	offset := int64(walHeaderSize)
+	offset := int64(walHeaderSize(version))
 	for {
 		_, err := io.ReadFull(br, buf)
 		if err == io.EOF {
-			return offset, records, nil // clean end on a record boundary
+			return offset, records, version, epoch, nil // clean end on a record boundary
 		}
 		if err == io.ErrUnexpectedEOF {
-			return offset, records, nil // torn tail: tolerate, drop
+			return offset, records, version, epoch, nil // torn tail: tolerate, drop
 		}
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, 0, err
 		}
 		if err := checkWALRecord(buf); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, 0, err
 		}
 		offset += int64(recSize)
 		records++
 	}
 }
 
-// readWALHeader consumes and validates the header from r.
-func readWALHeader(r io.Reader, dim, oqpDim int) error {
-	var hdr [walHeaderSize]byte
+// readWALHeader consumes and validates the header from r, returning the
+// format version and (for version 2) the epoch.
+func readWALHeader(r io.Reader, dim, oqpDim int) (version uint32, epoch uint64, err error) {
+	var hdr [walHeaderSizeV1]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("%w: reading WAL header: %w", ErrCorrupt, err)
+		return 0, 0, fmt.Errorf("%w: reading WAL header: %w", ErrCorrupt, err)
 	}
 	if [4]byte(hdr[0:4]) != walMagic {
-		return fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, hdr[0:4])
+		return 0, 0, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, hdr[0:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != WALVersion {
-		return fmt.Errorf("%w: unsupported WAL version %d", ErrCorrupt, v)
+	version = binary.LittleEndian.Uint32(hdr[4:8])
+	if version < 1 || version > WALVersion {
+		return 0, 0, fmt.Errorf("%w: unsupported WAL version %d", ErrCorrupt, version)
 	}
 	gotDim := binary.LittleEndian.Uint32(hdr[8:12])
 	gotOQP := binary.LittleEndian.Uint32(hdr[12:16])
 	if gotDim != uint32(dim) || gotOQP != uint32(oqpDim) {
-		return fmt.Errorf("%w: WAL is for D=%d N=%d, want D=%d N=%d", ErrCorrupt, gotDim, gotOQP, dim, oqpDim)
+		return 0, 0, fmt.Errorf("%w: WAL is for D=%d N=%d, want D=%d N=%d", ErrCorrupt, gotDim, gotOQP, dim, oqpDim)
 	}
-	return nil
+	if version >= 2 {
+		var ep [8]byte
+		if _, err := io.ReadFull(r, ep[:]); err != nil {
+			return 0, 0, fmt.Errorf("reading WAL epoch: %w", errTornWALHeader)
+		}
+		epoch = binary.LittleEndian.Uint64(ep[:])
+	}
+	return version, epoch, nil
 }
 
 // checkWALRecord verifies the trailing checksum of one complete record.
@@ -232,15 +302,17 @@ func checkWALRecord(rec []byte) error {
 	return nil
 }
 
-// Append journals one accepted insert. The write is a single unbuffered
-// write call, so a process kill after Append returns cannot lose the
-// record (power-loss durability additionally needs Sync, or
-// SetSyncOnAppend). Append is all-or-nothing: a partial write or a
-// failed per-append fsync is rolled back by truncating to the last
-// record boundary, so the log never advances misaligned; if even the
-// rollback fails, the WAL refuses further appends instead of corrupting
-// the records already acknowledged.
-func (w *WAL) Append(q, value []float64) error {
+// Append journals one accepted insert with its logical timestamp. The
+// write is a single unbuffered write call, so a process kill after
+// Append returns cannot lose the record (power-loss durability
+// additionally needs Sync, or SetSyncOnAppend). Append is
+// all-or-nothing: a partial write or a failed per-append fsync is rolled
+// back by truncating to the last record boundary, so the log never
+// advances misaligned; if even the rollback fails, the WAL refuses
+// further appends instead of corrupting the records already
+// acknowledged. Appending to a version-1 log keeps that log's record
+// format (the stamp is not persisted until a Reset upgrades the file).
+func (w *WAL) Append(q, value []float64, stamp uint64) error {
 	if w.broken != nil {
 		return w.broken
 	}
@@ -261,6 +333,10 @@ func (w *WAL) Append(q, value []float64) error {
 	}
 	for _, x := range value {
 		binary.LittleEndian.PutUint64(w.buf[off:], math.Float64bits(x))
+		off += 8
+	}
+	if w.version >= 2 {
+		binary.LittleEndian.PutUint64(w.buf[off:], stamp)
 		off += 8
 	}
 	binary.LittleEndian.PutUint32(w.buf[off:], crc32.ChecksumIEEE(w.buf[:off]))
@@ -320,23 +396,31 @@ func (w *WAL) Size() int64 { return w.off }
 // Sync flushes the log to stable storage.
 func (w *WAL) Sync() error { return w.syncTimed() }
 
-// Reset truncates the log back to an empty header — the log-compaction
-// step after the tree state has been captured in a snapshot. A
-// successful Reset also clears the broken state left by an
+// Reset truncates the log back to an empty header carrying the given
+// compaction epoch — the log-compaction step after the tree state has
+// been captured in a snapshot stamped with the same epoch. A Reset
+// always writes the current format version, upgrading a version-1 log
+// in place (it holds no records afterwards, so no stamps are invented).
+// A successful Reset also clears the broken state left by an
 // unrecoverable append failure, since the rewritten log is aligned
 // again.
-func (w *WAL) Reset() error {
+func (w *WAL) Reset(epoch uint64) error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	prevVersion, prevEpoch := w.version, w.epoch
+	w.version = WALVersion
+	w.epoch = epoch
 	if err := w.writeHeader(); err != nil {
+		w.version, w.epoch = prevVersion, prevEpoch
 		return err
 	}
+	w.buf = make([]byte, walRecordSize(w.version, w.dim, w.oqpDim))
 	w.records = 0
-	w.off = walHeaderSize
+	w.off = int64(walHeaderSize(w.version))
 	w.broken = nil
 	return w.f.Sync()
 }
@@ -347,9 +431,10 @@ func (w *WAL) Close() error { return w.f.Close() }
 // Replay reads the log from the beginning through a separate read handle
 // and invokes fn for every valid record in order, returning the number
 // replayed. A truncated tail record is silently dropped; a checksum
-// mismatch on a complete record is ErrCorrupt. The q and value slices
-// are reused across calls; fn must not retain them.
-func (w *WAL) Replay(fn func(q, value []float64) error) (int, error) {
+// mismatch on a complete record is ErrCorrupt. Version-1 records carry
+// stamp 0. The q and value slices are reused across calls; fn must not
+// retain them.
+func (w *WAL) Replay(fn func(q, value []float64, stamp uint64) error) (int, error) {
 	f, err := OpenRead(w.fs, w.path)
 	if err != nil {
 		return 0, err
@@ -360,15 +445,16 @@ func (w *WAL) Replay(fn func(q, value []float64) error) (int, error) {
 
 // ReplayWAL replays every valid record of the log read from r (see
 // WAL.Replay for the tolerance semantics).
-func ReplayWAL(r io.Reader, dim, oqpDim int, fn func(q, value []float64) error) (int, error) {
+func ReplayWAL(r io.Reader, dim, oqpDim int, fn func(q, value []float64, stamp uint64) error) (int, error) {
 	if dim <= 0 || oqpDim <= 0 {
 		return 0, fmt.Errorf("persist: invalid WAL dimensions D=%d N=%d", dim, oqpDim)
 	}
 	br := bufio.NewReader(r)
-	if err := readWALHeader(br, dim, oqpDim); err != nil {
+	version, _, err := readWALHeader(br, dim, oqpDim)
+	if err != nil {
 		return 0, err
 	}
-	recSize := walRecordSize(dim, oqpDim)
+	recSize := walRecordSize(version, dim, oqpDim)
 	buf := make([]byte, recSize)
 	q := make([]float64, dim)
 	value := make([]float64, oqpDim)
@@ -391,7 +477,11 @@ func ReplayWAL(r io.Reader, dim, oqpDim int, fn func(q, value []float64) error) 
 		for i := range value {
 			value[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[base+8*i:]))
 		}
-		if err := fn(q, value); err != nil {
+		var stamp uint64
+		if version >= 2 {
+			stamp = binary.LittleEndian.Uint64(buf[base+8*oqpDim:])
+		}
+		if err := fn(q, value, stamp); err != nil {
 			return replayed, err
 		}
 		replayed++

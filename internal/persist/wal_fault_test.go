@@ -33,7 +33,7 @@ func appendN(t *testing.T, w *persist.WAL, n int) {
 	for i := 0; i < n; i++ {
 		q := []float64{float64(i), float64(i) + 0.5}
 		v := []float64{1, 2, 3}
-		if err := w.Append(q, v); err != nil {
+		if err := w.Append(q, v, uint64(i+1)); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
@@ -41,7 +41,7 @@ func appendN(t *testing.T, w *persist.WAL, n int) {
 
 func replayCount(t *testing.T, w *persist.WAL) int {
 	t.Helper()
-	n, err := w.Replay(func(q, value []float64) error { return nil })
+	n, err := w.Replay(func(q, value []float64, stamp uint64) error { return nil })
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
@@ -60,7 +60,7 @@ func TestAppendRollbackShortWrite(t *testing.T) {
 
 	// Rule counts start when the rule is armed: tear the very next write.
 	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Nth: 1, Kind: faultfs.ShortWrite})
-	err := w.Append([]float64{9, 9}, []float64{9, 9, 9})
+	err := w.Append([]float64{9, 9}, []float64{9, 9, 9}, 99)
 	if !errors.Is(err, faultfs.ErrInjected) {
 		t.Fatalf("torn append = %v, want ErrInjected", err)
 	}
@@ -85,7 +85,7 @@ func TestAppendRollbackFsyncFailure(t *testing.T) {
 	appendN(t, w, 1)
 
 	fs.AddRule(faultfs.Rule{Op: faultfs.OpSync, Nth: 1, Kind: faultfs.Fail})
-	err := w.Append([]float64{9, 9}, []float64{9, 9, 9})
+	err := w.Append([]float64{9, 9}, []float64{9, 9, 9}, 99)
 	if !errors.Is(err, faultfs.ErrInjected) {
 		t.Fatalf("failed-fsync append = %v, want ErrInjected", err)
 	}
@@ -110,7 +110,7 @@ func TestAppendENOSPC(t *testing.T) {
 	appendN(t, w, 1)
 
 	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Nth: 1, Kind: faultfs.ENOSPC})
-	err := w.Append([]float64{9, 9}, []float64{9, 9, 9})
+	err := w.Append([]float64{9, 9}, []float64{9, 9, 9}, 99)
 	if !errors.Is(err, syscall.ENOSPC) {
 		t.Fatalf("ENOSPC append = %v, want syscall.ENOSPC", err)
 	}
@@ -132,14 +132,14 @@ func TestBrokenLogGuard(t *testing.T) {
 	// Tear the next append AND fail its rollback truncate.
 	fs.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Nth: 1, Kind: faultfs.ShortWrite})
 	fs.AddRule(faultfs.Rule{Op: faultfs.OpTruncate, Nth: 1, Kind: faultfs.Fail})
-	err := w.Append([]float64{9, 9}, []float64{9, 9, 9})
+	err := w.Append([]float64{9, 9}, []float64{9, 9, 9}, 99)
 	if err == nil {
 		t.Fatal("append with failed rollback reported success")
 	}
 
 	// The guard: every further append refuses without touching the disk.
 	opsBefore := fs.Ops()
-	err2 := w.Append([]float64{8, 8}, []float64{8, 8, 8})
+	err2 := w.Append([]float64{8, 8}, []float64{8, 8, 8}, 100)
 	if err2 == nil {
 		t.Fatal("append on a broken log reported success")
 	}
@@ -148,7 +148,7 @@ func TestBrokenLogGuard(t *testing.T) {
 	}
 
 	// Reset rewrites the log from offset zero, clearing the guard.
-	if err := w.Reset(); err != nil {
+	if err := w.Reset(1); err != nil {
 		t.Fatalf("reset: %v", err)
 	}
 	appendN(t, w, 1)

@@ -2,7 +2,10 @@ package persist
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -28,7 +31,8 @@ func walRecordsForTest(rng *rand.Rand, n, dim, oqpDim int) (qs, vs [][]float64) 
 func appendAll(t *testing.T, w *WAL, qs, vs [][]float64) {
 	t.Helper()
 	for i := range qs {
-		if err := w.Append(qs[i], vs[i]); err != nil {
+		// Stamp records 1..n so round-trips can verify stamp persistence.
+		if err := w.Append(qs[i], vs[i], uint64(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -63,9 +67,12 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Errorf("reopened records = %d, want %d", w2.Records(), len(qs))
 	}
 	i := 0
-	n, err := w2.Replay(func(q, v []float64) error {
+	n, err := w2.Replay(func(q, v []float64, stamp uint64) error {
 		if !equalFloats(q, qs[i]) || !equalFloats(v, vs[i]) {
 			t.Errorf("record %d mismatch", i)
+		}
+		if stamp != uint64(i+1) {
+			t.Errorf("record %d stamp = %d, want %d", i, stamp, i+1)
 		}
 		i++
 		return nil
@@ -78,7 +85,7 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 
 	// Appending after reopen continues the log.
-	if err := w2.Append(qs[0], vs[0]); err != nil {
+	if err := w2.Append(qs[0], vs[0], 99); err != nil {
 		t.Fatal(err)
 	}
 	if w2.Records() != len(qs)+1 {
@@ -108,13 +115,13 @@ func TestWALTruncatedTailTolerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recSize := walRecordSize(dim, oqpDim)
+	recSize := walRecordSize(WALVersion, dim, oqpDim)
 	torn := data[:len(data)-recSize/2]
 	if err := os.WriteFile(path, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	n, err := ReplayWAL(bytes.NewReader(torn), dim, oqpDim, func(q, v []float64) error { return nil })
+	n, err := ReplayWAL(bytes.NewReader(torn), dim, oqpDim, func(q, v []float64, stamp uint64) error { return nil })
 	if err != nil {
 		t.Fatalf("replay of torn log: %v", err)
 	}
@@ -132,11 +139,11 @@ func TestWALTruncatedTailTolerated(t *testing.T) {
 	}
 	// The torn bytes must have been truncated away so the next append
 	// lands on a record boundary.
-	if err := w2.Append(qs[0], vs[0]); err != nil {
+	if err := w2.Append(qs[0], vs[0], 50); err != nil {
 		t.Fatal(err)
 	}
 	n = 0
-	if _, err := w2.Replay(func(q, v []float64) error { n++; return nil }); err != nil {
+	if _, err := w2.Replay(func(q, v []float64, stamp uint64) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != len(qs) {
@@ -164,13 +171,13 @@ func TestWALCorruptChecksumErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt a byte inside the third record's payload.
-	recSize := walRecordSize(dim, oqpDim)
-	data[walHeaderSize+2*recSize+5] ^= 0xff
+	recSize := walRecordSize(WALVersion, dim, oqpDim)
+	data[walHeaderSizeV2+2*recSize+5] ^= 0xff
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	if _, err := ReplayWAL(bytes.NewReader(data), dim, oqpDim, func(q, v []float64) error { return nil }); !errors.Is(err, ErrCorrupt) {
+	if _, err := ReplayWAL(bytes.NewReader(data), dim, oqpDim, func(q, v []float64, stamp uint64) error { return nil }); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("replay of corrupt log: err = %v, want ErrCorrupt", err)
 	}
 	if _, err := OpenWAL(path, dim, oqpDim); !errors.Is(err, ErrCorrupt) {
@@ -210,10 +217,10 @@ func TestWALHeaderValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w2.Close()
-	if err := w2.Append([]float64{1, 2}, []float64{1, 2, 3, 4}); err == nil {
+	if err := w2.Append([]float64{1, 2}, []float64{1, 2, 3, 4}, 1); err == nil {
 		t.Error("short point accepted")
 	}
-	if err := w2.Append([]float64{1, 2, 3}, []float64{1}); err == nil {
+	if err := w2.Append([]float64{1, 2, 3}, []float64{1}, 1); err == nil {
 		t.Error("short value accepted")
 	}
 }
@@ -229,25 +236,144 @@ func TestWALReset(t *testing.T) {
 	}
 	defer w.Close()
 	appendAll(t, w, qs, vs)
-	if err := w.Reset(); err != nil {
+	if err := w.Reset(7); err != nil {
 		t.Fatal(err)
 	}
 	if w.Records() != 0 {
 		t.Errorf("records after reset = %d, want 0", w.Records())
 	}
+	if w.Epoch() != 7 {
+		t.Errorf("epoch after reset = %d, want 7", w.Epoch())
+	}
 	n := 0
-	if _, err := w.Replay(func(q, v []float64) error { n++; return nil }); err != nil {
+	if _, err := w.Replay(func(q, v []float64, stamp uint64) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 0 {
 		t.Errorf("replayed %d after reset, want 0", n)
 	}
 	// The log keeps working after a reset.
-	if err := w.Append(qs[0], vs[0]); err != nil {
+	if err := w.Append(qs[0], vs[0], 9); err != nil {
 		t.Fatal(err)
 	}
 	if w.Records() != 1 {
 		t.Errorf("records = %d, want 1", w.Records())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The epoch survives a reopen.
+	w2, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Epoch() != 7 {
+		t.Errorf("reopened epoch = %d, want 7", w2.Epoch())
+	}
+	if w2.Records() != 1 {
+		t.Errorf("reopened records = %d, want 1", w2.Records())
+	}
+}
+
+// writeV1WAL builds a legacy version-1 log image by hand: 16-byte header
+// (no epoch), records without stamps.
+func writeV1WAL(t testing.TB, path string, qs, vs [][]float64) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(walMagic[:])
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:4], 1)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(qs[0])))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(vs[0])))
+	buf.Write(hdr)
+	for i := range qs {
+		rec := make([]byte, 8*(len(qs[i])+len(vs[i]))+4)
+		off := 0
+		for _, x := range append(append([]float64(nil), qs[i]...), vs[i]...) {
+			binary.LittleEndian.PutUint64(rec[off:], math.Float64bits(x))
+			off += 8
+		}
+		binary.LittleEndian.PutUint32(rec[off:], crc32.ChecksumIEEE(rec[:off]))
+		buf.Write(rec)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALV1Compatibility pins the legacy contract: version-1 logs replay
+// with stamp 0, keep appending in their own format, and upgrade to the
+// current version only at Reset.
+func TestWALV1Compatibility(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.fbwl")
+	const dim, oqpDim = 3, 4
+	qs, vs := walRecordsForTest(rand.New(rand.NewSource(8)), 5, dim, oqpDim)
+	writeV1WAL(t, path, qs, vs)
+
+	w, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Version() != 1 || w.Epoch() != 0 {
+		t.Errorf("v1 log opened as version %d epoch %d, want 1/0", w.Version(), w.Epoch())
+	}
+	if w.Records() != len(qs) {
+		t.Errorf("records = %d, want %d", w.Records(), len(qs))
+	}
+	// Appending keeps the file's own record format; the stamp is dropped.
+	if err := w.Append(qs[0], vs[0], 42); err != nil {
+		t.Fatal(err)
+	}
+	i, stamps := 0, []uint64(nil)
+	if _, err := w.Replay(func(q, v []float64, stamp uint64) error {
+		if !equalFloats(q, qs[i%len(qs)]) {
+			t.Errorf("record %d point mismatch", i)
+		}
+		stamps = append(stamps, stamp)
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(qs)+1 {
+		t.Fatalf("replayed %d, want %d", i, len(qs)+1)
+	}
+	for j, s := range stamps {
+		if s != 0 {
+			t.Errorf("v1 record %d replayed with stamp %d, want 0", j, s)
+		}
+	}
+	// Reset upgrades the log to the current version with the given epoch.
+	if err := w.Reset(3); err != nil {
+		t.Fatal(err)
+	}
+	if w.Version() != WALVersion || w.Epoch() != 3 {
+		t.Errorf("after reset: version %d epoch %d, want %d/3", w.Version(), w.Epoch(), WALVersion)
+	}
+	if err := w.Append(qs[1], vs[1], 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path, dim, oqpDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Version() != WALVersion || w2.Epoch() != 3 || w2.Records() != 1 {
+		t.Errorf("upgraded log reopened as version %d epoch %d records %d, want %d/3/1",
+			w2.Version(), w2.Epoch(), w2.Records(), WALVersion)
+	}
+	if _, err := w2.Replay(func(q, v []float64, stamp uint64) error {
+		if stamp != 7 {
+			t.Errorf("upgraded record stamp = %d, want 7", stamp)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -269,9 +395,31 @@ func equalFloats(a, b []float64) bool {
 func TestWALTornHeaderRecovered(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "x.fbwl")
-	for _, size := range []int{1, 7, walHeaderSize - 1} {
-		if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
-			t.Fatal(err)
+	// A valid current-format header, for tearing at v2-specific offsets.
+	full, err := OpenWAL(path, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	validHdr, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 7, walHeaderSizeV1 - 1, walHeaderSizeV1, walHeaderSizeV2 - 1} {
+		if size < walHeaderSizeV1 {
+			// Below the fixed prefix any content recovers; use zeros.
+			if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// At or past the fixed prefix the magic/version must be intact
+			// (zeros there are corruption, not a torn header): tear a valid
+			// version-2 header before its epoch field completes.
+			if err := os.WriteFile(path, validHdr[:size], 0o644); err != nil {
+				t.Fatal(err)
+			}
 		}
 		w, err := OpenWAL(path, 3, 4)
 		if err != nil {
@@ -280,11 +428,11 @@ func TestWALTornHeaderRecovered(t *testing.T) {
 		if w.Records() != 0 {
 			t.Errorf("size %d: records = %d, want 0", size, w.Records())
 		}
-		if err := w.Append(make([]float64, 3), make([]float64, 4)); err != nil {
+		if err := w.Append(make([]float64, 3), make([]float64, 4), 1); err != nil {
 			t.Fatal(err)
 		}
 		n := 0
-		if _, err := w.Replay(func(q, v []float64) error { n++; return nil }); err != nil {
+		if _, err := w.Replay(func(q, v []float64, stamp uint64) error { n++; return nil }); err != nil {
 			t.Fatal(err)
 		}
 		if n != 1 {

@@ -102,6 +102,20 @@ type DegradableBypass interface {
 	Degraded() error
 }
 
+// CompactableBypass is the optional lifecycle surface of a Bypass
+// (implemented by core.Bypass, core.DurableBypass and
+// shardedbypass.Sharded): CompactAged rebuilds the tree(s) keeping only
+// vertices reinforced within the aging horizon and reports one
+// CompactionStats per shard, indexed by shard id (a one-element slice for
+// an unsharded module). The service exposes it as Service.CompactAged so
+// transports and schedulers drive compaction through the layer that owns
+// the prediction cache — a compaction that reclaims vertices changes
+// prediction outputs and must invalidate the affected shards' entries.
+type CompactableBypass interface {
+	Bypass
+	CompactAged() ([]core.CompactionStats, error)
+}
+
 // Options tunes the serving layer.
 type Options struct {
 	// MaxSessions bounds concurrently open sessions; Open returns
@@ -150,6 +164,7 @@ type Service struct {
 	byp   Bypass
 	parts PartitionedBypass // byp's sharding surface; nil when unsharded
 	deg   DegradableBypass  // byp's health surface; nil when not degradable
+	comp  CompactableBypass // byp's lifecycle surface; nil when not compactable
 	codec core.HistogramCodec
 	opts  Options
 	cache *predictionCache // nil when disabled
@@ -175,6 +190,12 @@ type Service struct {
 	// itself completed normally — only the learning was lost.
 	quotaRejects    atomic.Int64
 	degradedRejects atomic.Int64
+	// Lifecycle counters: compactions driven through Service.CompactAged
+	// and the vertices those passes reclaimed. Compactions triggered
+	// below the service (quota-pressure compact-then-retry inside the
+	// store) are visible in the per-shard ShardInfo counters instead.
+	compactions        atomic.Int64
+	reclaimedByService atomic.Int64
 
 	met *svcMetrics // nil when Options.Obs is nil
 }
@@ -333,6 +354,9 @@ func New(eng *engine.Engine, byp Bypass, opts Options) (*Service, error) {
 	}
 	if deg, ok := byp.(DegradableBypass); ok {
 		s.deg = deg
+	}
+	if comp, ok := byp.(CompactableBypass); ok {
+		s.comp = comp
 	}
 	if opts.CacheSize > 0 {
 		s.cache = newPredictionCache(opts.CacheSize, shards)
@@ -821,6 +845,50 @@ func (s *Service) Drain(ctx context.Context) (closedSessions, inserted int, err 
 	return closedSessions, inserted, firstErr
 }
 
+// ErrNotCompactable is returned by CompactAged when the underlying
+// Bypass does not expose a lifecycle surface.
+var ErrNotCompactable = errors.New("service: bypass does not support compaction")
+
+// CompactAged runs one aging pass over the shared Bypass: every shard
+// rebuilds its tree keeping only vertices reinforced within the aging
+// horizon (corner vertices always survive; a zero horizon reclaims
+// nothing). It returns one CompactionStats per shard, indexed by shard
+// id.
+//
+// The service owns the prediction-cache coherence: a shard whose pass
+// reclaimed vertices serves different predictions afterwards, so its
+// cache generation is bumped — and only its generation, so a pass that
+// reclaims from shard 3 alone cannot evict shard 5's still-valid
+// entries. Shards with Reclaimed == 0 rebuilt into a geometrically
+// identical tree (re-inserting the same census is deterministic) and
+// keep their cached predictions.
+//
+// A partial failure (one shard degraded or mid-replay) still compacts
+// and invalidates the shards that succeeded; the joined error reports
+// the rest. ctx is consulted only on entry — once a pass starts, the
+// atomic snapshot+WAL swap must complete.
+func (s *Service) CompactAged(ctx context.Context) ([]core.CompactionStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.comp == nil {
+		return nil, ErrNotCompactable
+	}
+	stats, err := s.comp.CompactAged()
+	for shard, st := range stats {
+		if st.Reclaimed > 0 {
+			s.reclaimedByService.Add(int64(st.Reclaimed))
+			if s.cache != nil {
+				s.cache.Invalidate(shard)
+			}
+		}
+	}
+	if len(stats) > 0 {
+		s.compactions.Add(1)
+	}
+	return stats, err
+}
+
 // ShardStat is one bypass shard's counters as the serving layer sees
 // them: the shard's own state (tree shape, accepted inserts, journal
 // depth, WAL bytes) plus the prediction cache's invalidation generation
@@ -857,6 +925,13 @@ type Stats struct {
 	QuotaRejects    int64  `json:"quota_rejects,omitempty"`
 	DegradedRejects int64  `json:"degraded_rejects,omitempty"`
 
+	// Lifecycle: Compactions counts aging passes driven through
+	// Service.CompactAged; Reclaimed sums the vertices those passes
+	// removed. (Store-internal quota-pressure compactions appear in the
+	// per-shard counters of Shards, not here.)
+	Compactions int64 `json:"compactions,omitempty"`
+	Reclaimed   int64 `json:"reclaimed,omitempty"`
+
 	// Tree aggregates every shard (the whole learned mapping); Shards
 	// breaks it down per partition when the Bypass is sharded.
 	Tree   simplextree.Stats `json:"tree"`
@@ -882,6 +957,8 @@ func (s *Service) Stats() Stats {
 		InsertsStored:   s.stored.Load(),
 		QuotaRejects:    s.quotaRejects.Load(),
 		DegradedRejects: s.degradedRejects.Load(),
+		Compactions:     s.compactions.Load(),
+		Reclaimed:       s.reclaimedByService.Load(),
 		Retrieval:       s.eng.Retrieval(),
 		Tree:            s.byp.Stats(),
 	}

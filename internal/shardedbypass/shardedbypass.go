@@ -93,6 +93,44 @@ type shard struct {
 	err     error               // recovery failure, set before ready closes
 	inserts atomic.Int64        // accepted (tree-changing) inserts since open
 	insertH *obsv.Histogram     // optional: per-shard insert latency
+
+	// Lifecycle counters for memory-mode shards (durable shards count
+	// inside core.DurableBypass, which also sees its own insert-path
+	// compactions).
+	compactions atomic.Uint64
+	reclaimed   atomic.Uint64
+}
+
+// compactAged runs one aged compaction on this shard through its durable
+// write path when present.
+func (p *shard) compactAged() (core.CompactionStats, error) {
+	var (
+		sts []core.CompactionStats
+		err error
+	)
+	if p.durable != nil {
+		sts, err = p.durable.CompactAged()
+	} else {
+		sts, err = p.byp.CompactAged()
+	}
+	if err != nil {
+		return core.CompactionStats{}, err
+	}
+	st := sts[0]
+	if p.durable == nil {
+		p.compactions.Add(1)
+		p.reclaimed.Add(uint64(st.Reclaimed))
+	}
+	return st, nil
+}
+
+// lifecycleCounters reports this shard's aged-compaction counters from
+// whichever layer tracks them.
+func (p *shard) lifecycleCounters() (compactions, reclaimed uint64) {
+	if p.durable != nil {
+		return p.durable.Compactions(), p.durable.Reclaimed()
+	}
+	return p.compactions.Load(), p.reclaimed.Load()
 }
 
 // observe registers this shard's instruments in reg. The gauge callbacks
@@ -155,6 +193,10 @@ type ShardInfo struct {
 	Inserts   int64  `json:"inserts"`
 	Journaled int    `json:"journaled,omitempty"`
 	WALBytes  int64  `json:"wal_bytes,omitempty"`
+	// Lifecycle plane: aged compactions completed on this shard and the
+	// vertices they reclaimed.
+	Compactions uint64 `json:"compactions,omitempty"`
+	Reclaimed   uint64 `json:"reclaimed,omitempty"`
 }
 
 // shardDir names shard i's subdirectory: shard-000, shard-001, ...
@@ -436,9 +478,20 @@ func (p *shard) insert(q []float64, oqp core.OQP) (bool, error) {
 		err     error
 	)
 	if p.durable != nil {
+		// The durable layer owns compact-then-retry on quota pressure.
 		changed, err = p.durable.Insert(q, oqp)
 	} else {
 		changed, err = p.byp.Insert(q, oqp)
+		if err != nil && errors.Is(err, core.ErrQuotaExceeded) && p.byp.Tree().AgeHorizon() > 0 {
+			// Memory-mode compact-then-retry: one aged compaction, one
+			// retry iff it reclaimed space. The compaction changed the
+			// served tree even when the retry is ε-skipped, so report
+			// changed=true either way (per-shard caches must refresh).
+			if st, cerr := p.compactAged(); cerr == nil && st.Reclaimed > 0 {
+				_, err = p.byp.Insert(q, oqp)
+				changed = true
+			}
+		}
 	}
 	if changed {
 		p.inserts.Add(1)
@@ -577,6 +630,7 @@ func (s *Sharded) ShardInfos() []ShardInfo {
 		out[i].Points = st.Points
 		out[i].Depth = st.Depth
 		out[i].Inserts = p.inserts.Load()
+		out[i].Compactions, out[i].Reclaimed = p.lifecycleCounters()
 		if p.durable != nil {
 			out[i].Journaled = p.durable.Journaled()
 			out[i].WALBytes = p.durable.WALSize()
@@ -649,6 +703,38 @@ func (s *Sharded) Compact() error {
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// CompactAged runs one aged compaction on every live shard in parallel,
+// returning per-shard stats indexed by shard id — the scoped shape
+// serving layers need to invalidate only the shards that actually
+// reclaimed something. Shards still replaying (or whose recovery failed)
+// contribute zero stats and an error; like Compact, one shard's failure
+// never aborts another's compaction, and the joined error is returned
+// after every shard finished.
+func (s *Sharded) CompactAged() ([]core.CompactionStats, error) {
+	stats := make([]core.CompactionStats, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		p, err := s.get(i)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *shard) {
+			defer wg.Done()
+			st, err := p.compactAged()
+			if err != nil {
+				errs[i] = fmt.Errorf("shardedbypass: compacting shard %d: %w", i, err)
+				return
+			}
+			stats[i] = st
+		}(i, p)
+	}
+	wg.Wait()
+	return stats, errors.Join(errs...)
 }
 
 // Close waits for every shard's recovery to settle and closes each

@@ -254,7 +254,7 @@ func TestInsertObserver(t *testing.T) {
 		v []float64
 	}
 	var seen []rec
-	tr.SetObserver(func(q, value []float64) error {
+	tr.SetObserver(func(q, value []float64, stamp uint64) error {
 		seen = append(seen, rec{q: vec.Clone(q), v: vec.Clone(value)})
 		return nil
 	})
@@ -272,7 +272,7 @@ func TestInsertObserver(t *testing.T) {
 
 	// A failing observer aborts the insert with the tree unchanged.
 	boom := errors.New("journal full")
-	tr.SetObserver(func(q, value []float64) error { return boom })
+	tr.SetObserver(func(q, value []float64, stamp uint64) error { return boom })
 	before := tr.Stats()
 	q2 := []float64{0.1, 0.15, 0.4}
 	if _, err := tr.Insert(q2, []float64{9}); !errors.Is(err, boom) {

@@ -35,6 +35,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/vec"
@@ -73,7 +74,18 @@ type Vertex struct {
 	Value []float64
 
 	id int32 // creation-order index; keys the mark slices of Walk/Stats
+
+	// stamp is the logical time the vertex was last stored or reinforced
+	// (see Tree.Clock). It is atomic because predictions touch it under
+	// the shared read lock when aging is enabled; all other mutation
+	// happens under the exclusive lock. Vertices are always shared by
+	// pointer, never copied, so the atomic is safe to embed.
+	stamp atomic.Uint64
 }
+
+// Stamp reports the logical time the vertex was last stored or
+// reinforced; 0 for vertices that predate aging (legacy snapshots/WALs).
+func (v *Vertex) Stamp() uint64 { return v.stamp.Load() }
 
 type node struct {
 	verts    []*Vertex // D+1 vertices spanning this simplex
@@ -90,9 +102,11 @@ func (n *node) leaf() bool { return len(n.children) == 0 }
 // the ε check and the structural validation, immediately before the tree
 // mutates. Returning an error aborts the insert with the tree unchanged,
 // which gives the hook write-ahead semantics (package persist journals
-// accepted inserts to a WAL through it). The slices are the caller's;
+// accepted inserts to a WAL through it). stamp is the logical timestamp
+// the stored vertex will carry, so a journaling observer persists
+// exactly what replay must restore. The slices are the caller's;
 // implementations must not retain them past the call.
-type Observer func(q, value []float64) error
+type Observer func(q, value []float64, stamp uint64) error
 
 // PredictStats reports per-call measurements of one lookup.
 type PredictStats struct {
@@ -128,8 +142,21 @@ type Tree struct {
 	numLeaves  int
 	numVerts   int32 // distinct vertices ever created (next Vertex.id)
 
+	// clock is the monotonic logical time of the lifecycle plane: it
+	// advances on every accepted insert, and the accepting vertex is
+	// stamped with the new value. Mutated only under the exclusive lock;
+	// read under either lock mode (readers copy it into vertex stamps).
+	clock uint64
+
 	maxVerts int   // vertex quota; 0 = unbounded
 	maxBytes int64 // approximate byte quota; 0 = unbounded
+
+	// ageHorizon > 0 enables aging: predictions reinforce the enclosing
+	// leaf's vertex stamps, and RebuildAged reclaims vertices whose stamp
+	// trails the clock by more than the horizon. 0 disables aging — the
+	// read path then never writes a stamp, keeping it bitwise identical
+	// to the pre-lifecycle tree.
+	ageHorizon uint64
 
 	observer Observer
 
@@ -155,6 +182,11 @@ type Options struct {
 	// MaxBytes bounds the tree's approximate heap footprint (see
 	// SizeBytes). Zero means unbounded; enforcement matches MaxVertices.
 	MaxBytes int64
+	// AgeHorizon, when positive, enables OQP aging: vertices whose stamp
+	// trails the logical clock by more than the horizon become
+	// reclaimable by RebuildAged, and predictions reinforce the stamps of
+	// the enclosing simplex's vertices. Zero disables aging entirely.
+	AgeHorizon uint64
 }
 
 // New builds a Simplex Tree over the given root domain simplex. Every
@@ -190,15 +222,16 @@ func New(domain *geom.Simplex, defaultOQP []float64, opts Options) (*Tree, error
 		}
 	}
 	t := &Tree{
-		dim:       d,
-		oqpDim:    len(defaultOQP),
-		epsilon:   opts.Epsilon,
-		tol:       opts.Tol,
-		root:      &node{verts: verts},
-		numLeaves: 1,
-		numVerts:  int32(d + 1),
-		maxVerts:  opts.MaxVertices,
-		maxBytes:  opts.MaxBytes,
+		dim:        d,
+		oqpDim:     len(defaultOQP),
+		epsilon:    opts.Epsilon,
+		tol:        opts.Tol,
+		root:       &node{verts: verts},
+		numLeaves:  1,
+		numVerts:   int32(d + 1),
+		maxVerts:   opts.MaxVertices,
+		maxBytes:   opts.MaxBytes,
+		ageHorizon: opts.AgeHorizon,
 	}
 	if err := t.initDerived(); err != nil {
 		// Degeneracy check: the barycentric system must be solvable. (A
@@ -270,6 +303,31 @@ func (t *Tree) sizeBytesLocked() int64 { return int64(t.numVerts) * t.perVertexB
 
 // Epsilon returns the insert threshold.
 func (t *Tree) Epsilon() float64 { return t.epsilon }
+
+// AgeHorizon returns the configured aging horizon (0 = aging disabled).
+func (t *Tree) AgeHorizon() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ageHorizon
+}
+
+// SetAgeHorizon installs (or disables, with 0) the aging horizon after
+// construction. Recovery paths use it the way they use SetQuota: a tree
+// rebuilt from a snapshot carries data (stamps, clock) but not policy,
+// which the owning configuration re-applies once the tree is live.
+func (t *Tree) SetAgeHorizon(horizon uint64) {
+	t.mu.Lock()
+	t.ageHorizon = horizon
+	t.mu.Unlock()
+}
+
+// Clock returns the tree's logical time: the number of accepted inserts
+// observed over its whole history (it survives snapshots and replay).
+func (t *Tree) Clock() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.clock
+}
 
 // NumPoints returns the number of query points stored (inserted splits
 // plus vertex-value updates of re-seen points).
@@ -481,10 +539,27 @@ func (t *Tree) PredictInto(dst, q []float64) (PredictStats, error) {
 	st := PredictStats{Traversed: traversed}
 	if err == nil {
 		interpolateInto(dst, leaf, lam)
+		t.touchLeaf(leaf)
 	}
 	t.mu.RUnlock()
 	t.scratch.Put(sc)
 	return st, err
+}
+
+// touchLeaf reinforces the stamps of a served simplex's vertices: a
+// prediction read from them means they still describe live traffic, so
+// aging must not reclaim them. Atomic stores keep this legal under the
+// shared read lock (the clock is frozen while any reader holds it, so
+// stamps only ever move forward). With aging disabled this is a no-op —
+// the read path stays bitwise identical to the pre-lifecycle tree.
+func (t *Tree) touchLeaf(leaf *node) {
+	if t.ageHorizon == 0 {
+		return
+	}
+	now := t.clock
+	for _, v := range leaf.verts {
+		v.stamp.Store(now)
+	}
 }
 
 // PredictBatch predicts OQP vectors for every query under one read-lock
@@ -535,6 +610,7 @@ func (t *Tree) PredictBatch(qs [][]float64) (out [][]float64, stats []PredictSta
 				}
 				dst := make([]float64, t.oqpDim)
 				interpolateInto(dst, leaf, lam)
+				t.touchLeaf(leaf)
 				out[i] = dst
 			}
 		}(w, lo, hi)
@@ -557,7 +633,20 @@ func (t *Tree) PredictBatch(qs [][]float64) (out [][]float64, stats []PredictSta
 func (t *Tree) Insert(q, value []float64) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.insertLocked(q, value)
+	return t.insertLocked(q, value, t.clock+1)
+}
+
+// InsertStamped is Insert with an explicit logical timestamp: the
+// accepted vertex is stamped with stamp and the tree clock advances to
+// at least stamp. It is the replay path — re-applying a journaled
+// (q, value, stamp) record restores exactly the vertex the original
+// insert created, including its age. Replay is idempotent: a record
+// whose effect is already present leaves the tree's structure unchanged
+// (stamps may be refreshed, which replaying cannot make older).
+func (t *Tree) InsertStamped(q, value []float64, stamp uint64) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(q, value, stamp)
 }
 
 // InsertBatch stores many (q, value) pairs under one exclusive-lock
@@ -572,7 +661,7 @@ func (t *Tree) InsertBatch(qs, values [][]float64) (stored int, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for i := range qs {
-		changed, err := t.insertLocked(qs[i], values[i])
+		changed, err := t.insertLocked(qs[i], values[i], t.clock+1)
 		if changed {
 			stored++
 		}
@@ -586,8 +675,10 @@ func (t *Tree) InsertBatch(qs, values [][]float64) (stored int, err error) {
 // insertLocked implements Insert under the already-held exclusive lock.
 // The observer is invoked only once the insert is certain to succeed and
 // before any mutation, so a journaling observer achieves write-ahead
-// semantics and an observer error leaves the tree unchanged.
-func (t *Tree) insertLocked(q, value []float64) (bool, error) {
+// semantics and an observer error leaves the tree unchanged. stamp is
+// the logical time the accepted vertex will carry; accepted inserts
+// advance the clock to at least stamp (ε-skips and no-ops do not).
+func (t *Tree) insertLocked(q, value []float64, stamp uint64) (bool, error) {
 	if len(value) != t.oqpDim {
 		return false, fmt.Errorf("simplextree: OQP vector has dimension %d, want %d", len(value), t.oqpDim)
 	}
@@ -614,10 +705,11 @@ func (t *Tree) insertLocked(q, value []float64) (bool, error) {
 			if vec.Equal(leaf.verts[j].Value, value) {
 				return false, nil
 			}
-			if err := t.notifyObserver(q, value); err != nil {
+			if err := t.notifyObserver(q, value, stamp); err != nil {
 				return false, err
 			}
 			leaf.verts[j].Value = vec.Clone(value)
+			t.stampVertex(leaf.verts[j], stamp)
 			t.numPoints++
 			return true, nil
 		}
@@ -651,7 +743,7 @@ func (t *Tree) insertLocked(q, value []float64) (bool, error) {
 		// corner cases.
 		return false, fmt.Errorf("simplextree: split of %v produced %d children", q, len(children))
 	}
-	if err := t.notifyObserver(q, value); err != nil {
+	if err := t.notifyObserver(q, value, stamp); err != nil {
 		return false, err
 	}
 	// The split's mu must outlive the scratch buffers lam aliases.
@@ -659,17 +751,31 @@ func (t *Tree) insertLocked(q, value []float64) (bool, error) {
 	leaf.mu = vec.Clone(lam)
 	leaf.children = children
 	leaf.replaced = replaced
+	t.stampVertex(newVert, stamp)
 	t.numVerts++
 	t.numPoints++
 	t.numLeaves += len(children) - 1
 	return true, nil
 }
 
-func (t *Tree) notifyObserver(q, value []float64) error {
+// stampVertex records an accepted insert's logical time on its vertex
+// and advances the clock to cover it. Replaying an old record (stamp ≤
+// clock) never rewinds the clock, and a vertex's stamp never moves
+// backwards, so replay after a partial snapshot stays idempotent.
+func (t *Tree) stampVertex(v *Vertex, stamp uint64) {
+	if stamp > v.stamp.Load() {
+		v.stamp.Store(stamp)
+	}
+	if stamp > t.clock {
+		t.clock = stamp
+	}
+}
+
+func (t *Tree) notifyObserver(q, value []float64, stamp uint64) error {
 	if t.observer == nil {
 		return nil
 	}
-	if err := t.observer(q, value); err != nil {
+	if err := t.observer(q, value, stamp); err != nil {
 		return fmt.Errorf("simplextree: insert observer: %w", err)
 	}
 	return nil

@@ -17,6 +17,9 @@ type Snapshot struct {
 	Epsilon float64
 	Tol     float64
 	Points  int // stored-point counter (NumPoints)
+	// Clock is the logical time of the lifecycle plane (see Tree.Clock);
+	// 0 for snapshots of trees that never aged (and for legacy formats).
+	Clock uint64
 
 	Vertices []SnapshotVertex
 	Root     *SnapshotNode
@@ -26,6 +29,9 @@ type Snapshot struct {
 type SnapshotVertex struct {
 	Point []float64
 	Value []float64
+	// Stamp is the vertex's last-reinforcement logical time (0 in
+	// legacy snapshots, which predate aging).
+	Stamp uint64
 }
 
 // SnapshotNode mirrors one tree node with vertex-table references.
@@ -47,6 +53,7 @@ func (t *Tree) Snapshot() *Snapshot {
 		Epsilon: t.epsilon,
 		Tol:     t.tol,
 		Points:  t.numPoints,
+		Clock:   t.clock,
 	}
 	index := make(map[*Vertex]int32)
 	var vertexID func(v *Vertex) int32
@@ -59,6 +66,7 @@ func (t *Tree) Snapshot() *Snapshot {
 		s.Vertices = append(s.Vertices, SnapshotVertex{
 			Point: vec.Clone(v.Point),
 			Value: vec.Clone(v.Value),
+			Stamp: v.stamp.Load(),
 		})
 		return id
 	}
@@ -109,7 +117,9 @@ func FromSnapshot(s *Snapshot) (*Tree, error) {
 		if !vec.IsFinite(sv.Point) || !vec.IsFinite(sv.Value) {
 			return nil, fmt.Errorf("simplextree: vertex %d contains non-finite values", i)
 		}
-		verts[i] = &Vertex{Point: vec.Clone(sv.Point), Value: vec.Clone(sv.Value), id: int32(i)}
+		v := &Vertex{Point: vec.Clone(sv.Point), Value: vec.Clone(sv.Value), id: int32(i)}
+		v.stamp.Store(sv.Stamp)
+		verts[i] = v
 	}
 	lookupVert := func(id int32) (*Vertex, error) {
 		if id < 0 || int(id) >= len(verts) {
@@ -181,6 +191,15 @@ func FromSnapshot(s *Snapshot) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	clock := s.Clock
+	for _, v := range verts {
+		// A legacy snapshot has Clock 0 while stamps may not (or, after
+		// hand-editing, vice versa); the clock must cover every stamp for
+		// aging arithmetic to stay monotone.
+		if st := v.stamp.Load(); st > clock {
+			clock = st
+		}
+	}
 	t := &Tree{
 		dim:       s.Dim,
 		oqpDim:    s.OQPDim,
@@ -190,6 +209,7 @@ func FromSnapshot(s *Snapshot) (*Tree, error) {
 		numPoints: s.Points,
 		numLeaves: leaves,
 		numVerts:  int32(len(verts)),
+		clock:     clock,
 	}
 	if err := t.initDerived(); err != nil {
 		return nil, fmt.Errorf("simplextree: snapshot root simplex is degenerate: %w", err)
